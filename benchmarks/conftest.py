@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Every bench (a) times the relevant pipeline stage with pytest-benchmark,
+(b) asserts the paper's stated property (shape, not absolute numbers), and
+(c) writes the regenerated figure/table as text into benchmarks/results/
+so EXPERIMENTS.md can reference concrete artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """save_result(name, text): persist a regenerated figure/table."""
+    RESULTS.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> pathlib.Path:
+        path = RESULTS / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return save

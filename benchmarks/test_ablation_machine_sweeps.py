@@ -1,0 +1,77 @@
+"""Ablation — machine-parameter sweeps.
+
+Two studies the paper's introduction motivates ("a parallel model of
+execution ... ideally suited for measuring the extent to which
+parallelization techniques can expose parallelism"):
+
+* **memory latency sweep**: how each schema's critical path scales with
+  split-phase memory latency — token-per-variable schemas hide latency
+  across independent chains, memory elimination is insensitive;
+* **PE scaling**: speedup of a finite machine versus width — saturating at
+  the program's available parallelism.
+"""
+
+from repro.bench import format_table, workload
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+
+def test_ablation_latency_sweep(benchmark, save_result):
+    wl = workload("prime_count")
+    schemas = ["schema1", "schema2_opt", "memory_elim"]
+
+    def sweep():
+        rows = []
+        for lat in (1, 4, 16):
+            cells = [lat]
+            for schema in schemas:
+                cp = compile_program(wl.source, schema=schema)
+                res = simulate(cp, {}, MachineConfig(memory_latency=lat))
+                cells.append(res.metrics.cycles)
+            rows.append(cells)
+        return rows
+
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_latency_sweep",
+        format_table(["mem latency"] + schemas, rows),
+    )
+    # memory elimination is latency-insensitive (no memory ops at all)
+    elim = [r[3] for r in rows]
+    assert max(elim) == min(elim)
+    # schema1 degrades faster than schema2_opt with latency (serial chain)
+    s1_growth = rows[-1][1] - rows[0][1]
+    s2_growth = rows[-1][2] - rows[0][2]
+    assert s1_growth > s2_growth
+
+
+def test_ablation_pe_scaling(benchmark, save_result):
+    wl = workload("matmul")
+    cp = compile_program(wl.source, schema="memory_elim")
+
+    def sweep():
+        rows = []
+        for pes in (1, 2, 4, 8, 16, None):
+            res = simulate(cp, {}, MachineConfig(num_pes=pes))
+            rows.append(
+                [
+                    "inf" if pes is None else pes,
+                    res.metrics.cycles,
+                    f"{res.metrics.avg_parallelism:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_pe_scaling",
+        format_table(["PEs", "cycles", "S_avg"], rows),
+    )
+    cycles = [r[1] for r in rows]
+    # monotone non-increasing, saturating at the idealized critical path
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+    assert cycles[-2] == cycles[-1] or cycles[-2] <= cycles[0]
+    # width-1 machine executes exactly one op per cycle
+    one_pe = simulate(cp, {}, MachineConfig(num_pes=1))
+    assert one_pe.metrics.peak_parallelism == 1
+    assert one_pe.metrics.cycles >= one_pe.metrics.operations

@@ -1,0 +1,54 @@
+"""Ablation — instruction partitioning and network locality.
+
+The paper's abstraction promise: "details such as the number of
+processors, communication network topology, distribution of data
+structures, etc. are abstracted away".  This ablation un-abstracts them:
+a finite-PE machine with per-PE issue and a hop cost for tokens crossing
+PE boundaries, under three static partitionings.  Results never change
+(confluence); only time does — quantifying what the abstraction hides.
+"""
+
+from repro.bench import format_table, workload
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+
+def test_ablation_partitioning(benchmark, save_result):
+    wl = workload("prime_count")
+
+    def sweep():
+        rows = []
+        base = None
+        for net in (0, 2, 8):
+            for part in ("block", "round_robin", "random"):
+                cp = compile_program(wl.source, schema="memory_elim")
+                res = simulate(
+                    cp,
+                    None,
+                    MachineConfig(
+                        num_pes=4,
+                        network_latency=net,
+                        partition=part,
+                        seed=11,
+                    ),
+                )
+                if base is None:
+                    base = res.memory
+                assert res.memory == base
+                rows.append([net, part, res.metrics.cycles])
+        return rows
+
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_partitioning",
+        format_table(["net latency", "partition", "cycles"], rows),
+    )
+
+    def cyc(net, part):
+        return next(r[2] for r in rows if r[0] == net and r[1] == part)
+
+    # with no hop cost, partitioning is irrelevant
+    assert cyc(0, "block") == cyc(0, "round_robin") == cyc(0, "random")
+    # with hops, locality matters and grows with latency
+    assert cyc(8, "block") < cyc(8, "round_robin")
+    assert cyc(8, "round_robin") > cyc(2, "round_robin")

@@ -1,0 +1,109 @@
+"""T-C — Section 5 claim: "Choices of cover can provide a tradeoff between
+parallelism and synchronization".
+
+Measures synch operations executed vs. critical path for the three
+canonical covers on workloads mixing aliased clusters with independent
+unaliased chains.
+"""
+
+from repro.bench import format_table
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+MIXED = """
+alias (p, q);
+p := 1;
+a := a + 1; a := a * 2; a := a + 3; a := a * 4;
+b := b + 5; b := b * 6; b := b + 7; b := b * 8;
+q := p + 2;
+"""
+
+HEAVY_ALIAS = """
+alias (x, z); alias (y, z);
+x := x + 1;
+y := y + 2;
+z := x + y;
+x := z * 2;
+y := z * 3;
+"""
+
+
+def test_claim_cover_tradeoff(benchmark, save_result):
+    config = MachineConfig(memory_latency=10)
+
+    def run_all():
+        rows = []
+        for name, src in (("mixed", MIXED), ("heavy_alias", HEAVY_ALIAS)):
+            mems = set()
+            for cover in ("singletons", "alias_classes", "whole"):
+                cp = compile_program(src, schema="schema3", cover=cover)
+                res = simulate(cp, config=config)
+                mems.add(tuple(sorted(res.memory.items())))
+                rows.append(
+                    [
+                        name,
+                        cover,
+                        len(cp.streams),
+                        res.metrics.synch_ops,
+                        res.metrics.cycles,
+                        f"{res.metrics.avg_parallelism:.2f}",
+                    ]
+                )
+            assert len(mems) == 1, name
+        return rows
+
+    rows = benchmark(run_all)
+    save_result(
+        "claim_cover_tradeoff",
+        format_table(
+            ["workload", "cover", "tokens", "synch", "cycles", "S_avg"], rows
+        ),
+    )
+
+    def row(wl, cover):
+        return next(r for r in rows if r[0] == wl and r[1] == cover)
+
+    # the whole cover never synchronizes but serializes the independent
+    # chains; singletons pay synchs and win cycles on the mixed workload
+    assert row("mixed", "whole")[3] == 0
+    assert row("mixed", "singletons")[3] > 0
+    assert row("mixed", "singletons")[4] < row("mixed", "whole")[4]
+    # alias_classes sits between: no synchs (classes collapse), still
+    # parallel on the unaliased chains
+    assert row("mixed", "alias_classes")[4] <= row("mixed", "whole")[4]
+
+
+def test_claim_no_single_best_cover(benchmark, save_result):
+    """"in general there will be no one cover that achieves both": on the
+    heavily aliased workload the synch overhead of singletons buys nothing
+    (all ops share z), while on the mixed workload it wins."""
+    config = MachineConfig(memory_latency=10)
+
+    def run():
+        out = {}
+        for name, src in (("mixed", MIXED), ("heavy_alias", HEAVY_ALIAS)):
+            per = {}
+            for cover in ("singletons", "whole"):
+                res = simulate(
+                    compile_program(src, schema="schema3", cover=cover),
+                    config=config,
+                )
+                per[cover] = res.metrics
+            out[name] = per
+        return out
+
+    metrics = benchmark(run)
+    mixed = metrics["mixed"]
+    heavy = metrics["heavy_alias"]
+    mixed_gain = mixed["whole"].cycles - mixed["singletons"].cycles
+    heavy_gain = heavy["whole"].cycles - heavy["singletons"].cycles
+    save_result(
+        "claim_no_single_best_cover",
+        "cycles(whole) - cycles(singletons):\n"
+        f"  mixed workload:       {mixed_gain:+d} (fine cover wins)\n"
+        f"  heavily aliased:      {heavy_gain:+d} (little or nothing to win;"
+        f" singletons still pay {heavy['singletons'].synch_ops} synchs)\n",
+    )
+    assert mixed_gain > 0
+    assert heavy["singletons"].synch_ops > 0
+    assert mixed_gain > heavy_gain

@@ -1,0 +1,52 @@
+"""T-B — the cross-schema ordering the paper's development implies:
+
+* parallelism (S_avg on the idealized machine): schema1 <= schema2-family,
+  memory elimination dominates everything;
+* static switch counts: optimized <= schema2;
+* every schema computes the reference result (checked inside the harness).
+
+This is the paper's evaluation table that never existed — measured over
+the whole corpus.
+"""
+
+from repro.bench import CORPUS, compare_schemas, format_table
+from repro.bench.harness import HEADER
+
+
+def test_claim_schema_ordering(benchmark, save_result):
+    schemas = ["schema1", "schema2", "schema2_opt", "memory_elim"]
+
+    def run_corpus():
+        rows = []
+        for wl in CORPUS:
+            if wl.has_aliasing():
+                continue
+            rows.extend(compare_schemas(wl, schemas))
+        return rows
+
+    rows = benchmark(run_corpus)
+    save_result(
+        "claim_schema_ordering",
+        format_table(HEADER, [r.cells() for r in rows]),
+    )
+
+    by = {}
+    for r in rows:
+        by.setdefault(r.workload, {})[r.schema] = r
+    for wl, per in by.items():
+        # switches: optimized never more than schema2
+        assert per["schema2_opt"].switches <= per["schema2"].switches, wl
+        # cycles: schema2 beats schema1 on loopy programs; memory
+        # elimination dominates all memory-based schemas
+        assert per["memory_elim"].cycles <= per["schema2_opt"].cycles, wl
+        assert (
+            per["memory_elim"].cycles <= per["schema1"].cycles
+        ), wl
+
+    # aggregate parallelism ordering s1 <= s2 <= memelim
+    def total(schema, attr):
+        return sum(getattr(per[schema], attr) for per in by.values())
+
+    assert total("schema2", "cycles") < total("schema1", "cycles")
+    assert total("schema2_opt", "cycles") <= total("schema2", "cycles")
+    assert total("memory_elim", "cycles") < total("schema2_opt", "cycles")

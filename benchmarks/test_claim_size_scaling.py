@@ -1,0 +1,84 @@
+"""T-A — Section 3 claim: "the size of the dataflow graph is O(E·V)".
+
+Sweeps program size (E) and variable count (V) independently and fits the
+measured Schema 2 arc counts against E·V.
+"""
+
+from repro.dfg import graph_stats
+from repro.lang import parse
+from repro.translate import compile_program
+
+
+def _program(n_stmts: int, n_vars: int) -> str:
+    lines = []
+    for i in range(n_stmts):
+        v = f"v{i % n_vars}"
+        w = f"v{(i + 1) % n_vars}"
+        if i % 4 == 3:
+            lines.append(
+                f"if {v} < {i} then {{ {w} := {w} + 1; }}"
+            )
+        else:
+            lines.append(f"{v} := {w} + {i};")
+    # reference every variable at least once
+    for j in range(n_vars):
+        lines.append(f"v{j} := v{j};")
+    return "\n".join(lines)
+
+
+def test_claim_size_is_O_EV(benchmark, save_result):
+    def sweep():
+        rows = []
+        for n_stmts, n_vars in [
+            (8, 2), (16, 2), (32, 2), (64, 2),
+            (16, 4), (16, 8), (16, 16),
+            (32, 8), (64, 16),
+        ]:
+            cp = compile_program(_program(n_stmts, n_vars), schema="schema2")
+            E = cp.cfg.num_edges()
+            V = len(cp.streams)
+            arcs = graph_stats(cp.graph).arcs
+            rows.append((n_stmts, n_vars, E, V, arcs, arcs / (E * V)))
+        return rows
+
+    rows = benchmark(sweep)
+    lines = ["stmts  vars     E    V   arcs  arcs/(E*V)"]
+    for n_stmts, n_vars, E, V, arcs, ratio in rows:
+        lines.append(
+            f"{n_stmts:5d} {n_vars:5d} {E:5d} {V:4d} {arcs:6d}  {ratio:8.2f}"
+        )
+    save_result("claim_size_scaling", "\n".join(lines))
+
+    # the ratio arcs/(E*V) stays bounded by a small constant across the
+    # sweep — the O(E*V) claim
+    ratios = [r[-1] for r in rows]
+    assert max(ratios) < 4.0
+    assert max(ratios) / min(ratios) < 6.0
+
+
+def test_claim_optimized_is_smaller(benchmark, save_result):
+    """The optimized construction only removes operators, so its graphs
+    are never larger than Schema 2's."""
+
+    def sweep():
+        out = []
+        for n_stmts, n_vars in [(16, 4), (32, 8), (64, 8)]:
+            src = _program(n_stmts, n_vars)
+            base = graph_stats(compile_program(src, schema="schema2").graph)
+            opt = graph_stats(
+                compile_program(src, schema="schema2_opt").graph
+            )
+            out.append((n_stmts, n_vars, base, opt))
+        return out
+
+    results = benchmark(sweep)
+    lines = ["stmts vars   schema2(nodes/arcs)  optimized(nodes/arcs)"]
+    for n_stmts, n_vars, base, opt in results:
+        assert opt.nodes <= base.nodes
+        assert opt.arcs <= base.arcs
+        assert opt.switches <= base.switches
+        lines.append(
+            f"{n_stmts:5d} {n_vars:4d}   {base.nodes:6d}/{base.arcs:<6d}"
+            f"      {opt.nodes:6d}/{opt.arcs:<6d}"
+        )
+    save_result("claim_optimized_smaller", "\n".join(lines))

@@ -1,0 +1,42 @@
+"""F1 — Figure 1: the control-flow graph of the running example.
+
+Regenerates the CFG and checks its inventory against the figure: start,
+the labeled join ``l`` (two predecessors), the two assignments, the fork
+``x < 5`` (True back to ``l``, False to end), and the start->end convention
+edge.  Benchmarks CFG construction.
+"""
+
+from repro.bench.programs import RUNNING_EXAMPLE
+from repro.cfg import NodeKind, build_cfg, cfg_to_dot
+from repro.lang import parse
+
+
+def test_fig01_running_example_cfg(benchmark, save_result):
+    prog = parse(RUNNING_EXAMPLE.source)
+    cfg = benchmark(build_cfg, prog)
+
+    kinds = {}
+    for n in cfg.nodes.values():
+        kinds[n.kind] = kinds.get(n.kind, 0) + 1
+    assert kinds == {
+        NodeKind.START: 1,
+        NodeKind.END: 1,
+        NodeKind.ASSIGN: 3,
+        NodeKind.FORK: 1,
+        NodeKind.JOIN: 1,
+    }
+
+    join = next(n for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    assert join.label == "l"
+    assert len(cfg.pred_ids(join.id)) == 2
+
+    fork = next(n for n in cfg.nodes.values() if n.kind is NodeKind.FORK)
+    dirs = {e.direction: e.dst for e in cfg.out_edges(fork.id)}
+    assert dirs[True] == join.id
+    assert dirs[False] == cfg.exit
+
+    # the convention edge makes start a fork
+    start_dirs = {e.direction: e.dst for e in cfg.out_edges(cfg.entry)}
+    assert start_dirs[False] == cfg.exit
+
+    save_result("fig01_cfg", cfg_to_dot(cfg, "figure1"))

@@ -1,0 +1,87 @@
+"""F6/F7 — Figures 6-7: the Schema 2 statement schema and read block.
+
+Per-variable access tokens: reads of distinct variables load in parallel
+(each on its own token), unreferenced variables flow straight through, and
+a read-modify-write chains load before store on that variable's token.
+"""
+
+from repro.dfg import OpKind
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+
+def test_fig06_reads_are_parallel_across_variables(benchmark, save_result):
+    """Figure 7: a+b+c+d loads fire concurrently (contrast Figure 4)."""
+    src = "z := a + b + c + d;"
+    cp = compile_program(src, schema="schema2")
+
+    def run():
+        return simulate(cp, {}, MachineConfig(memory_latency=10, trace=True))
+
+    res = benchmark(run)
+    load_cycles = [
+        cyc for cyc, _, desc, _ in res.trace if desc.startswith("load")
+    ]
+    assert len(load_cycles) == 4
+    assert len(set(load_cycles)) == 1, "all four loads fire the same cycle"
+    save_result(
+        "fig06_parallel_reads",
+        f"z := a + b + c + d under Schema 2:\n"
+        f"  4 loads all fired at cycle {load_cycles[0]} "
+        "(each on its own access token)\n",
+    )
+
+
+def test_fig06_read_modify_write_chains(benchmark):
+    """x := x + 1 must load x before storing x on the same token."""
+    src = "x := x + 1;"
+    cp = benchmark(compile_program, src, schema="schema2")
+    g = cp.graph
+    (load,) = g.of_kind(OpKind.LOAD)
+    (store,) = g.of_kind(OpKind.STORE)
+    # the load's access output reaches the store's access input
+    assert any(
+        a.dst == store.id and a.dst_port == 1
+        for a in g.consumers(load.id, 1)
+    )
+
+
+def test_fig06_unreferenced_tokens_flow_through(benchmark):
+    """Tokens for variables a statement does not use take a direct arc to
+    the next statement: no extra operators, same arc count per variable."""
+    src = "a := 1; b := 2;"
+    cp = benchmark(compile_program, src, schema="schema2")
+    g = cp.graph
+    # a's token passes b's statement untouched: no consumer of a's store
+    # completion is a memory operation on another variable
+    (store_a,) = [n for n in g.of_kind(OpKind.STORE) if n.var == "a"]
+    for arc in g.consumers(store_a.id, 0):
+        dst = g.node(arc.dst)
+        assert not (
+            dst.kind in (OpKind.LOAD, OpKind.STORE) and dst.var != "a"
+        )
+    res = simulate(cp)
+    assert res.memory["a"] == 1 and res.memory["b"] == 2
+
+
+def test_fig06_independent_statements_overlap(benchmark, save_result):
+    """The Schema 2 headline: independent memory chains proceed in
+    parallel; makespan is max, not sum."""
+    src = "a := a + 1; b := b + 1; c := c + 1;"
+    config = MachineConfig(memory_latency=10)
+    s1 = simulate(compile_program(src, schema="schema1"), {}, config)
+    s2 = simulate(compile_program(src, schema="schema2"), {}, config)
+
+    def run():
+        return simulate(compile_program(src, schema="schema2"), {}, config)
+
+    benchmark(run)
+    # three overlapped chains: close to 1/3 the makespan, allow slack for
+    # the fixed pipeline fill
+    assert s2.metrics.cycles < s1.metrics.cycles * 0.6
+    save_result(
+        "fig06_overlap",
+        "three independent read-modify-writes, memory latency 10:\n"
+        f"  Schema 1 (single token):   {s1.metrics.cycles} cycles\n"
+        f"  Schema 2 (token/variable): {s2.metrics.cycles} cycles\n",
+    )

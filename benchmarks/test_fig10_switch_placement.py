@@ -1,0 +1,67 @@
+"""F10 — Figure 10: the switch placement algorithm.
+
+Validates the worklist algorithm (CD+ of the reference sites) against the
+brute-force Definition 2/3 path-search oracle over the corpus and random
+graphs — the executable content of Theorem 1 — and benchmarks it.
+"""
+
+from repro.analysis.control_dep import needs_switch_brute_force
+from repro.analysis.dominance import postdominator_tree
+from repro.bench.generators import random_program
+from repro.bench.programs import CORPUS
+from repro.cfg import build_cfg, decompose
+from repro.lang import parse
+from repro.translate import streams_for, switch_placement
+
+
+def test_fig10_algorithm_matches_oracle(benchmark, save_result):
+    cases = []
+    for wl in CORPUS:
+        prog = parse(wl.source)
+        if prog.subs:
+            from repro.lang import expand_subroutines
+            prog, _ = expand_subroutines(prog)
+        cfg, _ = decompose(build_cfg(prog))
+        streams = streams_for(prog, "schema3")
+        cases.append((wl.name, cfg, streams))
+    for seed in range(6):
+        prog = random_program(seed)
+        cfg, _ = decompose(build_cfg(prog))
+        cases.append((f"random{seed}", cfg, streams_for(prog, "schema2")))
+
+    def run_all():
+        return [
+            (name, switch_placement(cfg, streams))
+            for name, cfg, streams in cases
+        ]
+
+    results = benchmark(run_all)
+
+    lines = ["program            forks needing switches (algorithm == oracle)"]
+    for (name, placement), (_, cfg, streams) in zip(results, cases):
+        pdom = postdominator_tree(cfg)
+        total = 0
+        for s in streams:
+            for f in (n for n in cfg.nodes if cfg.is_fork(n)):
+                oracle = any(
+                    needs_switch_brute_force(cfg, f, v, pdom)
+                    for v in s.governs
+                )
+                assert (f in placement[s.name]) == oracle, (name, f, s.name)
+                total += f in placement[s.name]
+        lines.append(f"  {name:20s} {total}")
+    save_result("fig10_placement", "\n".join(lines))
+
+
+def test_fig10_scaling(benchmark):
+    """The worklist is near-linear; brute force is quadratic.  Check the
+    algorithm stays fast on a larger graph."""
+    body = "".join(
+        f"if v{i % 4} < {i} then {{ v{(i + 1) % 4} := v{i % 4} + {i}; }}\n"
+        for i in range(60)
+    )
+    prog = parse(body)
+    cfg, _ = decompose(build_cfg(prog))
+    streams = streams_for(prog, "schema2")
+    placement = benchmark(switch_placement, cfg, streams)
+    assert all(isinstance(v, frozenset) for v in placement.values())

@@ -1,0 +1,82 @@
+"""F11 — Figure 11: the source-vector computation.
+
+Checks the paper's stated invariants of the computed SVs over the corpus
+(single source at referencing statements and needed switches; merges only
+where a token has more than one source; every token reaches end) and
+benchmarks the full optimized construction it drives.
+"""
+
+from repro.bench.programs import CORPUS
+from repro.cfg import NodeKind, build_cfg, decompose
+from repro.dfg import OpKind
+from repro.lang import parse
+from repro.translate import (
+    compile_program,
+    compute_source_vectors,
+    streams_for,
+    switch_placement,
+)
+from repro.translate.optimized import close_carried_streams
+
+
+def test_fig11_sv_invariants(benchmark, save_result):
+    def compute_all():
+        out = []
+        for wl in CORPUS:
+            prog = parse(wl.source)
+            if prog.subs:
+                from repro.lang import expand_subroutines
+                prog, _ = expand_subroutines(prog)
+            cfg, loops = decompose(build_cfg(prog))
+            streams = streams_for(prog, "schema3")
+            cfg, placement = close_carried_streams(cfg, streams, loops)
+            out.append(
+                (wl.name, cfg, streams,
+                 compute_source_vectors(cfg, streams, placement, loops))
+            )
+        return out
+
+    results = benchmark(compute_all)
+    lines = ["program             merges needed (joins with >1 source)"]
+    for name, cfg, streams, svs in results:
+        merges = 0
+        for nid in cfg.nodes:
+            node = cfg.node(nid)
+            for s in streams:
+                srcs = svs.at(nid, s.name)
+                if node.kind is NodeKind.ASSIGN and s.referenced_by(node):
+                    assert len(srcs) == 1, (name, nid, s.name)
+                if node.kind is NodeKind.JOIN and len(srcs) > 1:
+                    merges += 1
+            if node.kind is NodeKind.END:
+                for s in streams:
+                    assert svs.at(cfg.exit, s.name), (name, s.name)
+        lines.append(f"  {name:20s} {merges}")
+    save_result("fig11_source_vectors", "\n".join(lines))
+
+
+def test_fig11_drives_valid_graphs(benchmark):
+    """The construction from SVs wires every input port exactly once on
+    every corpus program (DFGraph.validate enforces it)."""
+
+    def build_all():
+        return [
+            compile_program(wl.source, schema="schema3_opt")
+            for wl in CORPUS
+        ]
+
+    compiled = benchmark(build_all)
+    for cp in compiled:
+        cp.graph.validate(allow_dangling_outputs=True)
+
+
+def test_fig11_single_source_joins_are_wires(benchmark):
+    """A join with a single source is equivalent to no operator: merges in
+    the graph exist only at multi-source joins or loop-entry merge points."""
+    cp = benchmark(
+        compile_program,
+        next(wl for wl in CORPUS if wl.name == "gcd").source,
+        schema="schema2_opt",
+    )
+    for m in cp.graph.of_kind(OpKind.MERGE):
+        assert m.nports >= 2

@@ -1,0 +1,104 @@
+"""F14 — Figure 14: parallelizing array operations.
+
+Regenerates the Section 6.3 loop (stores to successive elements of x),
+applies the Figure 14 token-duplication/synchronization rewrite, and
+measures the critical-path shape: serialized ~ n*L, pipelined ~ n + L.
+Also the write-once/I-structure enhancement.
+"""
+
+from repro.bench.programs import ARRAY_LOOP
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+N = 50
+BIG = f"""
+array a[{N + 8}];
+i := 0;
+s: i := i + 1;
+   a[i] := i * 2;
+   if i < {N} then goto s;
+"""
+
+
+def test_fig14_rewrite_applies(benchmark, save_result):
+    cp = benchmark(
+        compile_program,
+        ARRAY_LOOP.source,
+        schema="memory_elim",
+        parallelize_arrays=True,
+    )
+    assert cp.array_report.pipelined == ((0, "x"),)
+    res = simulate(cp)
+    assert res.memory["x"][1:11] == [1] * 10
+    save_result(
+        "fig14_applies",
+        f"Section 6.3 loop: pipelined {cp.array_report.pipelined}, "
+        f"skipped {cp.array_report.skipped}\n",
+    )
+
+
+def test_fig14_critical_path_shape(benchmark, save_result):
+    """The headline measurement: who wins and by what shape."""
+
+    def sweep():
+        rows = []
+        for lat in (5, 10, 20, 40, 80):
+            config = MachineConfig(memory_latency=lat)
+            base = simulate(
+                compile_program(BIG, schema="memory_elim"), config=config
+            )
+            fast = simulate(
+                compile_program(
+                    BIG, schema="memory_elim", parallelize_arrays=True
+                ),
+                config=config,
+            )
+            assert base.memory == fast.memory
+            rows.append((lat, base.metrics.cycles, fast.metrics.cycles))
+        return rows
+
+    rows = benchmark(sweep)
+    lines = [f"{N}-iteration store loop   L    serialized  pipelined"]
+    for lat, b, f in rows:
+        lines.append(f"{'':24s}{lat:4d}  {b:10d}  {f:9d}")
+    save_result("fig14_critical_path", "\n".join(lines))
+
+    # shape: serialized grows ~linearly with L (slope ~n); pipelined is
+    # insensitive to L (additive)
+    (l0, b0, f0), (l1, b1, f1) = rows[0], rows[-1]
+    assert (b1 - b0) > 0.8 * N * (l1 - l0)  # slope ≈ n per unit latency
+    assert (f1 - f0) < 3 * (l1 - l0)  # additive in L
+    for lat, b, f in rows:
+        assert f < b
+
+
+def test_fig14_istructure_reader_concurrency(benchmark, save_result):
+    """Write-once arrays on I-structure memory: a read issued before the
+    writer's iteration completes is deferred and released by the write —
+    reads and writes proceed concurrently."""
+    src = BIG + f"q := a[{N // 2}];"
+
+    def run():
+        cp = compile_program(
+            src,
+            schema="memory_elim",
+            parallelize_arrays=True,
+            use_istructures=True,
+        )
+        return cp, simulate(cp, {}, MachineConfig(memory_latency=25))
+
+    cp, res = benchmark(run)
+    assert cp.istructure_arrays == ["a"]
+    assert res.memory["q"] == N  # a[N/2] = 2*(N/2)
+    plain = simulate(
+        compile_program(src, schema="memory_elim"),
+        config=MachineConfig(memory_latency=25),
+    )
+    assert plain.memory == res.memory
+    assert res.metrics.cycles < plain.metrics.cycles
+    save_result(
+        "fig14_istructures",
+        "reader after write-once store loop (memory latency 25):\n"
+        f"  updatable memory:      {plain.metrics.cycles} cycles\n"
+        f"  I-structures + fig14:  {res.metrics.cycles} cycles\n",
+    )

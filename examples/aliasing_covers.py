@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Aliasing and covers (paper Section 5).
+
+Reproduces the paper's FORTRAN example — SUBROUTINE F(X, Y, Z) called as
+F(A, B, A) and F(C, D, D), giving [X]={X,Z}, [Y]={Y,Z}, [Z]={X,Y,Z} — and
+explores the parallelism/synchronization tradeoff across covers.
+
+Run:  python examples/aliasing_covers.py
+"""
+
+from repro.analysis import AliasStructure, Cover
+from repro.bench import format_table
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+FORTRAN = """
+alias (x, z); alias (y, z);
+x := 1;
+y := x + 2;
+z := y * 3;
+w := z + x;
+"""
+
+# the same alias structure derived automatically: F compiled once must be
+# correct under the aliasing any call site induces
+FORTRAN_SUBS = """
+sub f(x, y, z) {
+  t := x + y;
+  z := t;
+}
+a := 1; b := 2; c := 3; d := 4;
+call f(a, b, a);
+call f(c, d, d);
+"""
+
+# independent chains on unaliased a/b alongside an aliased p/q cluster
+MIXED = """
+alias (p, q);
+p := 1;
+a := a + 1; a := a * 2; a := a + 3; a := a * 4;
+b := b + 5; b := b * 6; b := b + 7; b := b * 8;
+q := p + 2;
+"""
+
+
+def main() -> None:
+    prog = parse(FORTRAN)
+    alias = AliasStructure.from_program(prog)
+    print("alias classes (the paper's example, declared):")
+    for v in ("x", "y", "z"):
+        print(f"  [{v}] = {{{', '.join(sorted(alias.alias_class(v)))}}}")
+
+    from repro.lang import expand_subroutines
+
+    _, report = expand_subroutines(parse(FORTRAN_SUBS))
+    print(
+        "\nthe same structure derived from CALL F(A,B,A); CALL F(C,D,D):\n"
+        f"  formal alias pairs of f: {sorted(report.formal_aliases['f'])}"
+    )
+
+    print("\naccess sets under the singleton cover (C[x] = elements "
+          "intersecting [x]):")
+    cover = Cover.singletons(alias)
+    for v in ("x", "y", "z"):
+        names = sorted("+".join(sorted(el)) for el in cover.access_set(v))
+        print(f"  C[{v}] = {{{', '.join(names)}}}  ->  "
+              f"{cover.synch_cost(v)} tokens per operation")
+
+    print("\ncover tradeoff on the mixed workload "
+          "(memory latency 10, idealized machine):")
+    config = MachineConfig(memory_latency=10)
+    rows = []
+    for cover_name in ("singletons", "alias_classes", "whole"):
+        cp = compile_program(MIXED, schema="schema3", cover=cover_name)
+        res = simulate(cp, config=config)
+        rows.append(
+            [
+                cover_name,
+                len(cp.streams),
+                res.metrics.synch_ops,
+                res.metrics.cycles,
+                f"{res.metrics.avg_parallelism:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["cover", "tokens", "synch ops", "cycles", "S_avg"], rows
+        )
+    )
+    print(
+        "\nFiner covers buy parallelism (fewer cycles) at the price of "
+        "synchronization\n(more synch operations), exactly the Section 5 "
+        "tradeoff."
+    )
+
+
+if __name__ == "__main__":
+    main()

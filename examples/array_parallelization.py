@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Array store parallelization (paper Section 6.3, Figure 14).
+
+Sweeps memory latency and shows the critical path of the Section 6.3 loop
+under (a) the plain optimized schema, (b) the Figure 14 store-pipelining
+rewrite, and (c) write-once promotion to I-structure memory with a reader
+racing the writer loop.
+
+Run:  python examples/array_parallelization.py
+"""
+
+from repro.bench import format_table
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+N = 50
+LOOP = f"""
+array a[{N + 8}];
+i := 0;
+s: i := i + 1;
+   a[i] := i * 2;
+   if i < {N} then goto s;
+"""
+
+LOOP_WITH_READER = LOOP + f"q := a[{N // 2}];"
+
+
+def main() -> None:
+    print(f"store loop, {N} iterations; critical path in cycles:")
+    rows = []
+    for lat in (1, 5, 10, 20, 40, 80):
+        config = MachineConfig(memory_latency=lat)
+        base = simulate(
+            compile_program(LOOP, schema="memory_elim"), config=config
+        )
+        fig14 = simulate(
+            compile_program(
+                LOOP, schema="memory_elim", parallelize_arrays=True
+            ),
+            config=config,
+        )
+        assert base.memory == fig14.memory
+        rows.append(
+            [
+                lat,
+                base.metrics.cycles,
+                fig14.metrics.cycles,
+                f"{base.metrics.cycles / fig14.metrics.cycles:.1f}x",
+            ]
+        )
+    print(format_table(["mem latency", "serialized", "fig14", "speedup"], rows))
+    print(
+        f"\nThe serialized loop grows like n*L (~{N} stores each waiting "
+        "a full memory\nround trip); the pipelined loop grows like n + L — "
+        "the paper's point."
+    )
+
+    print("\nwrite-once array on I-structure memory, reader after the loop:")
+    config = MachineConfig(memory_latency=25)
+    plain = simulate(
+        compile_program(LOOP_WITH_READER, schema="memory_elim"),
+        config=config,
+    )
+    istr = simulate(
+        compile_program(
+            LOOP_WITH_READER,
+            schema="memory_elim",
+            parallelize_arrays=True,
+            use_istructures=True,
+        ),
+        config=config,
+    )
+    assert plain.memory == istr.memory
+    print(f"  plain updatable memory : {plain.metrics.cycles} cycles")
+    print(f"  I-structures + fig14   : {istr.metrics.cycles} cycles")
+    print(
+        "  (the deferred read gets its value as soon as the writing "
+        "iteration\n   stores it; it never waits for the whole loop)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Machine-model studies: what the paper's abstraction hides.
+
+The introduction promises a model where "details such as the number of
+processors, communication network topology, distribution of data
+structures, etc. are abstracted away".  The simulator can optionally
+un-abstract two of them:
+
+* k-bounded loops (Monsoon-style iteration throttling) — the
+  parallelism/token-store-occupancy tradeoff behind the Section 3 loop
+  control black box;
+* a multi-PE locality model (static instruction partitioning + a hop cost
+  for tokens that cross PE boundaries).
+
+Results never change — only time and resource usage do.
+
+Run:  python examples/machine_models.py
+"""
+
+from repro.bench import format_table, workload
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+LOOP = """
+array a[64];
+i := 0;
+s: i := i + 1;
+   a[i] := i * 2;
+   if i < 40 then goto s;
+"""
+
+
+def main() -> None:
+    print("k-bounded loops on a store-pipelined loop (memory latency 20):")
+    rows = []
+    for k in (1, 2, 4, None):
+        cp = compile_program(LOOP, schema="memory_elim", parallelize_arrays=True)
+        res = simulate(cp, None, MachineConfig(loop_bound=k, memory_latency=20))
+        rows.append(
+            [
+                "inf" if k is None else k,
+                res.metrics.cycles,
+                res.metrics.peak_tokens_in_flight,
+            ]
+        )
+    print(format_table(["k", "cycles", "peak tokens"], rows))
+
+    print("\ninstruction partitioning, 4 PEs, one op per PE per cycle "
+          "(prime_count):")
+    wl = workload("prime_count")
+    rows = []
+    for net in (0, 2, 8):
+        for part in ("block", "round_robin"):
+            cp = compile_program(wl.source, schema="memory_elim")
+            res = simulate(
+                cp,
+                None,
+                MachineConfig(num_pes=4, network_latency=net, partition=part),
+            )
+            rows.append([net, part, res.metrics.cycles])
+    print(format_table(["hop cost", "partition", "cycles"], rows))
+    print(
+        "\nBlock partitioning keeps the program-order chains local; "
+        "round-robin pays\na network hop on almost every arc.  Both compute "
+        "the same memory (verified)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Unstructured control flow (the paper's Section 4 motivation).
+
+Veen & van den Born's earlier work handled only structured single-exit
+loops, where syntactic analysis suffices.  This paper's construction works
+on arbitrary goto spaghetti: jumps into loop bodies, multi-exit loops, and
+irreducible regions (handled by code copying).  This example compiles such
+programs, shows where switches were (and were not) placed, and validates
+against the sequential interpreter.
+
+Run:  python examples/unstructured_goto.py
+"""
+
+from repro.cfg import NodeKind
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.translate import compile_program, simulate
+
+JUMP_INTO_LOOP = """
+goto mid;
+top: x := x + 10;
+     y := y + 1;
+mid: x := x + 1;
+if x < 25 then goto top;
+z := x + y;
+"""
+
+MULTI_EXIT = """
+i := 0; s := 0;
+l: i := i + 1;
+   s := s + i;
+   if s > 40 then goto done;
+   if i < 20 then goto l;
+done: r := s;
+"""
+
+# two labels jumping at each other, entered from two sides: irreducible
+IRREDUCIBLE = """
+k := 0;
+if c == 0 then goto a;
+goto b;
+a: x := x + 1;
+   k := k + 1;
+   if k < 6 then goto b;
+   goto out;
+b: y := y + 1;
+   k := k + 1;
+   if k < 6 then goto a;
+out: r := x * 100 + y;
+"""
+
+
+def describe(name: str, src: str, inputs: dict) -> None:
+    cp = compile_program(src, schema="schema2_opt")
+    res = simulate(cp, inputs)
+    ref = run_ast(parse(src), inputs)
+    assert res.memory == ref, (res.memory, ref)
+    forks = [
+        n for n in cp.cfg.nodes if cp.cfg.node(n).kind is NodeKind.FORK
+    ]
+    print(f"{name}:")
+    print(f"  CFG: {len(cp.cfg.nodes)} nodes, {len(forks)} forks, "
+          f"{len(cp.loops)} loop intervals")
+    for f in forks:
+        switched = sorted(cp.translation.switches.get(f, {}))
+        bypassed = sorted(
+            s.name for s in cp.streams if s.name not in switched
+        )
+        print(
+            f"  fork {f} ({cp.cfg.node(f).describe()}): "
+            f"switches {switched or 'none'}, bypassed {bypassed or 'none'}"
+        )
+    print(f"  result {res.memory} in {res.metrics.cycles} cycles "
+          f"(validated against the sequential interpreter)\n")
+
+
+def main() -> None:
+    describe("goto into the middle of a loop", JUMP_INTO_LOOP, {})
+    describe("loop with two exits", MULTI_EXIT, {})
+    describe("irreducible region (code copying applied)", IRREDUCIBLE, {"c": 0})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use
+the legacy ``setup.py develop`` path.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of *From Control Flow to Dataflow*
+(Beck, Johnson, Pingali; Cornell TR 89-1050 / ICPP 1990).
+
+Translates programs in a small imperative language (unstructured control
+flow, arrays, aliasing) into dataflow graphs executable on a simulated
+explicit-token-store dataflow machine, via the paper's three translation
+schemas and the Section 4/6 optimizations.
+
+Quick start::
+
+    from repro import run_source
+
+    result = run_source('''
+        x := 0;
+        l: y := x + 1;
+           x := x + 1;
+           if x < 5 then goto l;
+    ''', schema="schema2_opt")
+    print(result.memory["x"], result.metrics.critical_path)
+"""
+
+__version__ = "0.1.0"
+
+from .lang import parse
+
+_PIPELINE_NAMES = {"CompileOptions", "compile_program", "run_source", "simulate"}
+
+
+def __getattr__(name: str):
+    # The pipeline facade pulls in every subpackage; load it lazily so that
+    # using one layer (e.g. repro.lang alone) stays cheap.
+    if name in _PIPELINE_NAMES:
+        from . import pipeline_api
+
+        return getattr(pipeline_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CompileOptions",
+    "__version__",
+    "compile_program",
+    "parse",
+    "run_source",
+    "simulate",
+]

@@ -1,0 +1,170 @@
+"""Command-line front end: compile, run, inspect.
+
+Usage::
+
+    python -m repro run PROG.df [--schema schema2_opt] [--input x=3 ...]
+                               [--mem-latency N] [--pes N] [--seed N]
+                               [--parallel-reads] [--forward-stores]
+                               [--parallelize-arrays] [--istructures]
+    python -m repro stats PROG.df [--schema ...]       # graph inventory
+    python -m repro dot PROG.df [--stage cfg|dfg] [--schema ...]
+    python -m repro trace PROG.df [--schema ...] [...run options]
+    python -m repro schemas                            # list schemas
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cfg.dot import cfg_to_dot
+from .dfg.dot import dfg_to_dot
+from .dfg.stats import graph_stats
+from .machine.config import MachineConfig
+from .translate.pipeline import SCHEMAS, compile_program, simulate
+
+
+def _add_compile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file", help="source file (use - for stdin)")
+    p.add_argument("--schema", default="schema2_opt", choices=SCHEMAS)
+    p.add_argument(
+        "--cover",
+        default="singletons",
+        choices=("singletons", "whole", "alias_classes"),
+    )
+    p.add_argument("--optimize", action="store_true",
+                   help="classic CFG optimizations first")
+    p.add_argument("--parallel-reads", action="store_true")
+    p.add_argument("--forward-stores", action="store_true")
+    p.add_argument("--parallelize-arrays", action="store_true")
+    p.add_argument("--istructures", action="store_true")
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="VAR=INT",
+        help="initial scalar value (repeatable)",
+    )
+    p.add_argument("--mem-latency", type=int, default=2)
+    p.add_argument("--pes", type=int, default=0, help="0 = unlimited")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--loop-bound", type=int, default=0, help="0 = unbounded")
+    p.add_argument(
+        "--net-latency", type=int, default=0,
+        help="token hop cost between PEs (needs --pes)",
+    )
+    p.add_argument(
+        "--partition", default="round_robin",
+        choices=("round_robin", "block", "random"),
+    )
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as f:
+        return f.read()
+
+
+def _compile(args) -> object:
+    return compile_program(
+        _read_source(args.file),
+        schema=args.schema,
+        cover=args.cover,
+        optimize=args.optimize,
+        parallel_reads=args.parallel_reads,
+        forward_stores=args.forward_stores,
+        parallelize_arrays=args.parallelize_arrays,
+        use_istructures=args.istructures,
+    )
+
+
+def _config(args, trace: bool = False) -> MachineConfig:
+    return MachineConfig(
+        num_pes=args.pes or None,
+        memory_latency=args.mem_latency,
+        seed=args.seed,
+        trace=trace,
+        loop_bound=args.loop_bound or None,
+        network_latency=args.net_latency,
+        partition=args.partition,
+    )
+
+
+def _inputs(args) -> dict[str, int]:
+    out = {}
+    for item in args.input:
+        var, _, value = item.partition("=")
+        if not value.lstrip("-").isdigit():
+            raise SystemExit(f"bad --input {item!r}: expected VAR=INT")
+        out[var] = int(value)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Imperative-to-dataflow compiler and ETS machine "
+        "(Beck/Johnson/Pingali, ICPP 1990)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_run = subs.add_parser("run", help="compile and execute")
+    _add_compile_args(p_run)
+    _add_run_args(p_run)
+
+    p_stats = subs.add_parser("stats", help="print graph inventory")
+    _add_compile_args(p_stats)
+
+    p_dot = subs.add_parser("dot", help="emit graphviz")
+    _add_compile_args(p_dot)
+    p_dot.add_argument("--stage", default="dfg", choices=("cfg", "dfg"))
+
+    p_trace = subs.add_parser("trace", help="execute and dump firings")
+    _add_compile_args(p_trace)
+    _add_run_args(p_trace)
+
+    subs.add_parser("schemas", help="list translation schemas")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "schemas":
+        for s in SCHEMAS:
+            print(s)
+        return 0
+
+    cp = _compile(args)
+
+    if args.command == "stats":
+        st = graph_stats(cp.graph)
+        print(st.summary())
+        for kind, count in sorted(st.by_kind.items()):
+            print(f"  {kind:12s} {count}")
+        if cp.loops:
+            print(f"  loops: {len(cp.loops)}")
+        if cp.array_report:
+            print(f"  fig14: {cp.array_report}")
+        return 0
+
+    if args.command == "dot":
+        if args.stage == "cfg":
+            print(cfg_to_dot(cp.cfg), end="")
+        else:
+            print(dfg_to_dot(cp.graph), end="")
+        return 0
+
+    res = simulate(cp, _inputs(args), _config(args, trace=args.command == "trace"))
+    if args.command == "trace":
+        for cyc, nid, desc, ctx in res.trace:
+            print(f"{cyc:6d}  n{nid:<4d} {desc:24s} {ctx}")
+    for var, value in sorted(res.memory.items()):
+        print(f"{var} = {value}")
+    print(f"# {res.metrics.summary()}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Program analyses over control-flow graphs.
+
+* :mod:`dominance` — dominators, postdominators, dominator trees, dominance
+  frontiers (the paper's Section 4.1 footnote 6).
+* :mod:`control_dep` — control dependence (Definition 4), iterated control
+  dependence ``CD+`` (Definition 5), and brute-force oracles for Theorem 1.
+* :mod:`framework` — generic forward/backward worklist dataflow solver with
+  reaching definitions, liveness, and def-use chains built on it.
+* :mod:`alias` — alias structures (Definition 6), covers and access sets
+  (Definition 7, Section 5).
+* :mod:`array_dep` — subscript analysis (ZIV/SIV/GCD tests) gating the
+  Section 6.3 array store parallelization.
+* :mod:`ssa` — static single assignment construction, used to exhibit the
+  Section 6.1 connection between memory elimination and SSA.
+"""
+
+from .dominance import DomTree, dominator_tree, postdominator_tree
+from .control_dep import (
+    between_brute_force,
+    cd_plus,
+    cd_plus_of_set,
+    control_dependence,
+    control_dependence_directed,
+)
+from .framework import (
+    DefUse,
+    def_use_chains,
+    liveness,
+    reaching_definitions,
+    solve_dataflow,
+)
+from .alias import AliasStructure, Cover, access_set  # noqa: F401
+from .array_dep import (
+    AffineSubscript,
+    basic_induction_variables,
+    extract_affine,
+    gcd_test,
+    store_is_iteration_independent,
+)
+from .pdg import PDG, DepEdge, DepKind, build_pdg, memory_order_constraints
+from .ssa import SSAProgram, construct_ssa
+
+__all__ = [
+    "AffineSubscript",
+    "AliasStructure",
+    "Cover",
+    "DefUse",
+    "DepEdge",
+    "DepKind",
+    "DomTree",
+    "PDG",
+    "build_pdg",
+    "memory_order_constraints",
+    "SSAProgram",
+    "access_set",
+    "basic_induction_variables",
+    "between_brute_force",
+    "cd_plus",
+    "cd_plus_of_set",
+    "construct_ssa",
+    "control_dependence",
+    "control_dependence_directed",
+    "def_use_chains",
+    "dominator_tree",
+    "extract_affine",
+    "gcd_test",
+    "liveness",
+    "postdominator_tree",
+    "reaching_definitions",
+    "solve_dataflow",
+    "store_is_iteration_independent",
+]

@@ -1,0 +1,156 @@
+"""Alias structures and covers — Section 5.
+
+Definition 6: an alias structure over a set of variable names ``V`` is a
+pair ``(V, ~)`` with ``~`` a reflexive, symmetric binary relation.  The
+alias *class* ``[x]`` is the set of names that may denote ``x``'s location.
+Note the paper's FORTRAN example: the relation is deliberately NOT
+transitive (``X ~ Z`` and ``Y ~ Z`` but not ``X ~ Y``), so alias classes
+are neighbor sets, not equivalence classes.
+
+Definition 7: a *cover* is a collection of subsets of ``V`` whose union is
+``V``.  Each access token denotes one cover element; a memory operation on
+``x`` must collect every token whose element intersects ``[x]`` — the
+*access set* ``C[x]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast_nodes import Program
+
+
+@dataclass(frozen=True)
+class AliasStructure:
+    """The pair (V, ~) of Definition 6.
+
+    ``pairs`` holds the symmetric closure of the declared aliasing pairs
+    (excluding the reflexive diagonal, which is implicit).
+    """
+
+    variables: tuple[str, ...]
+    pairs: frozenset[tuple[str, str]] = frozenset()
+
+    @staticmethod
+    def from_program(prog: Program) -> "AliasStructure":
+        """Build the alias structure from ``alias (a, b, ...)`` declarations:
+        each declaration makes its names mutually aliased."""
+        # Note Program.variables() includes alias-declared names: declaring
+        # an alias makes a name a program variable even if never referenced
+        # (like an unused FORTRAN reference parameter).
+        variables = tuple(prog.variables())
+        pairs: set[tuple[str, str]] = set()
+        for group in prog.alias_groups:
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    if a != b:
+                        pairs.add((a, b))
+                        pairs.add((b, a))
+        return AliasStructure(variables, frozenset(pairs))
+
+    @staticmethod
+    def trivial(variables: tuple[str, ...] | list[str]) -> "AliasStructure":
+        """No aliasing: every class is a singleton."""
+        return AliasStructure(tuple(variables))
+
+    def related(self, a: str, b: str) -> bool:
+        """The alias relation ~ (reflexive, symmetric)."""
+        return a == b or (a, b) in self.pairs
+
+    def alias_class(self, x: str) -> frozenset[str]:
+        """``[x]`` — every name possibly denoting ``x``'s location."""
+        if x not in self.variables:
+            raise KeyError(x)
+        return frozenset(v for v in self.variables if self.related(x, v))
+
+    def is_unaliased(self, x: str) -> bool:
+        return self.alias_class(x) == {x}
+
+    def validate(self) -> None:
+        for a, b in self.pairs:
+            if (b, a) not in self.pairs:
+                raise ValueError(f"alias relation not symmetric: {(a, b)}")
+            if a not in self.variables or b not in self.variables:
+                raise ValueError(f"alias pair {(a, b)} names unknown variables")
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A cover of an alias structure (Definition 7).
+
+    ``elements`` are the cover elements; each access token in Schema 3
+    corresponds to one element.
+    """
+
+    alias: AliasStructure
+    elements: tuple[frozenset[str], ...]
+
+    def __post_init__(self) -> None:
+        union: set[str] = set()
+        for el in self.elements:
+            if not el:
+                raise ValueError("empty cover element")
+            union |= el
+        if union != set(self.alias.variables):
+            missing = set(self.alias.variables) - union
+            extra = union - set(self.alias.variables)
+            raise ValueError(
+                f"not a cover: missing {sorted(missing)}, extraneous {sorted(extra)}"
+            )
+
+    # -- canonical covers --------------------------------------------------
+
+    @staticmethod
+    def singletons(alias: AliasStructure) -> "Cover":
+        """One element per variable — maximizes parallelism; an operation on
+        ``x`` must collect |[x]| tokens."""
+        return Cover(alias, tuple(frozenset({v}) for v in alias.variables))
+
+    @staticmethod
+    def whole(alias: AliasStructure) -> "Cover":
+        """The single element V — minimizes synchronization (one token per
+        operation) at the cost of all cross-variable parallelism; this makes
+        Schema 3 degenerate to Schema 1's single access token."""
+        return Cover(alias, (frozenset(alias.variables),))
+
+    @staticmethod
+    def alias_classes(alias: AliasStructure) -> "Cover":
+        """One element per distinct alias class.  Unaliased variables get
+        singleton tokens (full parallelism among them); aliased clusters
+        share, reducing synch-tree arity versus singletons."""
+        seen: dict[frozenset[str], None] = {}
+        for v in alias.variables:
+            seen.setdefault(alias.alias_class(v), None)
+        # drop classes strictly contained in another (they add tokens
+        # without separating any locations)
+        classes = list(seen)
+        kept = [
+            c
+            for c in classes
+            if not any(c < other for other in classes)
+        ]
+        return Cover(alias, tuple(kept))
+
+    # -- access sets ---------------------------------------------------------
+
+    def access_set(self, x: str) -> tuple[frozenset[str], ...]:
+        """``C[x]``: the cover elements intersecting the alias class of
+        ``x`` — the access tokens an operation on ``x`` must collect."""
+        cls = self.alias.alias_class(x)
+        return tuple(el for el in self.elements if el & cls)
+
+    def synch_cost(self, x: str) -> int:
+        """Number of tokens collected per memory operation on ``x``."""
+        return len(self.access_set(x))
+
+    def element_index(self) -> dict[frozenset[str], int]:
+        return {el: i for i, el in enumerate(self.elements)}
+
+    def token_names(self) -> list[str]:
+        """Stable printable names for the access tokens, one per element."""
+        return ["+".join(sorted(el)) for el in self.elements]
+
+
+def access_set(cover: Cover, x: str) -> tuple[frozenset[str], ...]:
+    """Module-level convenience mirroring the paper's ``C[x]`` notation."""
+    return cover.access_set(x)

@@ -1,0 +1,238 @@
+"""Array subscript dependence analysis (Section 6.3).
+
+The paper parallelizes stores like ``x[i] := 1`` across loop iterations when
+"standard disambiguation techniques such as subscript analysis" show the
+stores independent.  This module provides the standard machinery for that
+decision on our language:
+
+* detection of *basic induction variables* (``i := i + c`` once per
+  iteration),
+* extraction of subscripts *affine* in the induction variable
+  (``a*i + b`` with loop-invariant ``b``),
+* the ZIV/SIV GCD dependence test between two affine subscripts,
+* the legality predicates used by the Figure 14 transform and the
+  write-once/I-structure variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cfg.graph import CFG, NodeKind
+from ..cfg.intervals import Loop
+from ..lang.ast_nodes import ArrayRef, BinOp, Expr, IntLit, UnOp, Var
+from .dominance import dominator_tree
+
+
+@dataclass(frozen=True)
+class AffineSubscript:
+    """``coeff * iv + offset`` with a loop-invariant integer offset."""
+
+    iv: str
+    coeff: int
+    offset: int
+
+    def at(self, i: int) -> int:
+        return self.coeff * i + self.offset
+
+
+def _const_value(e: Expr) -> int | None:
+    """Evaluate an expression to an integer constant if possible."""
+    if isinstance(e, IntLit):
+        return e.value
+    if isinstance(e, UnOp) and e.op == "-":
+        v = _const_value(e.operand)
+        return None if v is None else -v
+    if isinstance(e, BinOp):
+        a, b = _const_value(e.left), _const_value(e.right)
+        if a is None or b is None:
+            return None
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            return a * b
+    return None
+
+
+def extract_affine(e: Expr, iv: str) -> AffineSubscript | None:
+    """Write ``e`` as ``a*iv + b`` with integer constants, or None.
+
+    Conservative: any appearance of a variable other than ``iv`` makes the
+    expression non-affine (we do not track loop-invariant symbolics).
+    """
+
+    def walk(x: Expr) -> tuple[int, int] | None:  # (coeff, offset)
+        if isinstance(x, IntLit):
+            return (0, x.value)
+        if isinstance(x, Var):
+            return (1, 0) if x.name == iv else None
+        if isinstance(x, UnOp) and x.op == "-":
+            r = walk(x.operand)
+            return None if r is None else (-r[0], -r[1])
+        if isinstance(x, BinOp):
+            l, r = walk(x.left), walk(x.right)
+            if l is None or r is None:
+                return None
+            if x.op == "+":
+                return (l[0] + r[0], l[1] + r[1])
+            if x.op == "-":
+                return (l[0] - r[0], l[1] - r[1])
+            if x.op == "*":
+                # at least one side must be constant
+                if l[0] == 0:
+                    return (l[1] * r[0], l[1] * r[1])
+                if r[0] == 0:
+                    return (l[0] * r[1], l[1] * r[1])
+                return None
+        return None
+
+    res = walk(e)
+    if res is None:
+        return None
+    return AffineSubscript(iv, res[0], res[1])
+
+
+def basic_induction_variables(cfg: CFG, loop: Loop) -> dict[str, int]:
+    """Variables with exactly one definition in the loop body, of the form
+    ``v := v + c`` or ``v := v - c`` (``c`` a constant), where the defining
+    node executes on every trip around the loop (it dominates every backedge
+    source).  Maps the variable to its per-iteration step."""
+    dom = dominator_tree(cfg)
+    candidates: dict[str, tuple[int, int]] = {}  # var -> (node, step)
+    rejected: set[str] = set()
+    for nid in loop.body:
+        node = cfg.node(nid)
+        if node.kind is not NodeKind.ASSIGN:
+            continue
+        for v in node.stores():
+            if v in rejected:
+                continue
+            if v in candidates:
+                rejected.add(v)
+                del candidates[v]
+                continue
+            step = _induction_step(node.target, node.expr)
+            if step is None:
+                rejected.add(v)
+            else:
+                candidates[v] = (nid, step)
+    out: dict[str, int] = {}
+    for v, (nid, step) in candidates.items():
+        if all(dom.dominates(nid, b) for b in loop.back_sources):
+            out[v] = step
+    return out
+
+
+def _induction_step(target, expr: Expr) -> int | None:
+    """Match ``v := v + c`` / ``v := v - c`` / ``v := c + v``."""
+    if not isinstance(target, Var):
+        return None
+    v = target.name
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        if isinstance(expr.left, Var) and expr.left.name == v:
+            c = _const_value(expr.right)
+            if c is not None:
+                return c if expr.op == "+" else -c
+        if (
+            expr.op == "+"
+            and isinstance(expr.right, Var)
+            and expr.right.name == v
+        ):
+            c = _const_value(expr.left)
+            if c is not None:
+                return c
+    return None
+
+
+def gcd_test(a: AffineSubscript, b: AffineSubscript) -> bool:
+    """True iff a dependence between the two subscripts is *possible*
+    (conservative).  Solves ``a.coeff*i - b.coeff*j = b.offset - a.offset``
+    for integers: solvable iff gcd(coeffs) divides the offset difference."""
+    g = math.gcd(abs(a.coeff), abs(b.coeff))
+    diff = b.offset - a.offset
+    if g == 0:
+        return diff == 0
+    return diff % g == 0
+
+
+def array_references_in_loop(
+    cfg: CFG, loop: Loop, array: str
+) -> tuple[list[int], list[int]]:
+    """(store_nodes, load_nodes) touching ``array`` inside the loop body."""
+    stores: list[int] = []
+    loads: list[int] = []
+
+    def expr_reads_array(e: Expr) -> bool:
+        if isinstance(e, ArrayRef):
+            return e.name == array or expr_reads_array(e.index)
+        if isinstance(e, BinOp):
+            return expr_reads_array(e.left) or expr_reads_array(e.right)
+        if isinstance(e, UnOp):
+            return expr_reads_array(e.operand)
+        return False
+
+    for nid in sorted(loop.body):
+        node = cfg.node(nid)
+        if node.kind is NodeKind.ASSIGN:
+            if isinstance(node.target, ArrayRef) and node.target.name == array:
+                stores.append(nid)
+                if expr_reads_array(node.target.index):
+                    loads.append(nid)
+            if expr_reads_array(node.expr):
+                loads.append(nid)
+        elif node.kind is NodeKind.FORK and expr_reads_array(node.pred):
+            loads.append(nid)
+    return stores, loads
+
+
+def store_is_iteration_independent(cfg: CFG, loop: Loop, store_node: int) -> bool:
+    """The Figure 14 legality condition for pipelining a store across
+    iterations:
+
+    * the store's subscript is affine ``a*iv + b`` in a basic induction
+      variable with ``a != 0`` (distinct iterations write distinct
+      elements), and
+    * no other node in the loop references the array (conservatively,
+      including reads — read/write forwarding is the separate Section 6.2
+      transform).
+    """
+    node = cfg.node(store_node)
+    if node.kind is not NodeKind.ASSIGN or not isinstance(node.target, ArrayRef):
+        return False
+    array = node.target.name
+    stores, loads = array_references_in_loop(cfg, loop, array)
+    if stores != [store_node] or loads:
+        return False
+    ivs = basic_induction_variables(cfg, loop)
+    for iv, step in ivs.items():
+        if step == 0:
+            continue
+        aff = extract_affine(node.target.index, iv)
+        if aff is not None and aff.coeff != 0:
+            return True
+    return False
+
+
+def array_is_write_once(cfg: CFG, loops: list[Loop], array: str) -> bool:
+    """Detect the Section 6.3 "write-once" pattern: every store to ``array``
+    is a single iteration-independent store in some loop, and no store to it
+    exists outside loops.  Such arrays can live in I-structure memory, where
+    reads and writes proceed concurrently."""
+    store_nodes = [
+        nid
+        for nid, node in cfg.nodes.items()
+        if node.kind is NodeKind.ASSIGN
+        and isinstance(node.target, ArrayRef)
+        and node.target.name == array
+    ]
+    if not store_nodes:
+        return True
+    in_some_loop = set()
+    for lp in loops:
+        for nid in store_nodes:
+            if nid in lp.body and store_is_iteration_independent(cfg, lp, nid):
+                in_some_loop.add(nid)
+    return set(store_nodes) == in_some_loop

@@ -1,0 +1,129 @@
+"""Control dependence and iterated control dependence (Section 4.1).
+
+Definition 4: ``N`` is control dependent on ``F`` iff there is a non-null
+path ``F => N`` such that ``N`` postdominates every node after ``F`` on the
+path, and ``N`` does not strictly postdominate ``F``.
+
+Computed the standard way (Ferrante–Ottenstein–Warren): for each edge
+``F -(d)-> S`` where ``F`` is a fork and ``S`` is not an ancestor of ``F``
+in the postdominator tree, every node on the postdominator-tree path from
+``S`` up to (but excluding) ``ipostdom(F)`` is control dependent on ``F``
+with branch direction ``d``.
+
+Definition 5: ``CD+`` is the transitive closure under "control dependence of
+the controlling forks"; Theorem 1 shows ``F ∈ CD+(N)`` iff ``N`` lies
+*between* ``F`` and its immediate postdominator.  :func:`between_brute_force`
+checks the latter directly by path search, giving an independent oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cfg.graph import CFG
+from .dominance import DomTree, postdominator_tree
+
+
+def control_dependence_directed(
+    cfg: CFG, pdom: DomTree | None = None
+) -> dict[int, set[tuple[int, bool]]]:
+    """``CD[N]`` as a set of (fork, branch-direction) pairs.
+
+    The direction records *which* out-edge of the fork leads to executing
+    ``N`` — exactly the out-direction the access-token switch must route
+    toward in the optimized construction.
+    """
+    if pdom is None:
+        pdom = postdominator_tree(cfg)
+    cd: dict[int, set[tuple[int, bool]]] = {n: set() for n in cfg.nodes}
+    for e in cfg.edges():
+        if e.direction is None:
+            continue  # only forks (and start) create control dependence
+        f, s, d = e.src, e.dst, e.direction
+        stop = pdom.idom[f]
+        runner = s
+        while runner != stop and runner is not None:
+            cd[runner].add((f, d))
+            runner = pdom.idom[runner]  # type: ignore[assignment]
+    return cd
+
+
+def control_dependence(
+    cfg: CFG, pdom: DomTree | None = None
+) -> dict[int, set[int]]:
+    """``CD[N]``: the set of forks ``N`` is control dependent on."""
+    directed = control_dependence_directed(cfg, pdom)
+    return {n: {f for f, _ in pairs} for n, pairs in directed.items()}
+
+
+def cd_plus_of_set(
+    cfg: CFG,
+    targets: set[int],
+    cd: dict[int, set[int]] | None = None,
+) -> set[int]:
+    """Iterated control dependence of a *set* of nodes: the least set ``S``
+    with ``CD(targets) ⊆ S`` and ``CD(S) ⊆ S``.
+
+    This is the worklist of Figure 10 run for one "variable" whose reference
+    sites are ``targets``; the result is the set of forks that need a switch.
+    """
+    if cd is None:
+        cd = control_dependence(cfg)
+    result: set[int] = set()
+    work = deque(targets)
+    queued = set(targets)
+    while work:
+        n = work.popleft()
+        for f in cd[n]:
+            result.add(f)
+            if f not in queued:
+                queued.add(f)
+                work.append(f)
+    return result
+
+
+def cd_plus(cfg: CFG, cd: dict[int, set[int]] | None = None) -> dict[int, frozenset[int]]:
+    """``CD+`` for every node (Definition 5)."""
+    if cd is None:
+        cd = control_dependence(cfg)
+    return {n: frozenset(cd_plus_of_set(cfg, {n}, cd)) for n in cfg.nodes}
+
+
+def between_brute_force(
+    cfg: CFG, f: int, n: int, pdom: DomTree | None = None
+) -> bool:
+    """Definition 1 oracle: is ``n`` *between* ``f`` and its immediate
+    postdominator ``p``?  I.e. does a non-null path ``f => n`` avoiding
+    ``p`` exist?  Checked by BFS from the successors of ``f`` that skips
+    ``p``."""
+    if pdom is None:
+        pdom = postdominator_tree(cfg)
+    p = pdom.idom[f]
+    if p is None:  # f is end; no non-null path leaves it
+        return False
+    seen: set[int] = set()
+    frontier = deque(s for s in cfg.succ_ids(f) if s != p)
+    seen.update(frontier)
+    while frontier:
+        cur = frontier.popleft()
+        if cur == n:
+            return True
+        for s in cfg.succ_ids(cur):
+            if s != p and s not in seen:
+                seen.add(s)
+                frontier.append(s)
+    return False
+
+
+def needs_switch_brute_force(
+    cfg: CFG, f: int, var: str, pdom: DomTree | None = None
+) -> bool:
+    """Definition 3 oracle: ``f`` needs a switch for ``access_var`` iff some
+    node referencing ``var`` is between ``f`` and its immediate
+    postdominator."""
+    if pdom is None:
+        pdom = postdominator_tree(cfg)
+    return any(
+        var in cfg.node(n).refs() and between_brute_force(cfg, f, n, pdom)
+        for n in cfg.nodes
+    )

@@ -1,0 +1,167 @@
+"""Dominator and postdominator trees.
+
+Uses the Cooper–Harvey–Kennedy iterative algorithm over reverse postorder —
+near-linear in practice, and simple enough to trust.  Postdominators are
+dominators of the reverse graph rooted at ``end``; the CFG validator
+guarantees every node reaches ``end``, so the postdominator tree is total.
+
+Terminology follows the paper's footnote 6: postdomination is reflexive; a
+*strict* postdominator is a distinct one; every node except ``end`` has a
+unique *immediate* postdominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFG
+
+
+@dataclass
+class DomTree:
+    """A (post)dominator tree.
+
+    ``idom[n]`` is the immediate (post)dominator of ``n`` (``None`` for the
+    root).  ``children`` invert that map; ``depth`` is distance from the
+    root, enabling O(depth) ancestor queries.
+    """
+
+    root: int
+    idom: dict[int, int | None]
+    children: dict[int, list[int]] = field(default_factory=dict)
+    depth: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            self.children = {n: [] for n in self.idom}
+            for n, d in self.idom.items():
+                if d is not None:
+                    self.children[d].append(n)
+            for kids in self.children.values():
+                kids.sort()
+        if not self.depth:
+            self.depth = {self.root: 0}
+            stack = [self.root]
+            while stack:
+                n = stack.pop()
+                for c in self.children[n]:
+                    self.depth[c] = self.depth[n] + 1
+                    stack.append(c)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True iff ``a`` (post)dominates ``b`` (reflexively)."""
+        while self.depth.get(b, -1) > self.depth[a]:
+            b = self.idom[b]  # type: ignore[assignment]
+        return a == b
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def walk_up(self, n: int):
+        """Yield ``n``, idom(n), idom(idom(n)), ... up to the root."""
+        cur: int | None = n
+        while cur is not None:
+            yield cur
+            cur = self.idom[cur]
+
+
+def _iterative_idoms(
+    root: int,
+    nodes: list[int],
+    preds: dict[int, list[int]],
+    rpo_index: dict[int, int],
+) -> dict[int, int | None]:
+    """Cooper–Harvey–Kennedy: iterate intersect() over reverse postorder."""
+    idom: dict[int, int | None] = {n: None for n in nodes}
+    idom[root] = root
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    order = [n for n in nodes if n != root]
+    while changed:
+        changed = False
+        for n in order:
+            candidates = [p for p in preds[n] if idom[p] is not None]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(new, p)
+            if idom[n] != new:
+                idom[n] = new
+                changed = True
+    idom[root] = None
+    return idom
+
+
+def _rpo_from(root: int, succs: dict[int, list[int]]) -> list[int]:
+    order: list[int] = []
+    seen = {root}
+    stack: list[tuple[int, int]] = [(root, 0)]
+    while stack:
+        nid, idx = stack[-1]
+        ss = succs[nid]
+        if idx < len(ss):
+            stack[-1] = (nid, idx + 1)
+            s = ss[idx]
+            if s not in seen:
+                seen.add(s)
+                stack.append((s, 0))
+        else:
+            order.append(nid)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def dominator_tree(cfg: CFG) -> DomTree:
+    """Dominator tree rooted at the CFG entry."""
+    succs = {n: cfg.succ_ids(n) for n in cfg.nodes}
+    preds = {n: cfg.pred_ids(n) for n in cfg.nodes}
+    rpo = _rpo_from(cfg.entry, succs)
+    rpo_index = {n: i for i, n in enumerate(rpo)}
+    idom = _iterative_idoms(cfg.entry, rpo, preds, rpo_index)
+    return DomTree(cfg.entry, idom)
+
+
+def postdominator_tree(cfg: CFG) -> DomTree:
+    """Postdominator tree rooted at the CFG exit (dominators of the reverse
+    graph)."""
+    succs = {n: cfg.pred_ids(n) for n in cfg.nodes}  # reversed
+    preds = {n: cfg.succ_ids(n) for n in cfg.nodes}
+    rpo = _rpo_from(cfg.exit, succs)
+    if len(rpo) != len(cfg.nodes):
+        missing = sorted(set(cfg.nodes) - set(rpo))
+        raise ValueError(
+            f"nodes {missing} cannot reach exit; postdominators undefined"
+        )
+    rpo_index = {n: i for i, n in enumerate(rpo)}
+    idom = _iterative_idoms(cfg.exit, rpo, preds, rpo_index)
+    return DomTree(cfg.exit, idom)
+
+
+def dominance_frontier(cfg: CFG, tree: DomTree) -> dict[int, set[int]]:
+    """Dominance frontiers (Cytron et al.), used for SSA phi placement.
+
+    ``tree`` must be the dominator tree of ``cfg`` (pass a postdominator
+    tree plus the reversed CFG to get reverse dominance frontiers, i.e.
+    control dependence).
+    """
+    df: dict[int, set[int]] = {n: set() for n in cfg.nodes}
+    for n in cfg.nodes:
+        preds = cfg.pred_ids(n)
+        if len(preds) < 2:
+            continue
+        for p in preds:
+            runner = p
+            while runner != tree.idom[n] and runner is not None:
+                df[runner].add(n)
+                runner = tree.idom[runner]  # type: ignore[assignment]
+    return df

@@ -1,0 +1,156 @@
+"""Generic worklist dataflow framework plus classic instances.
+
+The framework works over finite powerset lattices represented as Python
+frozensets with union or intersection as the meet.  It is deliberately
+simple — the graphs here are statement-level CFGs of modest size — but all
+three classic analyses used elsewhere in the package (reaching definitions,
+liveness, def-use chains) are instances of it, which keeps their transfer
+functions the only interesting code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+from ..cfg.graph import CFG
+
+
+def solve_dataflow(
+    cfg: CFG,
+    *,
+    direction: Literal["forward", "backward"],
+    gen: Callable[[int], frozenset],
+    kill: Callable[[int], frozenset],
+    boundary: frozenset = frozenset(),
+    init: frozenset = frozenset(),
+    meet: Literal["union", "intersection"] = "union",
+) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Solve a gen/kill dataflow problem to fixpoint.
+
+    Returns ``(in_sets, out_sets)`` — for backward problems these are still
+    keyed by node, with ``in`` meaning "facts at node entry in execution
+    order" (i.e. the *output* of a backward transfer).
+    """
+    if direction == "forward":
+        sources = cfg.pred_ids
+        sinks = cfg.succ_ids
+        start = cfg.entry
+    else:
+        sources = cfg.succ_ids
+        sinks = cfg.pred_ids
+        start = cfg.exit
+
+    nodes = list(cfg.nodes)
+    before: dict[int, frozenset] = {n: init for n in nodes}
+    after: dict[int, frozenset] = {n: init for n in nodes}
+    before[start] = boundary
+
+    work = deque(nodes)
+    in_work = set(nodes)
+    while work:
+        n = work.popleft()
+        in_work.discard(n)
+        srcs = sources(n)
+        if n == start:
+            acc = boundary
+        elif not srcs:
+            acc = init
+        else:
+            acc = after[srcs[0]]
+            for s in srcs[1:]:
+                acc = acc | after[s] if meet == "union" else acc & after[s]
+        before[n] = acc
+        new_after = (acc - kill(n)) | gen(n)
+        if new_after != after[n]:
+            after[n] = new_after
+            for s in sinks(n):
+                if s not in in_work:
+                    in_work.add(s)
+                    work.append(s)
+
+    if direction == "forward":
+        return before, after
+    # backward: 'before' holds facts at node *exit* in execution order
+    return after, before
+
+
+# ---------------------------------------------------------------------------
+# Classic instances
+# ---------------------------------------------------------------------------
+
+
+def reaching_definitions(cfg: CFG) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Reaching definitions.  A definition is ``(node_id, var)``; node
+    ``start`` provides an implicit initial definition of every variable."""
+    variables = cfg.variables()
+    defs_of: dict[str, frozenset] = {
+        v: frozenset(
+            (n, v) for n in cfg.nodes if v in cfg.node(n).stores()
+        )
+        | {(cfg.entry, v)}
+        for v in variables
+    }
+
+    def gen(n: int) -> frozenset:
+        if n == cfg.entry:
+            return frozenset((cfg.entry, v) for v in variables)
+        return frozenset((n, v) for v in cfg.node(n).stores())
+
+    def kill(n: int) -> frozenset:
+        out = frozenset()
+        for v in cfg.node(n).stores():
+            out |= defs_of[v]
+        return out
+
+    boundary = frozenset((cfg.entry, v) for v in variables)
+    return solve_dataflow(
+        cfg, direction="forward", gen=gen, kill=kill, boundary=boundary
+    )
+
+
+def liveness(cfg: CFG) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Live variables.  Returns ``(live_in, live_out)`` keyed by node."""
+
+    def gen(n: int) -> frozenset:
+        return cfg.node(n).loads()
+
+    def kill(n: int) -> frozenset:
+        node = cfg.node(n)
+        # a[i] := e does not fully kill `a` (partial update)
+        from ..lang.ast_nodes import ArrayRef
+
+        if node.target is not None and isinstance(node.target, ArrayRef):
+            return frozenset()
+        return node.stores()
+
+    live_in, live_out = solve_dataflow(
+        cfg, direction="backward", gen=gen, kill=kill
+    )
+    return live_in, live_out
+
+
+@dataclass(frozen=True)
+class DefUse:
+    """Def-use chains: for each definition site, the nodes that may use it;
+    and for each use, its reaching definition sites."""
+
+    uses_of_def: dict[tuple[int, str], frozenset[int]]
+    defs_of_use: dict[tuple[int, str], frozenset[int]]
+
+
+def def_use_chains(cfg: CFG) -> DefUse:
+    rd_in, _ = reaching_definitions(cfg)
+    uses_of_def: dict[tuple[int, str], set[int]] = {}
+    defs_of_use: dict[tuple[int, str], frozenset[int]] = {}
+    for n in cfg.nodes:
+        for v in cfg.node(n).loads():
+            reaching = frozenset(d for (d, dv) in rd_in[n] if dv == v)
+            defs_of_use[(n, v)] = reaching
+            for d in reaching:
+                uses_of_def.setdefault((d, v), set()).add(n)
+    return DefUse(
+        uses_of_def={k: frozenset(s) for k, s in uses_of_def.items()},
+        defs_of_use=defs_of_use,
+    )

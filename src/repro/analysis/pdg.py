@@ -1,0 +1,127 @@
+"""Program dependence graphs (Ferrante-Ottenstein-Warren, the paper's
+reference [11]).
+
+Section 7 contrasts this paper's CFG-based construction with Ballance,
+Maccabe and Ottenstein's PDG-based approach, and the conclusions argue
+dataflow graphs "synthesize" the dependence-based and continuation-based
+compiler representations.  This module builds the classic PDG — control
+dependence edges plus flow/anti/output data dependence edges — so the two
+representations can be compared structurally (see the
+``test_ablation_pdg_comparison`` bench).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cfg.graph import CFG
+from .control_dep import control_dependence_directed
+from .framework import reaching_definitions
+
+
+class DepKind(enum.Enum):
+    CONTROL = "control"
+    FLOW = "flow"  # def -> use (read after write)
+    ANTI = "anti"  # use -> def (write after read)
+    OUTPUT = "output"  # def -> def (write after write)
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    src: int
+    dst: int
+    kind: DepKind
+    var: str | None = None  # None for control edges
+    label: bool | None = None  # branch direction for control edges
+
+
+@dataclass
+class PDG:
+    """A program dependence graph over the CFG's nodes."""
+
+    cfg: CFG
+    edges: frozenset[DepEdge] = frozenset()
+
+    def of_kind(self, kind: DepKind) -> list[DepEdge]:
+        return [e for e in self.edges if e.kind is kind]
+
+    def deps_of(self, node: int) -> list[DepEdge]:
+        """Edges into ``node`` (what it depends on)."""
+        return [e for e in self.edges if e.dst == node]
+
+    def count(self) -> dict[str, int]:
+        out: dict[str, int] = {k.value: 0 for k in DepKind}
+        for e in self.edges:
+            out[e.kind.value] += 1
+        return out
+
+
+def build_pdg(cfg: CFG) -> PDG:
+    """Build the PDG: control dependence from the postdominator analysis,
+    data dependences from reaching definitions.
+
+    Anti and output dependences are computed pairwise over statements that
+    touch the same location and can reach one another — the memory-order
+    constraints the access tokens of Schemas 1-3 enforce dynamically.
+    """
+    edges: set[DepEdge] = set()
+
+    for n, pairs in control_dependence_directed(cfg).items():
+        for f, d in pairs:
+            edges.add(DepEdge(f, n, DepKind.CONTROL, label=d))
+
+    rd_in, _ = reaching_definitions(cfg)
+
+    # flow: a reaching definition feeding a use
+    for n in cfg.nodes:
+        node = cfg.node(n)
+        for v in node.loads():
+            for (d, dv) in rd_in[n]:
+                if dv == v and d != cfg.entry:
+                    edges.add(DepEdge(d, n, DepKind.FLOW, var=v))
+
+    # reachability (ignoring the start->end convention edge is unnecessary:
+    # it adds no spurious statement-to-statement paths)
+    reach: dict[int, set[int]] = {}
+
+    def reachable(a: int) -> set[int]:
+        if a not in reach:
+            seen: set[int] = set()
+            stack = list(cfg.succ_ids(a))
+            while stack:
+                x = stack.pop()
+                if x in seen:
+                    continue
+                seen.add(x)
+                stack.extend(cfg.succ_ids(x))
+            reach[a] = seen
+        return reach[a]
+
+    defs: dict[str, list[int]] = {}
+    uses: dict[str, list[int]] = {}
+    for n in cfg.nodes:
+        node = cfg.node(n)
+        for v in node.stores():
+            defs.setdefault(v, []).append(n)
+        for v in node.loads():
+            uses.setdefault(v, []).append(n)
+
+    for v, dlist in defs.items():
+        for d1 in dlist:
+            for d2 in dlist:
+                if d1 != d2 and d2 in reachable(d1):
+                    edges.add(DepEdge(d1, d2, DepKind.OUTPUT, var=v))
+        for u in uses.get(v, []):
+            for d in dlist:
+                if u != d and d in reachable(u):
+                    edges.add(DepEdge(u, d, DepKind.ANTI, var=v))
+
+    return PDG(cfg, frozenset(edges))
+
+
+def memory_order_constraints(pdg: PDG) -> int:
+    """The anti + output dependence count: the constraints that exist only
+    because variables are multiply assigned — exactly what Section 6.1's
+    memory elimination (SSA conversion) removes for unaliased scalars."""
+    return len(pdg.of_kind(DepKind.ANTI)) + len(pdg.of_kind(DepKind.OUTPUT))

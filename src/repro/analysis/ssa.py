@@ -1,0 +1,165 @@
+"""Static single assignment construction (Cytron et al.).
+
+The paper's Section 6.1 observes that eliminating memory operations from the
+dataflow graph — carrying values on tokens instead — is "similar in effect
+to ... conversion to static single assignment form", with the dataflow
+merges playing the role of phi-functions.  We build SSA independently here
+so a benchmark can compare phi placement against the merge placement of the
+optimized dataflow construction.
+
+Phis are placed at the iterated dominance frontier of each variable's
+definition sites; versions are assigned by the standard dominator-tree
+renaming walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFG
+from .dominance import dominance_frontier, dominator_tree
+
+
+@dataclass(frozen=True)
+class Phi:
+    """A phi-function for ``var`` at a join: one incoming version per
+    predecessor edge (keyed by predecessor node id)."""
+
+    var: str
+    target_version: int
+    sources: tuple[tuple[int, int], ...]  # (pred node id, version)
+
+
+@dataclass
+class SSAProgram:
+    """SSA facts about a CFG.
+
+    * ``phis[n]`` — phi functions at node ``n`` (only at merge points).
+    * ``def_version[(n, v)]`` — version defined by node ``n``'s store to v.
+    * ``use_versions[(n, v)]`` — version read by node ``n``'s load of v.
+    * ``version_count[v]`` — total versions of v (including version 0, the
+      implicit initial value at entry).
+    """
+
+    cfg: CFG
+    phis: dict[int, list[Phi]] = field(default_factory=dict)
+    def_version: dict[tuple[int, str], int] = field(default_factory=dict)
+    use_versions: dict[tuple[int, str], int] = field(default_factory=dict)
+    version_count: dict[str, int] = field(default_factory=dict)
+
+    def phi_count(self) -> int:
+        return sum(len(ps) for ps in self.phis.values())
+
+
+def construct_ssa(cfg: CFG, variables: list[str] | None = None) -> SSAProgram:
+    """Build SSA for the given variables (default: all).
+
+    Arrays are treated as whole-array scalars (a store to ``a[i]`` is a def
+    of ``a`` that also uses ``a``), matching how the translation schemas
+    treat them.
+    """
+    if variables is None:
+        variables = cfg.variables()
+    dom = dominator_tree(cfg)
+    df = dominance_frontier(cfg, dom)
+
+    # -- phi placement: iterated dominance frontier of def sites ------------
+    phi_sites: dict[str, set[int]] = {}
+    for v in variables:
+        defs = {n for n in cfg.nodes if v in cfg.node(n).stores()}
+        defs.add(cfg.entry)  # implicit initial definition
+        sites: set[int] = set()
+        work = list(defs)
+        while work:
+            n = work.pop()
+            for y in df[n]:
+                if y not in sites:
+                    sites.add(y)
+                    if y not in defs:
+                        work.append(y)
+        phi_sites[v] = sites
+
+    # -- renaming -------------------------------------------------------------
+    ssa = SSAProgram(cfg)
+    counter: dict[str, int] = {v: 0 for v in variables}
+    stacks: dict[str, list[int]] = {v: [0] for v in variables}
+    # placeholder phi targets/args filled during the walk
+    phi_target: dict[tuple[int, str], int] = {}
+    phi_args: dict[tuple[int, str], dict[int, int]] = {
+        (n, v): {} for v in variables for n in phi_sites[v]
+    }
+
+    def new_version(v: str) -> int:
+        counter[v] += 1
+        stacks[v].append(counter[v])
+        return counter[v]
+
+    # iterative dominator-tree preorder walk with explicit pop bookkeeping
+    order: list[tuple[str, int]] = [("visit", cfg.entry)]
+    while order:
+        action, n = order.pop()
+        if action == "pop":
+            node = cfg.node(n)
+            pushed = [v for v in variables if v in phi_sites and n in phi_sites[v]]
+            for v in pushed:
+                stacks[v].pop()
+            for v in node.stores():
+                if v in stacks:
+                    stacks[v].pop()
+            continue
+
+        node = cfg.node(n)
+        for v in variables:
+            if n in phi_sites[v]:
+                phi_target[(n, v)] = new_version(v)
+        for v in node.loads():
+            if v in stacks:
+                ssa.use_versions[(n, v)] = stacks[v][-1]
+        for v in node.stores():
+            if v in stacks:
+                ssa.def_version[(n, v)] = new_version(v)
+        for e in cfg.out_edges(n):
+            s = e.dst
+            for v in variables:
+                if s in phi_sites[v]:
+                    phi_args[(s, v)][n] = stacks[v][-1]
+
+        order.append(("pop", n))
+        for c in dom.children[n]:
+            order.append(("visit", c))
+
+    for v in variables:
+        for n in phi_sites[v]:
+            if (n, v) not in phi_target:
+                continue  # unreachable in dom tree (cannot happen: validated CFG)
+            srcs = tuple(sorted(phi_args[(n, v)].items()))
+            ssa.phis.setdefault(n, []).append(
+                Phi(v, phi_target[(n, v)], srcs)
+            )
+    ssa.version_count = {v: counter[v] + 1 for v in variables}
+    return ssa
+
+
+def prune_dead_phis(ssa: SSAProgram) -> SSAProgram:
+    """Remove phis whose target version is never used by any load or other
+    phi (the "pruned SSA" refinement).  Iterates to a fixpoint."""
+    cfg = ssa.cfg
+    while True:
+        used: set[tuple[str, int]] = set()
+        for (n, v), ver in ssa.use_versions.items():
+            used.add((v, ver))
+        for ps in ssa.phis.values():
+            for p in ps:
+                for _, ver in p.sources:
+                    used.add((p.var, ver))
+        removed = False
+        for n in list(ssa.phis):
+            keep = [p for p in ssa.phis[n] if (p.var, p.target_version) in used]
+            if len(keep) != len(ssa.phis[n]):
+                removed = True
+                if keep:
+                    ssa.phis[n] = keep
+                else:
+                    del ssa.phis[n]
+        if not removed:
+            return ssa

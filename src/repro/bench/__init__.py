@@ -1,0 +1,16 @@
+"""Workload corpus, workload generators, and bench-harness helpers."""
+
+from .programs import CORPUS, Workload, workload
+from .generators import random_program, random_structured_program
+from .harness import compare_schemas, format_table, SchemaRow
+
+__all__ = [
+    "CORPUS",
+    "SchemaRow",
+    "Workload",
+    "compare_schemas",
+    "format_table",
+    "random_program",
+    "random_structured_program",
+    "workload",
+]

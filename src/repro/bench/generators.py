@@ -1,0 +1,179 @@
+"""Random program generators for property tests and scaling sweeps.
+
+All generated programs terminate: loops are bounded counting loops with
+fresh counters, and goto-based control flow is generated in a reducible,
+forward-or-counted-back pattern.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.ast_nodes import Program
+from ..lang.parser import parse
+
+
+def random_structured_program(
+    seed: int,
+    n_vars: int = 4,
+    n_stmts: int = 8,
+    max_depth: int = 2,
+    arrays: bool = False,
+    subroutines: bool = False,
+) -> Program:
+    """A random structured program (assignments, if/else, bounded whiles,
+    and — with ``subroutines`` — by-reference subs called with sometimes
+    repeated actuals, inducing aliasing)."""
+    rng = random.Random(seed)
+    vars_ = [f"v{i}" for i in range(n_vars)]
+    counters = iter(f"c{i}" for i in range(1000))
+    lines: list[str] = []
+    if arrays:
+        lines.append("array arr[8];")
+    sub_sigs: list[tuple[str, int]] = []
+    if subroutines:
+        for k in range(rng.randint(1, 2)):
+            nf = rng.randint(1, 3)
+            formals = [f"p{j}" for j in range(nf)]
+            lines.append(f"sub s{k}({', '.join(formals)}) {{")
+            for _ in range(rng.randint(1, 3)):
+                tgt = rng.choice(formals)
+                rhs_terms = [rng.choice(formals + [str(rng.randint(0, 9))])
+                             for _ in range(2)]
+                op = rng.choice(["+", "-", "*"])
+                lines.append(f"  {tgt} := {rhs_terms[0]} {op} {rhs_terms[1]};")
+            lines.append("}")
+            sub_sigs.append((f"s{k}", nf))
+
+    def expr(depth: int = 0) -> str:
+        choice = rng.random()
+        if depth >= 2 or choice < 0.35:
+            return rng.choice(vars_ + [str(rng.randint(0, 9))])
+        if arrays and choice < 0.45:
+            return f"arr[({expr(depth + 1)}) % 8]"
+        op = rng.choice(["+", "-", "*", "/", "%"])
+        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
+
+    def cond() -> str:
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"{rng.choice(vars_)} {op} {expr(1)}"
+
+    def stmts(count: int, depth: int, indent: str) -> None:
+        for _ in range(count):
+            r = rng.random()
+            if sub_sigs and r < 0.15:
+                name, nf = rng.choice(sub_sigs)
+                # repeated actuals sometimes: that is what induces aliasing
+                actuals = [rng.choice(vars_) for _ in range(nf)]
+                lines.append(f"{indent}call {name}({', '.join(actuals)});")
+            elif depth < max_depth and r < 0.2:
+                c = next(counters)
+                body = rng.randint(1, 3)
+                lines.append(
+                    f"{indent}{c} := 0;"
+                )
+                lines.append(
+                    f"{indent}while {c} < {rng.randint(1, 4)} do {{"
+                )
+                stmts(body, depth + 1, indent + "  ")
+                lines.append(f"{indent}  {c} := {c} + 1;")
+                lines.append(f"{indent}}}")
+            elif depth < max_depth and r < 0.45:
+                lines.append(f"{indent}if {cond()} then {{")
+                stmts(rng.randint(1, 2), depth + 1, indent + "  ")
+                if rng.random() < 0.5:
+                    lines.append(f"{indent}}} else {{")
+                    stmts(rng.randint(1, 2), depth + 1, indent + "  ")
+                lines.append(f"{indent}}}")
+            elif arrays and r < 0.55:
+                lines.append(
+                    f"{indent}arr[({expr(1)}) % 8] := {expr()};"
+                )
+            else:
+                lines.append(f"{indent}{rng.choice(vars_)} := {expr()};")
+
+    stmts(n_stmts, 0, "")
+    return parse("\n".join(lines))
+
+
+def random_program(
+    seed: int, n_vars: int = 4, n_blocks: int = 6, arrays: bool = False
+) -> Program:
+    """A random *unstructured* program: a chain of labeled blocks with
+    forward gotos and bounded counted backward gotos.
+
+    The control flow is goto spaghetti (multi-exit loops, branches into
+    later blocks, conditional backedges) but kept *reducible*: backward
+    jumps form properly nested (start, end) regions, and a forward goto
+    never enters a region from outside except at its start block — so
+    every cyclic region keeps a single entry.  Irreducible graphs are
+    exercised by dedicated node-splitting tests instead.
+    """
+    rng = random.Random(seed)
+    vars_ = [f"v{i}" for i in range(n_vars)]
+    lines: list[str] = []
+    if arrays:
+        lines.append("array arr[8];")
+
+    # properly nested backward-jump regions (start, end)
+    regions: list[tuple[int, int]] = []
+    for _ in range(rng.randint(0, 3)):
+        s = rng.randint(0, n_blocks - 2)
+        e = rng.randint(s + 1, n_blocks - 1)
+        ok = True
+        for rs, re in regions:
+            disjoint = e < rs or re < s
+            nested = (rs <= s and e <= re) or (s <= rs and re <= e)
+            if not (disjoint or nested):
+                ok = False
+                break
+            if (s, e) == (rs, re) or e == re:
+                ok = False  # distinct end blocks keep backedges separate
+                break
+        if ok:
+            regions.append((s, e))
+
+    def allowed_forward_targets(b: int) -> list[int]:
+        out = []
+        for t in range(b + 1, n_blocks):
+            if all(
+                t == rs or not (rs < t <= re) or (rs <= b <= re)
+                for rs, re in regions
+            ):
+                out.append(t)
+        return out
+
+    def expr(depth: int = 0) -> str:
+        if depth >= 2 or rng.random() < 0.4:
+            return rng.choice(vars_ + [str(rng.randint(0, 9))])
+        op = rng.choice(["+", "-", "*"])
+        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
+
+    for b in range(n_blocks):
+        lines.append(f"blk{b}: skip;")
+        for _ in range(rng.randint(1, 3)):
+            if arrays and rng.random() < 0.25:
+                lines.append(f"arr[({expr(1)}) % 8] := {expr()};")
+            else:
+                lines.append(f"{rng.choice(vars_)} := {expr()};")
+        targets = allowed_forward_targets(b)
+        r = rng.random()
+        if r < 0.35 and targets:
+            t = rng.choice(targets)
+            lines.append(
+                f"if {rng.choice(vars_)} < {rng.randint(0, 20)} "
+                f"then goto blk{t};"
+            )
+        elif r < 0.5 and len(targets) > 1 and all(re != b for _, re in regions):
+            # unconditional skip ahead (not from a region end: it would
+            # dead-code the backedge)
+            t = rng.choice(targets[1:])
+            lines.append(f"goto blk{t};")
+        for rs, re in regions:
+            if re == b:
+                c = f"bk{b}"
+                lines.append(f"{c} := {c} + 1;")
+                lines.append(
+                    f"if {c} < {rng.randint(1, 3)} then goto blk{rs};"
+                )
+    return parse("\n".join(lines))

@@ -1,0 +1,120 @@
+"""Bench harness helpers: run a workload under several schemas, collect
+structural and execution metrics, and format the comparison tables the
+benches print (the paper has no numeric tables, so these are the measured
+versions of its analytic claims)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg.stats import graph_stats
+from ..interp.ast_interp import run_ast
+from ..machine.config import MachineConfig
+from ..translate.pipeline import compile_program, simulate
+from .programs import Workload
+
+
+@dataclass(frozen=True)
+class SchemaRow:
+    """One (workload, schema) measurement."""
+
+    workload: str
+    schema: str
+    nodes: int
+    arcs: int
+    switches: int
+    merges: int
+    synchs: int
+    memory_ops_static: int
+    cycles: int
+    operations: int
+    avg_parallelism: float
+    peak_parallelism: int
+
+    def cells(self) -> list:
+        return [
+            self.workload,
+            self.schema,
+            self.nodes,
+            self.arcs,
+            self.switches,
+            self.merges,
+            self.synchs,
+            self.memory_ops_static,
+            self.cycles,
+            self.operations,
+            f"{self.avg_parallelism:.2f}",
+            self.peak_parallelism,
+        ]
+
+
+HEADER = [
+    "workload",
+    "schema",
+    "nodes",
+    "arcs",
+    "switch",
+    "merge",
+    "synch",
+    "mem(st)",
+    "cycles",
+    "ops",
+    "S_avg",
+    "S_peak",
+]
+
+
+def compare_schemas(
+    wl: Workload,
+    schemas: list[str],
+    config: MachineConfig | None = None,
+    inputs: dict | None = None,
+    **compile_kwargs,
+) -> list[SchemaRow]:
+    """Compile and run one workload under each schema, verifying every run
+    against the reference interpreter."""
+    from ..lang.parser import parse
+
+    ins = inputs if inputs is not None else wl.inputs[0]
+    ref = run_ast(parse(wl.source), ins)
+    rows = []
+    for schema in schemas:
+        cp = compile_program(wl.source, schema=schema, **compile_kwargs)
+        res = simulate(cp, ins, config)
+        if res.memory != ref:
+            raise AssertionError(
+                f"{wl.name}/{schema}: dataflow result {res.memory} != "
+                f"reference {ref}"
+            )
+        st = graph_stats(cp.graph)
+        rows.append(
+            SchemaRow(
+                workload=wl.name,
+                schema=schema,
+                nodes=st.nodes,
+                arcs=st.arcs,
+                switches=st.switches,
+                merges=st.merges,
+                synchs=st.synchs,
+                memory_ops_static=st.memory_ops,
+                cycles=res.metrics.cycles,
+                operations=res.metrics.operations,
+                avg_parallelism=res.metrics.avg_parallelism,
+                peak_parallelism=res.metrics.peak_parallelism,
+            )
+        )
+    return rows
+
+
+def format_table(header: list, rows: list[list]) -> str:
+    """Monospace table for bench output."""
+    cols = [header] + [[str(c) for c in r] for r in rows]
+    widths = [max(len(row[i]) for row in cols) for i in range(len(header))]
+    lines = []
+    for ri, row in enumerate(cols):
+        lines.append(
+            "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+        )
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

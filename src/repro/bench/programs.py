@@ -1,0 +1,376 @@
+"""The workload corpus: every example program from the paper plus classic
+kernels exercising each subsystem.
+
+Each workload is source text with named input sets, so tests and benches
+run the same programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named program plus input sets to run it under."""
+
+    name: str
+    source: str
+    inputs: tuple[dict, ...] = (dict(),)
+    description: str = ""
+
+    def has_aliasing(self) -> bool:
+        """True if the (expanded) program's alias relation is nontrivial —
+        such programs need Schema 3 or memory_elim (Schema 2 assumes no
+        aliasing, Section 3)."""
+        from ..analysis.alias import AliasStructure
+        from ..lang.parser import parse
+        from ..lang.subroutines import expand_subroutines
+
+        prog = parse(self.source)
+        if prog.subs:
+            prog, _ = expand_subroutines(prog)
+        return bool(AliasStructure.from_program(prog).pairs)
+
+    def uses_arrays(self) -> bool:
+        from ..lang.parser import parse
+
+        return bool(parse(self.source).arrays)
+
+
+#: Figure 1's running example: the loop the whole paper develops.
+RUNNING_EXAMPLE = Workload(
+    "running_example",
+    """
+    x := 0;
+    l: y := x + 1;
+       x := x + 1;
+       if x < 5 then goto l;
+    """,
+    description="Figure 1: the paper's running example loop",
+)
+
+#: Figure 9(a): x is not referenced inside the conditional.
+FIGURE_9 = Workload(
+    "figure_9",
+    """
+    x := x + 1;
+    if w == 0 then { y := 1; } else { y := 2; }
+    x := 0;
+    """,
+    inputs=({"w": 0}, {"w": 7}),
+    description="Figure 9: restrictive sequential ordering (redundant switch)",
+)
+
+#: The Section 5 FORTRAN aliasing example's alias structure:
+#: [x]={x,z}, [y]={y,z}, [z]={x,y,z}.
+FORTRAN_ALIAS = Workload(
+    "fortran_alias",
+    """
+    alias (x, z); alias (y, z);
+    x := 1;
+    y := x + 2;
+    z := y * 3;
+    w := z + x;
+    """,
+    description="Section 5: SUBROUTINE F(X,Y,Z) called as F(A,B,A), F(C,D,D)",
+)
+
+#: The same scenario written with actual subroutines: the alias structure
+#: is *derived* from the two call sites instead of declared.
+FORTRAN_SUB = Workload(
+    "fortran_sub",
+    """
+    sub f(x, y, z) {
+      t := x + y;
+      z := t * 2;
+      y := z - x;
+    }
+    a := 1; b := 2; c := 3; d := 4;
+    call f(a, b, a);
+    call f(c, d, d);
+    r := a + b + c + d;
+    """,
+    description="Section 5 via sub/call: F(A,B,A) and F(C,D,D) induce "
+    "X~Z and Y~Z",
+)
+
+#: Section 6.3's loop: stores to successive array elements.
+ARRAY_LOOP = Workload(
+    "array_loop",
+    """
+    array x[16];
+    i := 0;
+    s: i := i + 1;
+       x[i] := 1;
+       if i < 10 then goto s;
+    """,
+    description="Section 6.3: iteration-independent array stores",
+)
+
+NESTED_LOOPS = Workload(
+    "nested_loops",
+    """
+    t := 0; i := 0;
+    outer: j := 0;
+    inner: t := t + i * j;
+       j := j + 1;
+       if j < 4 then goto inner;
+    i := i + 1;
+    if i < 4 then goto outer;
+    """,
+    description="doubly nested unstructured loops",
+)
+
+UNSTRUCTURED = Workload(
+    "unstructured",
+    """
+    goto mid;
+    top: x := x + 10;
+       y := y + 1;
+    mid: x := x + 1;
+    if x < 25 then goto top;
+    z := x + y;
+    """,
+    description="goto into the middle of a loop region",
+)
+
+MULTI_EXIT_LOOP = Workload(
+    "multi_exit_loop",
+    """
+    i := 0; s := 0;
+    l: i := i + 1;
+       s := s + i;
+       if s > 40 then goto done;
+       if i < 20 then goto l;
+    done: r := s;
+    """,
+    description="loop with two distinct exits",
+)
+
+GCD = Workload(
+    "gcd",
+    """
+    l: if a == b then goto done;
+       if a < b then { b := b - a; } else { a := a - b; }
+       goto l;
+    done: g := a;
+    """,
+    inputs=({"a": 12, "b": 18}, {"a": 35, "b": 14}, {"a": 7, "b": 7}),
+    description="Euclid's subtractive GCD: loop with internal branching",
+)
+
+COLLATZ = Workload(
+    "collatz",
+    """
+    steps := 0;
+    l: if n == 1 then goto done;
+       if n % 2 == 0 then { n := n / 2; } else { n := 3 * n + 1; }
+       steps := steps + 1;
+       goto l;
+    done: r := steps;
+    """,
+    inputs=({"n": 6}, {"n": 27},),
+    description="Collatz steps: data-dependent iteration count",
+)
+
+FIB = Workload(
+    "fib",
+    """
+    a := 0; b := 1; i := 0;
+    while i < n do {
+      t := a + b;
+      a := b;
+      b := t;
+      i := i + 1;
+    }
+    """,
+    inputs=({"n": 10}, {"n": 1}, {"n": 0}),
+    description="iterative Fibonacci",
+)
+
+BUBBLE_SORT = Workload(
+    "bubble_sort",
+    """
+    array a[8];
+    a[0] := 5; a[1] := 3; a[2] := 8; a[3] := 1;
+    a[4] := 9; a[5] := 2; a[6] := 7; a[7] := 4;
+    i := 0;
+    while i < 8 do {
+      j := 0;
+      while j < 7 do {
+        if a[j] > a[j + 1] then {
+          t := a[j];
+          a[j] := a[j + 1];
+          a[j + 1] := t;
+        }
+        j := j + 1;
+      }
+      i := i + 1;
+    }
+    """,
+    description="bubble sort: array loads/stores under nested loops",
+)
+
+MATMUL = Workload(
+    "matmul",
+    """
+    array a[9], b[9], c[9];
+    k := 0;
+    while k < 9 do { a[k] := k + 1; b[k] := 9 - k; k := k + 1; }
+    i := 0;
+    while i < 3 do {
+      j := 0;
+      while j < 3 do {
+        s := 0;
+        m := 0;
+        while m < 3 do {
+          s := s + a[i * 3 + m] * b[m * 3 + j];
+          m := m + 1;
+        }
+        c[i * 3 + j] := s;
+        j := j + 1;
+      }
+      i := i + 1;
+    }
+    """,
+    description="3x3 matrix multiply: triply nested loops over arrays",
+)
+
+DOT_PRODUCT = Workload(
+    "dot_product",
+    """
+    array v[8], w[8];
+    i := 0;
+    while i < 8 do { v[i] := i; w[i] := 2 * i; i := i + 1; }
+    s := 0; i := 0;
+    while i < 8 do { s := s + v[i] * w[i]; i := i + 1; }
+    """,
+    description="dot product: reads of two arrays per iteration",
+)
+
+ALIASED_SWAP = Workload(
+    "aliased_swap",
+    """
+    alias (p, q);
+    p := 10;
+    t := q;
+    q := t + 5;
+    r := p;
+    """,
+    description="reads/writes through aliased names",
+)
+
+BRANCHY = Workload(
+    "branchy",
+    """
+    if a < 10 then goto small;
+    if a < 100 then goto medium;
+    big: c := 3; goto done;
+    small: c := 1; goto done;
+    medium: c := 2; goto big;
+    done: r := c;
+    """,
+    inputs=({"a": 5}, {"a": 50}, {"a": 500}),
+    description="multiway unstructured branching with fallthrough chains",
+)
+
+SIEVE = Workload(
+    "sieve",
+    """
+    array flag[30];
+    i := 2;
+    while i < 30 do { flag[i] := 1; i := i + 1; }
+    p := 2;
+    while p * p < 30 do {
+      if flag[p] == 1 then {
+        m := p * p;
+        while m < 30 do { flag[m] := 0; m := m + p; }
+      }
+      p := p + 1;
+    }
+    count := 0; k := 2;
+    while k < 30 do { count := count + flag[k]; k := k + 1; }
+    """,
+    description="sieve of Eratosthenes: strided array writes, triple nest",
+)
+
+BINARY_SEARCH = Workload(
+    "binary_search",
+    """
+    array a[16];
+    i := 0;
+    while i < 16 do { a[i] := i * 3; i := i + 1; }
+    lo := 0; hi := 16; found := 0 - 1;
+    while lo < hi do {
+      mid := (lo + hi) / 2;
+      if a[mid] == key then { found := mid; hi := lo; }
+      else {
+        if a[mid] < key then { lo := mid + 1; } else { hi := mid; }
+      }
+    }
+    """,
+    inputs=({"key": 21}, {"key": 22}, {"key": 0}, {"key": 45}),
+    description="binary search: data-dependent branching over an array",
+)
+
+HORNER = Workload(
+    "horner",
+    """
+    array c[5];
+    c[0] := 3; c[1] := 0 - 1; c[2] := 4; c[3] := 1; c[4] := 2;
+    acc := 0; i := 4;
+    while i >= 0 do {
+      acc := acc * x + c[i];
+      i := i - 1;
+    }
+    """,
+    inputs=({"x": 2}, {"x": 0}, {"x": -3}),
+    description="Horner polynomial evaluation: tight sequential recurrence",
+)
+
+PRIME_COUNT = Workload(
+    "prime_count",
+    """
+    count := 0; n := 2;
+    while n < 30 do {
+      isp := 1; d := 2;
+      while d * d <= n do {
+        if n % d == 0 then { isp := 0; }
+        d := d + 1;
+      }
+      count := count + isp;
+      n := n + 1;
+    }
+    """,
+    description="trial-division prime counting",
+)
+
+CORPUS: tuple[Workload, ...] = (
+    RUNNING_EXAMPLE,
+    FIGURE_9,
+    FORTRAN_ALIAS,
+    FORTRAN_SUB,
+    ARRAY_LOOP,
+    NESTED_LOOPS,
+    UNSTRUCTURED,
+    MULTI_EXIT_LOOP,
+    GCD,
+    COLLATZ,
+    FIB,
+    BUBBLE_SORT,
+    MATMUL,
+    DOT_PRODUCT,
+    ALIASED_SWAP,
+    BRANCHY,
+    PRIME_COUNT,
+    SIEVE,
+    BINARY_SEARCH,
+    HORNER,
+)
+
+_BY_NAME = {w.name: w for w in CORPUS}
+
+
+def workload(name: str) -> Workload:
+    return _BY_NAME[name]

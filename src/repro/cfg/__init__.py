@@ -1,0 +1,48 @@
+"""Statement-level control-flow graphs (paper Section 2.1) and interval
+decomposition with loop-control insertion (Section 3).
+
+A CFG has node kinds:
+
+* ``START`` — unique initial node.  By the paper's convention an edge is
+  added from start to end, making start a *fork* (its ``True`` out-direction
+  enters the program, ``False`` goes to end).
+* ``END`` — unique final node.
+* ``ASSIGN`` — ``x := e`` or ``a[i] := e``.
+* ``FORK`` — ``if p then goto l_t else goto l_f``; out-edges carry a boolean
+  out-direction.
+* ``JOIN`` — labeled no-computation nodes, the only legal goto targets (and
+  the only ordinary nodes allowed more than one predecessor).
+* ``LOOP_ENTRY`` / ``LOOP_EXIT`` — loop control statements inserted by
+  :func:`insert_loop_controls` per Section 3.
+"""
+
+from .graph import CFG, CFGError, CFGNode, Edge, NodeKind
+from .builder import build_cfg
+from .intervals import (
+    IrreducibleCFGError,
+    Loop,
+    decompose,
+    find_loops,
+    insert_loop_controls,
+    split_irreducible,
+)
+from .dot import cfg_to_dot
+from .optimize import OptReport, optimize_cfg
+
+__all__ = [
+    "CFG",
+    "CFGError",
+    "CFGNode",
+    "Edge",
+    "IrreducibleCFGError",
+    "Loop",
+    "NodeKind",
+    "OptReport",
+    "optimize_cfg",
+    "build_cfg",
+    "cfg_to_dot",
+    "decompose",
+    "find_loops",
+    "insert_loop_controls",
+    "split_irreducible",
+]

@@ -1,0 +1,222 @@
+"""AST -> control-flow graph construction.
+
+Structured statements (``if``/``while``) are first lowered to the flat
+assignment / fork / goto / labeled-join form of Section 2.1, then the graph
+is wired up.  Labels that are actually targeted become JOIN nodes; a label on
+any statement places the JOIN immediately before it (joins are the only legal
+goto targets).
+
+By the paper's convention an extra edge runs from start to end, making start
+a fork: its ``True`` out-direction enters the program, ``False`` goes
+straight to end.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast_nodes import (
+    Assign,
+    Call,
+    CondGoto,
+    Goto,
+    If,
+    Program,
+    Skip,
+    Stmt,
+    While,
+)
+from .graph import CFG, CFGError, NodeKind
+
+
+def _collect_all_labels(stmts: list[Stmt], out: set[str]) -> None:
+    for s in stmts:
+        if s.label:
+            out.add(s.label)
+        if isinstance(s, If):
+            _collect_all_labels(s.then_body, out)
+            _collect_all_labels(s.else_body, out)
+        elif isinstance(s, While):
+            _collect_all_labels(s.body, out)
+
+
+def lower(prog: Program) -> list[Stmt]:
+    """Flatten structured control flow into assignments, forks, gotos and
+    labeled skips.  The returned list contains only Assign, CondGoto, Goto
+    and Skip statements."""
+    used: set[str] = set()
+    _collect_all_labels(prog.body, used)
+    counter = 0
+
+    def fresh(base: str) -> str:
+        nonlocal counter
+        while True:
+            name = f"_{base}{counter}"
+            counter += 1
+            if name not in used:
+                used.add(name)
+                return name
+
+    out: list[Stmt] = []
+
+    def emit(stmts: list[Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, Call):
+                raise TypeError(
+                    "subroutine calls must be expanded before CFG "
+                    "construction (repro.lang.subroutines.expand_subroutines)"
+                )
+            if isinstance(s, (Assign, CondGoto, Goto, Skip)):
+                out.append(s)
+            elif isinstance(s, If):
+                l_end = fresh("fi")
+                l_then = fresh("then")
+                if s.label:
+                    out.append(Skip(label=s.label, location=s.location))
+                if s.else_body:
+                    l_else = fresh("else")
+                    out.append(
+                        CondGoto(s.cond, l_then, l_else, location=s.location)
+                    )
+                    out.append(Skip(label=l_then))
+                    emit(s.then_body)
+                    out.append(Goto(l_end))
+                    out.append(Skip(label=l_else))
+                    emit(s.else_body)
+                else:
+                    out.append(
+                        CondGoto(s.cond, l_then, l_end, location=s.location)
+                    )
+                    out.append(Skip(label=l_then))
+                    emit(s.then_body)
+                out.append(Skip(label=l_end))
+            elif isinstance(s, While):
+                l_head = s.label or fresh("wh")
+                l_body = fresh("do")
+                l_end = fresh("od")
+                out.append(Skip(label=l_head, location=s.location))
+                out.append(CondGoto(s.cond, l_body, l_end, location=s.location))
+                out.append(Skip(label=l_body))
+                emit(s.body)
+                out.append(Goto(l_head))
+                out.append(Skip(label=l_end))
+            else:
+                raise TypeError(f"unknown statement {type(s).__name__}")
+
+    emit(prog.body)
+    return out
+
+
+def _goto_targets(flat: list[Stmt]) -> set[str]:
+    targets: set[str] = set()
+    for s in flat:
+        if isinstance(s, Goto):
+            targets.add(s.target)
+        elif isinstance(s, CondGoto):
+            targets.add(s.then_target)
+            if s.else_target is not None:
+                targets.add(s.else_target)
+    return targets
+
+
+def build_cfg(prog: Program, simplify: bool = True) -> CFG:
+    """Build and validate the CFG of a program.
+
+    With ``simplify`` (default), JOIN nodes with a single predecessor are
+    spliced out — they represent no computation and merge nothing, and the
+    paper's figures draw only genuine merge points.
+
+    Raises :class:`CFGError` if the program has a region with no path to
+    end (a loop that cannot terminate).
+    """
+    flat = lower(prog)
+    targets = _goto_targets(flat)
+
+    cfg = CFG()
+    start = cfg.add_node(NodeKind.START)
+    end = cfg.add_node(NodeKind.END)
+
+    joins: dict[str, int] = {}
+
+    def join_for(label: str) -> int:
+        if label not in joins:
+            joins[label] = cfg.add_node(NodeKind.JOIN, label=label).id
+        return joins[label]
+
+    # dangling: out-points awaiting their successor
+    dangling: list[tuple[int, bool | None]] = [(start.id, True)]
+
+    def connect(dst: int) -> None:
+        for src, d in dangling:
+            cfg.add_edge(src, dst, d)
+
+    for s in flat:
+        if s.label and s.label in targets:
+            j = join_for(s.label)
+            connect(j)
+            dangling = [(j, None)]
+        if not dangling:
+            # dead code: unreachable statement with no targeted label
+            continue
+        if isinstance(s, Skip):
+            continue
+        if isinstance(s, Assign):
+            node = cfg.add_node(NodeKind.ASSIGN, target=s.target, expr=s.expr)
+            connect(node.id)
+            dangling = [(node.id, None)]
+        elif isinstance(s, Goto):
+            connect(join_for(s.target))
+            dangling = []
+        elif isinstance(s, CondGoto):
+            node = cfg.add_node(NodeKind.FORK, pred=s.pred)
+            connect(node.id)
+            cfg.add_edge(node.id, join_for(s.then_target), True)
+            if s.else_target is not None:
+                cfg.add_edge(node.id, join_for(s.else_target), False)
+                dangling = []
+            else:
+                dangling = [(node.id, False)]
+        else:
+            raise TypeError(f"unexpected flat statement {type(s).__name__}")
+
+    connect(end.id)
+    cfg.add_edge(start.id, end.id, False)  # the start->end convention edge
+
+    _prune_unreachable(cfg)
+    if simplify:
+        _splice_trivial_joins(cfg)
+    _check_terminating(cfg)
+    cfg.validate()
+    return cfg
+
+
+def _prune_unreachable(cfg: CFG) -> None:
+    reachable = cfg.reachable_from_entry()
+    for nid in list(cfg.nodes):
+        if nid not in reachable:
+            cfg.remove_node(nid)
+
+
+def _check_terminating(cfg: CFG) -> None:
+    reaching = cfg.reaches_exit()
+    stuck = set(cfg.nodes) - reaching
+    if stuck:
+        descs = ", ".join(cfg.node(n).describe() for n in sorted(stuck))
+        raise CFGError(
+            "program has a region with no path to end "
+            f"(every node must lie on a start-to-end path): {descs}"
+        )
+
+
+def _splice_trivial_joins(cfg: CFG) -> None:
+    for nid in list(cfg.nodes):
+        node = cfg.nodes.get(nid)
+        if node is None or node.kind is not NodeKind.JOIN:
+            continue
+        preds = cfg.in_edges(nid)
+        if len(preds) != 1:
+            continue
+        (pe,) = preds
+        (se,) = cfg.out_edges(nid)
+        if se.dst == nid or pe.src == nid:
+            continue  # self-loop join: keep (degenerate, caught by validate)
+        cfg.remove_node(nid)
+        cfg.add_edge(pe.src, se.dst, pe.direction)

@@ -1,0 +1,34 @@
+"""Graphviz DOT export for CFGs (debugging and documentation)."""
+
+from __future__ import annotations
+
+from .graph import CFG, NodeKind
+
+_SHAPES = {
+    NodeKind.START: "circle",
+    NodeKind.END: "doublecircle",
+    NodeKind.ASSIGN: "box",
+    NodeKind.FORK: "diamond",
+    NodeKind.JOIN: "ellipse",
+    NodeKind.LOOP_ENTRY: "house",
+    NodeKind.LOOP_EXIT: "invhouse",
+}
+
+
+def cfg_to_dot(cfg: CFG, title: str = "cfg") -> str:
+    """Render a CFG as DOT text.  Fork out-edges are labeled T/F."""
+    lines = [f"digraph {title!r} {{", "  node [fontname=monospace];"]
+    for nid in sorted(cfg.nodes):
+        node = cfg.node(nid)
+        shape = _SHAPES[node.kind]
+        label = f"{nid}: {node.describe()}".replace('"', "'")
+        lines.append(f'  n{nid} [shape={shape} label="{label}"];')
+    for e in sorted(cfg.edges()):
+        attr = ""
+        if e.direction is True:
+            attr = ' [label="T"]'
+        elif e.direction is False:
+            attr = ' [label="F"]'
+        lines.append(f"  n{e.src} -> n{e.dst}{attr};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

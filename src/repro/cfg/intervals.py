@@ -1,0 +1,313 @@
+"""Interval (loop) decomposition and loop-control insertion — Section 3.
+
+The paper decomposes the CFG hierarchically into nested *intervals* —
+maximal single-entry subgraphs whose cyclic paths all contain the header —
+and inserts two loop control statements per cyclic interval:
+
+* a single ``loop entry`` node: all arcs to the header from outside the
+  interval, and all backedges from within, are redirected to it; it alone
+  leads to the header;
+* a ``loop exit`` node on every edge ``A -> B`` with a path from ``A`` to the
+  header inside the interval but none from ``B``.
+
+We compute the decomposition with a recursive strongly-connected-component
+analysis (equivalent to the loop nesting forest for reducible graphs): each
+non-trivial SCC is a cyclic interval whose header is its unique entry node;
+inner loops are the SCCs of the interval minus its header.  Graphs where an
+SCC has multiple entry nodes are *irreducible*; the paper handles them by
+code copying, which we signal with :class:`IrreducibleCFGError` (see
+:func:`split_irreducible` in this module for the code-copying transform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import CFG, NodeKind
+
+
+class IrreducibleCFGError(Exception):
+    """A cyclic region has more than one entry node; interval decomposition
+    needs code copying (node splitting) first."""
+
+
+@dataclass
+class Loop:
+    """One cyclic interval.
+
+    ``body`` contains the nodes of the cyclic region (including inner loops'
+    nodes and inner loop-control nodes) but excludes this loop's own
+    entry/exit control nodes.  ``refs`` is the set of variables referenced by
+    any node in the body — the access tokens that must circulate through the
+    loop's tag machinery (Section 4 lets all others bypass).
+    """
+
+    id: int
+    header: int
+    body: frozenset[int]
+    entry_node: int
+    exit_nodes: tuple[int, ...]
+    parent: int | None
+    depth: int
+    refs: frozenset[str]
+    back_sources: tuple[int, ...] = ()
+
+
+def _sccs(node_set: set[int], cfg: CFG) -> list[set[int]]:
+    """Strongly connected components of the subgraph induced by ``node_set``
+    (iterative Tarjan).  Returns only the non-trivial ones: size > 1, or a
+    single node with a self-edge."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    out: list[set[int]] = []
+    counter = 0
+
+    for root in node_set:
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack.add(v)
+            recurse = False
+            succs = [w for w in cfg.succ_ids(v) if w in node_set]
+            while pi < len(succs):
+                w = succs[pi]
+                pi += 1
+                if w not in index:
+                    work[-1] = (v, pi)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if recurse:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                comp: set[int] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w == v:
+                        break
+                if len(comp) > 1 or any(
+                    e.dst == v for e in cfg.out_edges(v)
+                ):
+                    out.append(comp)
+            if work:
+                pv, _ = work[-1]
+                low[pv] = min(low[pv], low[v])
+    return out
+
+
+def find_loops(cfg: CFG) -> list[Loop]:
+    """Pure analysis: the loop nesting forest (headers, bodies, refs) without
+    mutating the graph.  ``entry_node``/``exit_nodes`` are -1/() since no
+    control nodes exist yet."""
+    loops: list[Loop] = []
+
+    def process(region: set[int], parent: int | None, depth: int) -> None:
+        for scc in _sccs(region, cfg):
+            entries = {
+                e.dst
+                for nid in scc
+                for e in cfg.in_edges(nid)
+                if e.src not in scc
+            }
+            if len(entries) != 1:
+                raise IrreducibleCFGError(
+                    f"cyclic region {sorted(scc)} has entries {sorted(entries)}"
+                )
+            header = entries.pop()
+            refs = frozenset().union(*(cfg.node(n).refs() for n in scc))
+            back = tuple(
+                sorted(
+                    e.src for e in cfg.in_edges(header) if e.src in scc
+                )
+            )
+            lid = len(loops)
+            loops.append(
+                Loop(
+                    id=lid,
+                    header=header,
+                    body=frozenset(scc),
+                    entry_node=-1,
+                    exit_nodes=(),
+                    parent=parent,
+                    depth=depth,
+                    refs=refs,
+                    back_sources=back,
+                )
+            )
+            process(scc - {header}, lid, depth + 1)
+
+    process(set(cfg.nodes), None, 0)
+    return loops
+
+
+def decompose(cfg: CFG) -> tuple[CFG, list[Loop]]:
+    """:func:`insert_loop_controls`, applying :func:`split_irreducible`
+    (the paper's code copying) first when the graph needs it."""
+    try:
+        return insert_loop_controls(cfg)
+    except IrreducibleCFGError:
+        return insert_loop_controls(split_irreducible(cfg))
+
+
+def insert_loop_controls(cfg: CFG) -> tuple[CFG, list[Loop]]:
+    """Return a transformed copy of ``cfg`` with LOOP_ENTRY/LOOP_EXIT nodes
+    inserted for every cyclic interval, plus the loop descriptors.
+
+    After the transform each loop header has exactly one predecessor (its
+    LOOP_ENTRY); backedges and external entries both feed the LOOP_ENTRY.
+    A token leaving ``k`` nested loops at once passes ``k`` LOOP_EXIT nodes,
+    innermost first.
+    """
+    g = cfg.copy()
+    loops: list[Loop] = []
+    bodies: dict[int, set[int]] = {}
+
+    def process(region: set[int], parent: int | None, depth: int) -> None:
+        for scc in _sccs(region, g):
+            entries = {
+                e.dst
+                for nid in scc
+                for e in g.in_edges(nid)
+                if e.src not in scc
+            }
+            if len(entries) != 1:
+                raise IrreducibleCFGError(
+                    f"cyclic region {sorted(scc)} has entries {sorted(entries)}"
+                )
+            header = entries.pop()
+            refs = frozenset().union(*(g.node(n).refs() for n in scc))
+            lid = len(loops)
+
+            le = g.add_node(NodeKind.LOOP_ENTRY, loop_id=lid, carried_refs=refs)
+            back_sources = []
+            for e in list(g.in_edges(header)):
+                if e.src in scc:
+                    back_sources.append(e.src)
+                g.redirect_edge(e, le.id)
+            g.add_edge(le.id, header, None)
+
+            exit_ids: list[int] = []
+            for nid in sorted(scc):
+                for e in list(g.out_edges(nid)):
+                    if e.dst not in scc and e.dst != le.id:
+                        lx = g.split_edge(
+                            e, NodeKind.LOOP_EXIT, loop_id=lid, carried_refs=refs
+                        )
+                        exit_ids.append(lx.id)
+
+            bodies[lid] = set(scc)
+            loops.append(
+                Loop(
+                    id=lid,
+                    header=header,
+                    body=frozenset(),  # finalized below
+                    entry_node=le.id,
+                    exit_nodes=tuple(exit_ids),
+                    parent=parent,
+                    depth=depth,
+                    refs=refs,
+                    back_sources=tuple(sorted(back_sources)),
+                )
+            )
+            process(scc - {header}, lid, depth + 1)
+
+    process(set(g.nodes), None, 0)
+
+    # A child's entry/exit control nodes live inside every strict ancestor's
+    # body (they operate within the ancestor's tag context).
+    for lp in loops:
+        anc = lp.parent
+        while anc is not None:
+            bodies[anc].add(lp.entry_node)
+            bodies[anc].update(lp.exit_nodes)
+            anc = loops[anc].parent
+    finalized = [
+        Loop(
+            id=lp.id,
+            header=lp.header,
+            body=frozenset(bodies[lp.id]),
+            entry_node=lp.entry_node,
+            exit_nodes=lp.exit_nodes,
+            parent=lp.parent,
+            depth=lp.depth,
+            refs=lp.refs,
+            back_sources=lp.back_sources,
+        )
+        for lp in loops
+    ]
+    g.validate()
+    return g, finalized
+
+
+def split_irreducible(cfg: CFG, max_copies: int = 1000) -> CFG:
+    """Code copying for irreducible regions (the paper: "if we allow code
+    copying, then any control-flow graph can be decomposed into such nested
+    intervals").
+
+    Repeatedly finds a cyclic SCC with multiple entry nodes and splits one
+    secondary entry by duplicating it (classic node splitting).  Bounded by
+    ``max_copies`` to guard against pathological growth.
+    """
+    g = cfg.copy()
+    copies = 0
+
+    def find_offender(region: set[int]):
+        """A multi-entry cyclic region at any nesting level, or None."""
+        for scc in _sccs(region, g):
+            entries = {
+                e.dst
+                for nid in scc
+                for e in g.in_edges(nid)
+                if e.src not in scc
+            }
+            if len(entries) > 1:
+                return scc, entries
+            header = entries.pop()
+            inner = find_offender(scc - {header})
+            if inner is not None:
+                return inner
+        return None
+
+    while True:
+        offender = find_offender(set(g.nodes))
+        if offender is None:
+            return g
+        scc, entries = offender
+        # Heuristic: split the entry with the fewest external in-edges.
+        victim = min(
+            sorted(entries),
+            key=lambda n: sum(1 for e in g.in_edges(n) if e.src not in scc),
+        )
+        ext = [e for e in g.in_edges(victim) if e.src not in scc]
+        node = g.node(victim)
+        clone = g.add_node(
+            node.kind,
+            target=node.target,
+            expr=node.expr,
+            pred=node.pred,
+            label=node.label,
+            loop_id=node.loop_id,
+            carried_refs=node.carried_refs,
+        )
+        for e in g.out_edges(victim):
+            g.add_edge(clone.id, e.dst, e.direction)
+        for e in ext:
+            g.redirect_edge(e, clone.id)
+        copies += 1
+        if copies > max_copies:
+            raise IrreducibleCFGError(
+                f"node splitting exceeded {max_copies} copies"
+            )

@@ -1,0 +1,280 @@
+"""Conventional optimizations over the control-flow graph.
+
+The paper's conclusion argues its representation should support "conventional
+optimizations" as well as parallelization.  This module provides the classic
+trio at the CFG level, applied before translation so every schema benefits:
+
+* **constant folding** — evaluate constant subexpressions (with the shared
+  machine/interpreter semantics, so folding can never change meaning) and
+  collapse forks whose predicate folds to a constant;
+* **constant propagation** — replace a scalar use by a literal when every
+  reaching definition assigns that same literal (the implicit entry
+  definition counts as unknown: initial values are runtime inputs);
+* **dead assignment elimination** — remove scalar assignments whose value
+  can never be observed.  Final memory is observable for *every* variable
+  (results are compared against the reference interpreter), so liveness
+  runs with an all-live boundary at exit and only overwritten-before-end
+  stores die.  Array stores never die (partial writes).
+
+All passes iterate together to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast_nodes import ArrayRef, BinOp, Expr, IntLit, UnOp, Var
+from ..semantics import apply_binop, apply_unop, truthy
+from .graph import CFG, NodeKind
+
+
+@dataclass
+class OptReport:
+    folded: int = 0
+    propagated: int = 0
+    dead_assignments: int = 0
+    forks_resolved: int = 0
+
+    def total(self) -> int:
+        return (
+            self.folded
+            + self.propagated
+            + self.dead_assignments
+            + self.forks_resolved
+        )
+
+
+def fold_expr(e: Expr, report: OptReport | None = None) -> Expr:
+    """Bottom-up constant folding with the shared total semantics."""
+    if isinstance(e, BinOp):
+        left = fold_expr(e.left, report)
+        right = fold_expr(e.right, report)
+        if isinstance(left, IntLit) and isinstance(right, IntLit):
+            if report:
+                report.folded += 1
+            return IntLit(apply_binop(e.op, left.value, right.value))
+        if left is not e.left or right is not e.right:
+            return BinOp(e.op, left, right)
+        return e
+    if isinstance(e, UnOp):
+        operand = fold_expr(e.operand, report)
+        if isinstance(operand, IntLit):
+            if report:
+                report.folded += 1
+            return IntLit(apply_unop(e.op, operand.value))
+        if operand is not e.operand:
+            return UnOp(e.op, operand)
+        return e
+    if isinstance(e, ArrayRef):
+        index = fold_expr(e.index, report)
+        if index is not e.index:
+            return ArrayRef(e.name, index)
+        return e
+    return e
+
+
+def _subst(e: Expr, env: dict[str, int]) -> tuple[Expr, int]:
+    """Replace scalar reads that are known constants; returns (expr, count)."""
+    if isinstance(e, Var):
+        if e.name in env:
+            return IntLit(env[e.name]), 1
+        return e, 0
+    if isinstance(e, ArrayRef):
+        idx, n = _subst(e.index, env)
+        return (ArrayRef(e.name, idx) if n else e), n
+    if isinstance(e, BinOp):
+        left, nl = _subst(e.left, env)
+        right, nr = _subst(e.right, env)
+        if nl or nr:
+            return BinOp(e.op, left, right), nl + nr
+        return e, 0
+    if isinstance(e, UnOp):
+        op, n = _subst(e.operand, env)
+        return (UnOp(e.op, op) if n else e), n
+    return e, 0
+
+
+def _constant_defs(cfg: CFG) -> dict[tuple[int, str], int]:
+    """(node, var) -> literal for scalar assignments of a literal."""
+    out = {}
+    for nid, node in cfg.nodes.items():
+        if (
+            node.kind is NodeKind.ASSIGN
+            and isinstance(node.target, Var)
+            and isinstance(node.expr, IntLit)
+        ):
+            out[(nid, node.target.name)] = node.expr.value
+    return out
+
+
+def propagate_constants(cfg: CFG, report: OptReport) -> bool:
+    """One round of reaching-definitions constant propagation + folding."""
+    from ..analysis.framework import reaching_definitions
+
+    rd_in, _ = reaching_definitions(cfg)
+    const_defs = _constant_defs(cfg)
+    changed = False
+    for nid, node in cfg.nodes.items():
+        reads = node.loads()
+        if not reads:
+            continue
+        env: dict[str, int] = {}
+        for v in reads:
+            defs = [(d, dv) for (d, dv) in rd_in[nid] if dv == v]
+            vals = set()
+            for d, dv in defs:
+                if d == cfg.entry:
+                    vals.add(None)  # runtime input: unknown
+                else:
+                    vals.add(const_defs.get((d, v)))
+            if len(vals) == 1 and None not in vals and vals != {None}:
+                (val,) = vals
+                if val is not None:
+                    env[v] = val
+        if not env:
+            continue
+        if node.kind is NodeKind.ASSIGN:
+            new_expr, n1 = _subst(node.expr, env)
+            n2 = 0
+            if isinstance(node.target, ArrayRef):
+                new_idx, n2 = _subst(node.target.index, env)
+                if n2:
+                    node.target = ArrayRef(node.target.name, fold_expr(new_idx, report))
+            if n1:
+                node.expr = fold_expr(new_expr, report)
+            if n1 or n2:
+                report.propagated += n1 + n2
+                changed = True
+        elif node.kind is NodeKind.FORK:
+            new_pred, n = _subst(node.pred, env)
+            if n:
+                node.pred = fold_expr(new_pred, report)
+                report.propagated += n
+                changed = True
+    return changed
+
+
+def fold_all(cfg: CFG, report: OptReport) -> bool:
+    changed = False
+    for node in cfg.nodes.values():
+        if node.kind is NodeKind.ASSIGN:
+            new = fold_expr(node.expr, report)
+            if new is not node.expr:
+                node.expr = new
+                changed = True
+            if isinstance(node.target, ArrayRef):
+                ni = fold_expr(node.target.index, report)
+                if ni is not node.target.index:
+                    node.target = ArrayRef(node.target.name, ni)
+                    changed = True
+        elif node.kind is NodeKind.FORK:
+            new = fold_expr(node.pred, report)
+            if new is not node.pred:
+                node.pred = new
+                changed = True
+    return changed
+
+
+def resolve_constant_forks(cfg: CFG, report: OptReport) -> bool:
+    """A fork whose predicate is a literal always takes one branch: splice
+    the fork out and prune whatever became unreachable."""
+    changed = False
+    for nid in list(cfg.nodes):
+        node = cfg.nodes.get(nid)
+        if (
+            node is None
+            or node.kind is not NodeKind.FORK
+            or not isinstance(node.pred, IntLit)
+            or nid == cfg.entry
+        ):
+            continue
+        taken = truthy(node.pred.value)
+        (in_edge,) = cfg.in_edges(nid)
+        taken_edge = next(
+            e for e in cfg.out_edges(nid) if e.direction is taken
+        )
+        cfg.remove_node(nid)
+        cfg.add_edge(in_edge.src, taken_edge.dst, in_edge.direction)
+        report.forks_resolved += 1
+        changed = True
+    if changed:
+        reachable = cfg.reachable_from_entry()
+        for nid in list(cfg.nodes):
+            if nid not in reachable:
+                cfg.remove_node(nid)
+        _splice_orphan_joins(cfg)
+    return changed
+
+
+def _splice_orphan_joins(cfg: CFG) -> None:
+    """Pruning can leave single-predecessor joins; splice them away."""
+    for nid in list(cfg.nodes):
+        node = cfg.nodes.get(nid)
+        if node is None or node.kind is not NodeKind.JOIN:
+            continue
+        preds = cfg.in_edges(nid)
+        if len(preds) != 1:
+            continue
+        (pe,) = preds
+        (se,) = cfg.out_edges(nid)
+        if se.dst == nid or pe.src == nid:
+            continue
+        cfg.remove_node(nid)
+        cfg.add_edge(pe.src, se.dst, pe.direction)
+
+
+def eliminate_dead_assignments(cfg: CFG, report: OptReport) -> bool:
+    """Remove scalar assignments dead even under the all-observable exit."""
+    from ..analysis.framework import solve_dataflow
+
+    variables = frozenset(cfg.variables())
+
+    def gen(n: int) -> frozenset:
+        return cfg.node(n).loads()
+
+    def kill(n: int) -> frozenset:
+        node = cfg.node(n)
+        if node.target is not None and isinstance(node.target, ArrayRef):
+            return frozenset()
+        return node.stores()
+
+    live_in, live_out = solve_dataflow(
+        cfg, direction="backward", gen=gen, kill=kill, boundary=variables
+    )
+    changed = False
+    for nid in list(cfg.nodes):
+        node = cfg.nodes.get(nid)
+        if (
+            node is None
+            or node.kind is not NodeKind.ASSIGN
+            or isinstance(node.target, ArrayRef)
+        ):
+            continue
+        if node.target.name in live_out[nid]:
+            continue
+        # note: expressions are pure (reads have no side effects), so the
+        # whole assignment can go
+        (pe,) = cfg.in_edges(nid)
+        (se,) = cfg.out_edges(nid)
+        cfg.remove_node(nid)
+        cfg.add_edge(pe.src, se.dst, pe.direction)
+        report.dead_assignments += 1
+        changed = True
+    return changed
+
+
+def optimize_cfg(cfg: CFG, max_rounds: int = 20) -> tuple[CFG, OptReport]:
+    """Run all passes to a fixpoint on a copy of ``cfg``."""
+    g = cfg.copy()
+    report = OptReport()
+    for _ in range(max_rounds):
+        changed = False
+        changed |= fold_all(g, report)
+        changed |= propagate_constants(g, report)
+        changed |= fold_all(g, report)
+        changed |= resolve_constant_forks(g, report)
+        changed |= eliminate_dead_assignments(g, report)
+        if not changed:
+            break
+    g.validate()
+    return g, report

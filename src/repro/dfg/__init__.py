@@ -1,0 +1,42 @@
+"""Dataflow graph intermediate representation (paper Section 2.2).
+
+Graphs are made of operators (nodes) with numbered input/output *ports*
+connected by arcs.  Tokens flow along arcs; an operator fires when the
+firing rule for its kind is met (strict operators need a token on every
+input port in the same tag context; merges fire per token).  Arcs may carry
+ordinary values or dummy *access tokens* used only to sequence memory
+operations — the paper draws the latter dotted, we flag them ``is_access``.
+
+Key operators (Figure 2 plus the memory model of Section 2.2):
+
+* ``SWITCH`` — routes its data input to the true or false output according
+  to the boolean control input.
+* ``MERGE`` — any arriving token is passed to the single output.
+* ``SYNCH`` — waits for a token on every input, then emits one dummy token.
+* ``LOAD``/``STORE`` (and the array forms ``ALOAD``/``ASTORE``) — split-phase
+  operations against an updatable store, sequenced by access tokens.
+* ``ILOAD``/``ISTORE`` — I-structure memory (Section 6.3): writes are
+  single-assignment, reads may arrive early and are deferred until data.
+* ``LOOP_ENTRY``/``LOOP_EXIT`` — the Section 3 loop control operators,
+  implemented as tag management: entry allocates a fresh iteration context
+  per trip, exit restores the parent context.
+"""
+
+from .nodes import DFGError, DFNode, OpKind, Seed, num_inputs, num_outputs
+from .graph import Arc, DFGraph
+from .stats import GraphStats, graph_stats
+from .dot import dfg_to_dot
+
+__all__ = [
+    "Arc",
+    "DFGError",
+    "DFGraph",
+    "DFNode",
+    "GraphStats",
+    "OpKind",
+    "Seed",
+    "dfg_to_dot",
+    "graph_stats",
+    "num_inputs",
+    "num_outputs",
+]

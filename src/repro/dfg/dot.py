@@ -1,0 +1,39 @@
+"""Graphviz DOT export for dataflow graphs.  Access-token arcs are dotted,
+matching the paper's drawing convention."""
+
+from __future__ import annotations
+
+from .graph import DFGraph
+from .nodes import OpKind
+
+_SHAPES = {
+    OpKind.START: "circle",
+    OpKind.END: "doublecircle",
+    OpKind.CONST: "plaintext",
+    OpKind.BINOP: "circle",
+    OpKind.UNOP: "circle",
+    OpKind.LOAD: "box",
+    OpKind.STORE: "box",
+    OpKind.ALOAD: "box",
+    OpKind.ASTORE: "box",
+    OpKind.ILOAD: "box3d",
+    OpKind.ISTORE: "box3d",
+    OpKind.SWITCH: "trapezium",
+    OpKind.MERGE: "invtrapezium",
+    OpKind.SYNCH: "triangle",
+    OpKind.LOOP_ENTRY: "house",
+    OpKind.LOOP_EXIT: "invhouse",
+}
+
+
+def dfg_to_dot(g: DFGraph, title: str = "dfg") -> str:
+    lines = [f"digraph {title!r} {{", "  node [fontname=monospace];"]
+    for nid in sorted(g.nodes):
+        node = g.node(nid)
+        label = f"{nid}: {node.describe()}".replace('"', "'")
+        lines.append(f'  n{nid} [shape={_SHAPES[node.kind]} label="{label}"];')
+    for a in sorted(g.arcs()):
+        style = " [style=dotted]" if a.is_access else ""
+        lines.append(f"  n{a.src} -> n{a.dst}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,197 @@
+"""Dataflow operator kinds and port conventions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DFGError(Exception):
+    """Raised on malformed dataflow graphs."""
+
+
+class OpKind(enum.Enum):
+    START = "start"
+    END = "end"
+    CONST = "const"
+    BINOP = "binop"
+    UNOP = "unop"
+    LOAD = "load"
+    STORE = "store"
+    ALOAD = "aload"
+    ASTORE = "astore"
+    ILOAD = "iload"
+    ISTORE = "istore"
+    SWITCH = "switch"
+    MERGE = "merge"
+    SYNCH = "synch"
+    LOOP_ENTRY = "loop_entry"
+    LOOP_EXIT = "loop_exit"
+
+
+# Port conventions, by kind (i = input port, o = output port):
+#
+#   CONST       i0 trigger                         o0 value
+#   BINOP       i0 left, i1 right                  o0 result
+#   UNOP        i0 operand                         o0 result
+#   LOAD v      i0 access                          o0 value, o1 access
+#   STORE v     i0 value, i1 access                o0 access
+#   ALOAD a     i0 index, i1 access                o0 value, o1 access
+#   ASTORE a    i0 index, i1 value, i2 access      o0 access
+#   ILOAD a     i0 index                           o0 value
+#   ISTORE a    i0 index, i1 value                 o0 done-signal
+#   SWITCH      i0 data, i1 control (bool)         o0 true-out, o1 false-out
+#   MERGE       i0..i(n-1)                         o0
+#   SYNCH       i0..i(n-1)                         o0 (dummy)
+#   LOOP_ENTRY  i0..i(n-1) initial entries,        o0..o(n-1) channels
+#               i(n)..i(2n-1) backedges
+#   LOOP_EXIT   i0..i(n-1) channels                o0..o(n-1) channels
+#   START       (none)                             o0..o(n-1), seeded
+#   END         i0..i(n-1), per `returns`          (none)
+
+
+@dataclass(frozen=True, slots=True)
+class Seed:
+    """What the machine places on a START output port at time zero.
+
+    * ``kind == "access"`` — a dummy access token (``label`` names the
+      variable/cover element, for traces only).
+    * ``kind == "value"`` — the initial value of variable ``label`` from the
+      initial store (the memory-elimination schema carries values on
+      tokens from the very start).
+    """
+
+    kind: str  # "access" | "value"
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("access", "value"):
+            raise DFGError(f"bad seed kind {self.kind!r}")
+
+
+@dataclass(slots=True)
+class DFNode:
+    """One dataflow operator.
+
+    Payload fields by kind:
+
+    * CONST: ``value``
+    * BINOP/UNOP: ``op``
+    * LOAD/STORE/ALOAD/ASTORE/ILOAD/ISTORE: ``var`` (the location name)
+    * MERGE/SYNCH: ``nports``
+    * LOOP_ENTRY/LOOP_EXIT: ``loop_id``, ``nchannels``, ``channel_labels``
+    * START: ``seeds`` (list of :class:`Seed`, one per output port)
+    * END: ``returns`` (one entry per input port: a variable name whose
+      final value the arriving token carries, or None for dummy tokens)
+    * ``latency``: extra cycles this operator takes beyond the kind default
+      (0 normally; benches use it to model slow units)
+    * ``tag``: free-form provenance note ("stmt 4 read block", etc.)
+    """
+
+    id: int
+    kind: OpKind
+    op: str | None = None
+    value: int | None = None
+    var: str | None = None
+    nports: int = 0
+    loop_id: int | None = None
+    nchannels: int = 0
+    channel_labels: tuple[str, ...] = ()
+    seeds: tuple[Seed, ...] = ()
+    returns: tuple[str | None, ...] = ()
+    latency: int = 0
+    tag: str = ""
+
+    def describe(self) -> str:
+        k = self.kind
+        if k is OpKind.CONST:
+            return f"const {self.value}"
+        if k in (OpKind.BINOP, OpKind.UNOP):
+            return f"{self.op}"
+        if k in (
+            OpKind.LOAD,
+            OpKind.STORE,
+            OpKind.ALOAD,
+            OpKind.ASTORE,
+            OpKind.ILOAD,
+            OpKind.ISTORE,
+        ):
+            return f"{k.value} {self.var}"
+        if k in (OpKind.MERGE, OpKind.SYNCH):
+            return f"{k.value}{self.nports}"
+        if k in (OpKind.LOOP_ENTRY, OpKind.LOOP_EXIT):
+            return f"{k.value} L{self.loop_id}"
+        return k.value
+
+
+def num_inputs(node: DFNode) -> int:
+    k = node.kind
+    if k is OpKind.START:
+        return 0
+    if k is OpKind.END:
+        return len(node.returns)
+    if k is OpKind.CONST:
+        return 1
+    if k is OpKind.BINOP:
+        return 2
+    if k is OpKind.UNOP:
+        return 1
+    if k is OpKind.LOAD:
+        return 1
+    if k is OpKind.STORE:
+        return 2
+    if k is OpKind.ALOAD:
+        return 2
+    if k is OpKind.ASTORE:
+        return 3
+    if k is OpKind.ILOAD:
+        return 1
+    if k is OpKind.ISTORE:
+        return 2
+    if k is OpKind.SWITCH:
+        return 2
+    if k in (OpKind.MERGE, OpKind.SYNCH):
+        return node.nports
+    if k is OpKind.LOOP_ENTRY:
+        return 2 * node.nchannels
+    if k is OpKind.LOOP_EXIT:
+        return node.nchannels
+    raise DFGError(f"unknown kind {k}")
+
+
+def num_outputs(node: DFNode) -> int:
+    k = node.kind
+    if k is OpKind.START:
+        return len(node.seeds)
+    if k is OpKind.END:
+        return 0
+    if k in (OpKind.CONST, OpKind.BINOP, OpKind.UNOP):
+        return 1
+    if k is OpKind.LOAD:
+        return 2
+    if k is OpKind.STORE:
+        return 1
+    if k is OpKind.ALOAD:
+        return 2
+    if k is OpKind.ASTORE:
+        return 1
+    if k is OpKind.ILOAD:
+        return 1
+    if k is OpKind.ISTORE:
+        return 1
+    if k is OpKind.SWITCH:
+        return 2
+    if k in (OpKind.MERGE, OpKind.SYNCH):
+        return 1
+    if k in (OpKind.LOOP_ENTRY, OpKind.LOOP_EXIT):
+        return node.nchannels
+    raise DFGError(f"unknown kind {k}")
+
+
+#: Kinds that fire per arriving token rather than matching all inputs.
+NONSTRICT = frozenset({OpKind.MERGE})
+
+#: Kinds that touch the updatable store (split-phase).
+MEMORY_KINDS = frozenset(
+    {OpKind.LOAD, OpKind.STORE, OpKind.ALOAD, OpKind.ASTORE, OpKind.ILOAD, OpKind.ISTORE}
+)

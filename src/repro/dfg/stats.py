@@ -1,0 +1,59 @@
+"""Structural statistics over dataflow graphs — the quantities the paper's
+figures and size claims are stated in (operator counts, switch/merge counts,
+access-arc counts, graph size O(E·V))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import DFGraph
+from .nodes import MEMORY_KINDS
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    nodes: int
+    arcs: int
+    access_arcs: int
+    value_arcs: int
+    by_kind: dict
+    switches: int
+    merges: int
+    synchs: int
+    loads: int
+    stores: int
+    memory_ops: int
+    loop_controls: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.nodes} nodes, {self.arcs} arcs "
+            f"({self.access_arcs} access / {self.value_arcs} value); "
+            f"{self.switches} switches, {self.merges} merges, "
+            f"{self.synchs} synchs, {self.memory_ops} memory ops, "
+            f"{self.loop_controls} loop controls"
+        )
+
+
+def graph_stats(g: DFGraph) -> GraphStats:
+    by_kind: dict[str, int] = {}
+    for n in g.nodes.values():
+        by_kind[n.kind.value] = by_kind.get(n.kind.value, 0) + 1
+    access = sum(1 for a in g.arcs() if a.is_access)
+    total = g.num_arcs()
+    return GraphStats(
+        nodes=len(g.nodes),
+        arcs=total,
+        access_arcs=access,
+        value_arcs=total - access,
+        by_kind=by_kind,
+        switches=by_kind.get("switch", 0),
+        merges=by_kind.get("merge", 0),
+        synchs=by_kind.get("synch", 0),
+        loads=by_kind.get("load", 0) + by_kind.get("aload", 0),
+        stores=by_kind.get("store", 0) + by_kind.get("astore", 0),
+        memory_ops=sum(
+            1 for n in g.nodes.values() if n.kind in MEMORY_KINDS
+        ),
+        loop_controls=by_kind.get("loop_entry", 0) + by_kind.get("loop_exit", 0),
+    )

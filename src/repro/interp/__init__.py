@@ -1,0 +1,12 @@
+"""Reference sequential interpreters.
+
+Two independent implementations of the source language's standard
+operational semantics — one over the AST, one over the CFG — used as ground
+truth: every translation schema's dataflow execution must produce the same
+final memory.
+"""
+
+from .ast_interp import run_ast
+from .cfg_interp import run_cfg
+
+__all__ = ["run_ast", "run_cfg"]

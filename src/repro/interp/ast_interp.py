@@ -1,0 +1,93 @@
+"""Sequential AST interpreter: the standard operational semantics — a
+program counter over statements mutating a global updatable store."""
+
+from __future__ import annotations
+
+from ..lang.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CondGoto,
+    Expr,
+    Goto,
+    IntLit,
+    Program,
+    Skip,
+    UnOp,
+    Var,
+)
+from ..machine.memory import DataMemory
+from ..semantics import apply_binop, apply_unop, truthy
+
+
+class StepLimitExceeded(Exception):
+    """The interpreter ran longer than allowed (probably nontermination)."""
+
+
+def eval_expr(e: Expr, mem: DataMemory) -> int:
+    if isinstance(e, IntLit):
+        return e.value
+    if isinstance(e, Var):
+        return mem.read(e.name)
+    if isinstance(e, ArrayRef):
+        return mem.aread(e.name, eval_expr(e.index, mem))
+    if isinstance(e, BinOp):
+        return apply_binop(e.op, eval_expr(e.left, mem), eval_expr(e.right, mem))
+    if isinstance(e, UnOp):
+        return apply_unop(e.op, eval_expr(e.operand, mem))
+    raise TypeError(f"unknown expression {type(e).__name__}")
+
+
+def run_ast(
+    prog: Program,
+    inputs: dict[str, int] | None = None,
+    max_steps: int = 1_000_000,
+) -> dict[str, int | list[int]]:
+    """Run a program, returning the final store snapshot.
+
+    ``goto`` targets may be anywhere in the program (including inside
+    structured bodies), so execution works over a *flattened* statement list
+    produced by the same lowering the CFG builder uses — guaranteeing the
+    two interpreters agree on unstructured control flow.  Subroutine calls
+    are expanded first (the same expansion the compiler uses).
+    """
+    from ..cfg.builder import lower
+    from ..lang.subroutines import expand_subroutines
+
+    if prog.subs:
+        prog, _ = expand_subroutines(prog)
+    flat = lower(prog)
+    labels: dict[str, int] = {}
+    for i, s in enumerate(flat):
+        if s.label:
+            labels[s.label] = i
+
+    mem = DataMemory.for_program(prog, inputs)
+    pc = 0
+    steps = 0
+    while pc < len(flat):
+        steps += 1
+        if steps > max_steps:
+            raise StepLimitExceeded(f"more than {max_steps} statements executed")
+        s = flat[pc]
+        if isinstance(s, Assign):
+            value = eval_expr(s.expr, mem)
+            if isinstance(s.target, ArrayRef):
+                mem.awrite(s.target.name, eval_expr(s.target.index, mem), value)
+            else:
+                mem.write(s.target.name, value)
+            pc += 1
+        elif isinstance(s, Goto):
+            pc = labels[s.target]
+        elif isinstance(s, CondGoto):
+            if truthy(eval_expr(s.pred, mem)):
+                pc = labels[s.then_target]
+            elif s.else_target is not None:
+                pc = labels[s.else_target]
+            else:
+                pc += 1
+        elif isinstance(s, Skip):
+            pc += 1
+        else:
+            raise TypeError(f"unexpected flat statement {type(s).__name__}")
+    return mem.snapshot()

@@ -1,0 +1,56 @@
+"""Sequential CFG interpreter: walks the control-flow graph node by node,
+an independent check on the CFG builder and the AST interpreter."""
+
+from __future__ import annotations
+
+from ..cfg.graph import CFG, NodeKind
+from ..lang.ast_nodes import ArrayRef, Program
+from ..machine.memory import DataMemory
+from ..semantics import truthy
+from .ast_interp import StepLimitExceeded, eval_expr
+
+
+def run_cfg(
+    cfg: CFG,
+    prog: Program,
+    inputs: dict[str, int] | None = None,
+    max_steps: int = 1_000_000,
+) -> dict[str, int | list[int]]:
+    """Execute the CFG sequentially; returns the final store snapshot.
+
+    ``prog`` supplies the array declarations for sizing memory.  Works on
+    loop-control-augmented graphs too (LOOP_ENTRY/LOOP_EXIT are no-ops
+    sequentially).
+    """
+    mem = DataMemory.for_program(prog, inputs)
+    cur = cfg.entry
+    steps = 0
+    while cur != cfg.exit:
+        steps += 1
+        if steps > max_steps:
+            raise StepLimitExceeded(f"more than {max_steps} nodes executed")
+        node = cfg.node(cur)
+        kind = node.kind
+        if kind is NodeKind.START:
+            cur = next(e.dst for e in cfg.out_edges(cur) if e.direction is True)
+        elif kind is NodeKind.ASSIGN:
+            value = eval_expr(node.expr, mem)
+            if isinstance(node.target, ArrayRef):
+                mem.awrite(
+                    node.target.name, eval_expr(node.target.index, mem), value
+                )
+            else:
+                mem.write(node.target.name, value)
+            (edge,) = cfg.out_edges(cur)
+            cur = edge.dst
+        elif kind is NodeKind.FORK:
+            taken = truthy(eval_expr(node.pred, mem))
+            cur = next(
+                e.dst for e in cfg.out_edges(cur) if e.direction is taken
+            )
+        elif kind in (NodeKind.JOIN, NodeKind.LOOP_ENTRY, NodeKind.LOOP_EXIT):
+            (edge,) = cfg.out_edges(cur)
+            cur = edge.dst
+        else:
+            raise TypeError(f"cannot interpret node kind {kind}")
+    return mem.snapshot()

@@ -1,0 +1,75 @@
+"""Imperative source language front end.
+
+The paper translates programs in a conventional imperative language
+(FORTRAN-like scalars, arrays, unstructured ``goto`` control flow, and
+aliased variable names) into dataflow graphs.  This package provides a small
+such language:
+
+* assignments ``x := e;`` and ``a[i] := e;``
+* unstructured control flow: labels, ``goto l;``, and binary forks
+  ``if p then goto l1 else goto l2;`` exactly as in Section 2.1
+* structured sugar ``if p then { ... } else { ... }`` and
+  ``while p do { ... }`` which the CFG builder lowers to forks and joins
+* ``array a[n];`` declarations
+* ``alias (x, y);`` declarations that build the alias structure of
+  Section 5 (standing in for FORTRAN by-reference parameter aliasing)
+
+The public surface is :func:`parse` (source text -> :class:`Program`) and the
+AST node classes re-exported here.
+"""
+
+from .errors import CompileError, LexError, ParseError, SemanticError, SourceLocation
+from .tokens import Token, TokenKind
+from .lexer import tokenize
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CondGoto,
+    Expr,
+    Goto,
+    If,
+    IntLit,
+    Program,
+    Skip,
+    Stmt,
+    SubDef,
+    UnOp,
+    Var,
+    While,
+)
+from .subroutines import ExpansionReport, expand_subroutines
+from .parser import parse
+from .pretty import pretty
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Call",
+    "CompileError",
+    "CondGoto",
+    "ExpansionReport",
+    "Expr",
+    "SubDef",
+    "expand_subroutines",
+    "Goto",
+    "If",
+    "IntLit",
+    "LexError",
+    "ParseError",
+    "Program",
+    "SemanticError",
+    "Skip",
+    "SourceLocation",
+    "Stmt",
+    "Token",
+    "TokenKind",
+    "UnOp",
+    "Var",
+    "While",
+    "parse",
+    "pretty",
+    "tokenize",
+]

@@ -1,0 +1,264 @@
+"""Abstract syntax tree for the source language.
+
+Expressions are pure (no side effects); all state change happens in
+:class:`Assign`.  Statements may carry a ``label`` making them a goto target.
+Structured statements (:class:`If`, :class:`While`) are syntactic sugar that
+the CFG builder lowers into the fork/join form of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """Scalar variable reference (a read when used in an expression, a write
+    target when used as the left-hand side of :class:`Assign`)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef(Expr):
+    """Array element reference ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+# Binary operators.  Comparisons and logical connectives yield 0/1.
+# Division and modulus are *total*: a zero divisor yields 0 (documented
+# deviation from trap semantics; keeps random-program property tests total).
+BINARY_OPS = frozenset(
+    {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "and", "or"}
+)
+UNARY_OPS = frozenset({"-", "not"})
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Binary operation ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(Expr):
+    """Unary operation ``op operand``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+def expr_vars(e: Expr) -> list[str]:
+    """Variable names read by expression ``e`` (array names included), in
+    first-appearance order, without duplicates."""
+    out: dict[str, None] = {}
+
+    def walk(x: Expr) -> None:
+        if isinstance(x, Var):
+            out.setdefault(x.name, None)
+        elif isinstance(x, ArrayRef):
+            out.setdefault(x.name, None)
+            walk(x.index)
+        elif isinstance(x, BinOp):
+            walk(x.left)
+            walk(x.right)
+        elif isinstance(x, UnOp):
+            walk(x.operand)
+
+    walk(e)
+    return list(out)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt:
+    """Base class for statements.  ``label`` names this statement as a goto
+    target; ``location`` points back into the source."""
+
+    label: str | None = field(default=None, kw_only=True)
+    location: SourceLocation | None = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class Assign(Stmt):
+    """``target := expr;`` where target is a :class:`Var` or :class:`ArrayRef`."""
+
+    target: Var | ArrayRef
+    expr: Expr
+
+
+@dataclass(slots=True)
+class Goto(Stmt):
+    """Unconditional jump ``goto target;``."""
+
+    target: str
+
+
+@dataclass(slots=True)
+class CondGoto(Stmt):
+    """Binary fork ``if pred then goto then_target else goto else_target;``.
+
+    ``else_target`` of ``None`` means fall through to the next statement.
+    """
+
+    pred: Expr
+    then_target: str
+    else_target: str | None = None
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    """Structured conditional (sugar)."""
+
+    cond: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    """Structured loop (sugar)."""
+
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Skip(Stmt):
+    """No-op; useful as a labeled join point."""
+
+
+@dataclass(slots=True)
+class Call(Stmt):
+    """Subroutine call ``call f(a, b, ...);`` — all parameters are passed
+    by reference (FORTRAN-style), so distinct formals may alias.  Expanded
+    away by :mod:`repro.lang.subroutines` before CFG construction."""
+
+    name: str
+    args: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class SubDef:
+    """A subroutine definition ``sub f(p, q) { ... }``.
+
+    Subroutines have no return value; they communicate through their
+    by-reference parameters (and only those — any other name used in the
+    body is a local, renamed per expansion)."""
+
+    name: str
+    formals: list[str]
+    body: list[Stmt]
+    location: SourceLocation | None = None
+
+
+# ---------------------------------------------------------------------------
+# Program
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Program:
+    """A whole translation unit.
+
+    * ``arrays`` maps declared array names to their lengths.
+    * ``scalars`` lists explicitly declared scalar names (implicit scalars —
+      any identifier used but not declared — are also permitted).
+    * ``alias_groups`` holds the ``alias (...)`` declarations: each group is a
+      tuple of names declared mutually aliased.  Section 5's alias relation is
+      the reflexive-symmetric closure of these pairs.
+    * ``body`` is the statement list.
+    """
+
+    body: list[Stmt] = field(default_factory=list)
+    arrays: dict[str, int] = field(default_factory=dict)
+    scalars: list[str] = field(default_factory=list)
+    alias_groups: list[tuple[str, ...]] = field(default_factory=list)
+    subs: dict[str, "SubDef"] = field(default_factory=dict)
+
+    def variables(self) -> list[str]:
+        """All variable names (scalars and arrays) referenced or declared,
+        in a deterministic first-appearance order."""
+        seen: dict[str, None] = {}
+
+        def expr_vars(e: Expr) -> None:
+            if isinstance(e, Var):
+                seen.setdefault(e.name, None)
+            elif isinstance(e, ArrayRef):
+                seen.setdefault(e.name, None)
+                expr_vars(e.index)
+            elif isinstance(e, BinOp):
+                expr_vars(e.left)
+                expr_vars(e.right)
+            elif isinstance(e, UnOp):
+                expr_vars(e.operand)
+
+        def stmt_vars(s: Stmt) -> None:
+            if isinstance(s, Assign):
+                if isinstance(s.target, ArrayRef):
+                    seen.setdefault(s.target.name, None)
+                    expr_vars(s.target.index)
+                else:
+                    seen.setdefault(s.target.name, None)
+                expr_vars(s.expr)
+            elif isinstance(s, CondGoto):
+                expr_vars(s.pred)
+            elif isinstance(s, If):
+                expr_vars(s.cond)
+                for t in s.then_body:
+                    stmt_vars(t)
+                for t in s.else_body:
+                    stmt_vars(t)
+            elif isinstance(s, While):
+                expr_vars(s.cond)
+                for t in s.body:
+                    stmt_vars(t)
+            elif isinstance(s, Call):
+                for a in s.args:
+                    seen.setdefault(a, None)
+
+        for name in self.scalars:
+            seen.setdefault(name, None)
+        for name in self.arrays:
+            seen.setdefault(name, None)
+        for s in self.body:
+            stmt_vars(s)
+        for group in self.alias_groups:
+            for name in group:
+                seen.setdefault(name, None)
+        return list(seen)

@@ -1,0 +1,43 @@
+"""Error types and source locations for the front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A 1-based (line, column) position in a source file."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class CompileError(Exception):
+    """Base class for all front-end errors.
+
+    Carries an optional :class:`SourceLocation` so callers can point at the
+    offending source text.
+    """
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(CompileError):
+    """Raised on malformed input at the character level."""
+
+
+class ParseError(CompileError):
+    """Raised on malformed input at the token level."""
+
+
+class SemanticError(CompileError):
+    """Raised on well-formed but meaningless programs (duplicate labels,
+    gotos to undefined labels, use of undeclared arrays, ...)."""

@@ -1,0 +1,100 @@
+"""Hand-written lexer for the source language.
+
+Comments run from ``#`` to end of line.  Whitespace separates tokens but is
+otherwise insignificant.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+# Two-character operators must be tried before their one-character prefixes.
+_TWO_CHAR = {
+    ":=": TokenKind.ASSIGN,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+}
+
+_ONE_CHAR = {
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert source text into a token list ending with an EOF token.
+
+    Raises :class:`LexError` on any character that cannot start a token.
+    """
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        loc = SourceLocation(line, col)
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, loc))
+            i += 2
+            col += 2
+            continue
+        if c in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[c], c, loc))
+            i += 1
+            col += 1
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and (source[j].isalpha() or source[j] == "_"):
+                raise LexError(f"malformed number {source[i:j + 1]!r}", loc)
+            tokens.append(Token(TokenKind.INT, source[i:j], loc))
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            tokens.append(Token(kind, text, loc))
+            col += j - i
+            i = j
+            continue
+        raise LexError(f"unexpected character {c!r}", loc)
+    tokens.append(Token(TokenKind.EOF, "", SourceLocation(line, col)))
+    return tokens

@@ -1,0 +1,512 @@
+"""Recursive-descent parser for the source language.
+
+Grammar (EBNF; ``{x}`` repetition, ``[x]`` option)::
+
+    program   : {decl} {stmt} EOF
+    decl      : "var" IDENT {"," IDENT} ";"
+              | "array" IDENT "[" INT "]" {"," IDENT "[" INT "]"} ";"
+              | "alias" "(" IDENT "," IDENT {"," IDENT} ")" ";"
+    stmt      : [IDENT ":"] base
+    base      : IDENT ":=" expr ";"
+              | IDENT "[" expr "]" ":=" expr ";"
+              | "goto" IDENT ";"
+              | "if" expr "then" "goto" IDENT ["else" "goto" IDENT] ";"
+              | "if" expr "then" block ["else" block]
+              | "while" expr "do" block
+              | "skip" ";"
+    block     : "{" {stmt} "}"
+    expr      : or_expr
+    or_expr   : and_expr {"or" and_expr}
+    and_expr  : not_expr {"and" not_expr}
+    not_expr  : "not" not_expr | cmp_expr
+    cmp_expr  : add_expr [("=="|"!="|"<"|"<="|">"|">=") add_expr]
+    add_expr  : mul_expr {("+"|"-") mul_expr}
+    mul_expr  : unary {("*"|"/"|"%") unary}
+    unary     : "-" unary | atom
+    atom      : INT | IDENT ["[" expr "]"] | "(" expr ")"
+
+A label is an identifier followed by ``:`` (but not ``:=``); it attaches to
+the statement that follows it.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CondGoto,
+    Expr,
+    Goto,
+    If,
+    IntLit,
+    Program,
+    Skip,
+    Stmt,
+    SubDef,
+    UnOp,
+    Var,
+    While,
+)
+from .errors import ParseError, SemanticError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_CMP_OPS = {
+    TokenKind.EQ: "==",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+_ADD_OPS = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+_MUL_OPS = {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, kind: TokenKind) -> bool:
+        return self.peek().kind is kind
+
+    def match(self, kind: TokenKind) -> Token | None:
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {tok.kind.value!r}", tok.location
+            )
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def program(self) -> Program:
+        prog = Program()
+        while self.peek().kind in (
+            TokenKind.KW_VAR,
+            TokenKind.KW_ARRAY,
+            TokenKind.KW_ALIAS,
+        ):
+            self.decl(prog)
+        while self.check(TokenKind.KW_SUB):
+            self.subdef(prog)
+        while not self.check(TokenKind.EOF):
+            prog.body.append(self.stmt())
+        _validate(prog)
+        return prog
+
+    def subdef(self, prog: Program) -> None:
+        tok = self.expect(TokenKind.KW_SUB)
+        name = self.expect(TokenKind.IDENT)
+        if name.text in prog.subs:
+            raise SemanticError(
+                f"duplicate subroutine {name.text!r}", name.location
+            )
+        self.expect(TokenKind.LPAREN)
+        formals: list[str] = []
+        if not self.check(TokenKind.RPAREN):
+            formals.append(self.expect(TokenKind.IDENT).text)
+            while self.match(TokenKind.COMMA):
+                formals.append(self.expect(TokenKind.IDENT).text)
+        if len(set(formals)) != len(formals):
+            raise SemanticError(
+                f"duplicate formal parameter in sub {name.text!r}",
+                name.location,
+            )
+        self.expect(TokenKind.RPAREN)
+        body = self.block()
+        prog.subs[name.text] = SubDef(
+            name.text, formals, body, location=tok.location
+        )
+
+    def decl(self, prog: Program) -> None:
+        tok = self.advance()
+        if tok.kind is TokenKind.KW_VAR:
+            while True:
+                name = self.expect(TokenKind.IDENT)
+                if name.text in prog.scalars:
+                    raise SemanticError(
+                        f"duplicate scalar declaration {name.text!r}", name.location
+                    )
+                prog.scalars.append(name.text)
+                if not self.match(TokenKind.COMMA):
+                    break
+            self.expect(TokenKind.SEMI)
+        elif tok.kind is TokenKind.KW_ARRAY:
+            while True:
+                name = self.expect(TokenKind.IDENT)
+                self.expect(TokenKind.LBRACKET)
+                size = self.expect(TokenKind.INT)
+                self.expect(TokenKind.RBRACKET)
+                if name.text in prog.arrays:
+                    raise SemanticError(
+                        f"duplicate array declaration {name.text!r}", name.location
+                    )
+                prog.arrays[name.text] = int(size.text)
+                if not self.match(TokenKind.COMMA):
+                    break
+            self.expect(TokenKind.SEMI)
+        else:  # alias
+            self.expect(TokenKind.LPAREN)
+            names = [self.expect(TokenKind.IDENT).text]
+            self.expect(TokenKind.COMMA)
+            names.append(self.expect(TokenKind.IDENT).text)
+            while self.match(TokenKind.COMMA):
+                names.append(self.expect(TokenKind.IDENT).text)
+            self.expect(TokenKind.RPAREN)
+            self.expect(TokenKind.SEMI)
+            prog.alias_groups.append(tuple(names))
+
+    def stmt(self) -> Stmt:
+        label = None
+        if (
+            self.check(TokenKind.IDENT)
+            and self.peek(1).kind is TokenKind.COLON
+        ):
+            label = self.advance().text
+            self.advance()  # colon
+        s = self.base_stmt()
+        s.label = label
+        return s
+
+    def base_stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind is TokenKind.KW_SKIP:
+            self.advance()
+            self.expect(TokenKind.SEMI)
+            return Skip(location=tok.location)
+        if tok.kind is TokenKind.KW_GOTO:
+            self.advance()
+            target = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.SEMI)
+            return Goto(target, location=tok.location)
+        if tok.kind is TokenKind.KW_CALL:
+            self.advance()
+            name = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.LPAREN)
+            args: list[str] = []
+            if not self.check(TokenKind.RPAREN):
+                args.append(self.expect(TokenKind.IDENT).text)
+                while self.match(TokenKind.COMMA):
+                    args.append(self.expect(TokenKind.IDENT).text)
+            self.expect(TokenKind.RPAREN)
+            self.expect(TokenKind.SEMI)
+            return Call(name, args, location=tok.location)
+        if tok.kind is TokenKind.KW_IF:
+            return self.if_stmt()
+        if tok.kind is TokenKind.KW_WHILE:
+            self.advance()
+            cond = self.expr()
+            self.expect(TokenKind.KW_DO)
+            body = self.block()
+            return While(cond, body, location=tok.location)
+        if tok.kind is TokenKind.IDENT:
+            return self.assign_stmt()
+        raise ParseError(
+            f"expected a statement, found {tok.kind.value!r}", tok.location
+        )
+
+    def if_stmt(self) -> Stmt:
+        tok = self.expect(TokenKind.KW_IF)
+        cond = self.expr()
+        self.expect(TokenKind.KW_THEN)
+        if self.check(TokenKind.KW_GOTO):
+            self.advance()
+            then_target = self.expect(TokenKind.IDENT).text
+            else_target = None
+            if self.match(TokenKind.KW_ELSE):
+                self.expect(TokenKind.KW_GOTO)
+                else_target = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.SEMI)
+            return CondGoto(cond, then_target, else_target, location=tok.location)
+        then_body = self.block()
+        else_body: list[Stmt] = []
+        if self.match(TokenKind.KW_ELSE):
+            else_body = self.block()
+        return If(cond, then_body, else_body, location=tok.location)
+
+    def block(self) -> list[Stmt]:
+        self.expect(TokenKind.LBRACE)
+        stmts: list[Stmt] = []
+        while not self.check(TokenKind.RBRACE):
+            if self.check(TokenKind.EOF):
+                raise ParseError("unterminated block", self.peek().location)
+            stmts.append(self.stmt())
+        self.advance()
+        return stmts
+
+    def assign_stmt(self) -> Stmt:
+        name = self.expect(TokenKind.IDENT)
+        target: Var | ArrayRef
+        if self.match(TokenKind.LBRACKET):
+            index = self.expr()
+            self.expect(TokenKind.RBRACKET)
+            target = ArrayRef(name.text, index)
+        else:
+            target = Var(name.text)
+        self.expect(TokenKind.ASSIGN)
+        value = self.expr()
+        self.expect(TokenKind.SEMI)
+        return Assign(target, value, location=name.location)
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self.match(TokenKind.KW_OR):
+            left = BinOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self.match(TokenKind.KW_AND):
+            left = BinOp("and", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self.match(TokenKind.KW_NOT):
+            return UnOp("not", self.not_expr())
+        return self.cmp_expr()
+
+    def cmp_expr(self) -> Expr:
+        left = self.add_expr()
+        op = _CMP_OPS.get(self.peek().kind)
+        if op is not None:
+            self.advance()
+            return BinOp(op, left, self.add_expr())
+        return left
+
+    def add_expr(self) -> Expr:
+        left = self.mul_expr()
+        while (op := _ADD_OPS.get(self.peek().kind)) is not None:
+            self.advance()
+            left = BinOp(op, left, self.mul_expr())
+        return left
+
+    def mul_expr(self) -> Expr:
+        left = self.unary()
+        while (op := _MUL_OPS.get(self.peek().kind)) is not None:
+            self.advance()
+            left = BinOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> Expr:
+        if self.match(TokenKind.MINUS):
+            return UnOp("-", self.unary())
+        return self.atom()
+
+    def atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return IntLit(int(tok.text))
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.match(TokenKind.LBRACKET):
+                index = self.expr()
+                self.expect(TokenKind.RBRACKET)
+                return ArrayRef(tok.text, index)
+            return Var(tok.text)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            e = self.expr()
+            self.expect(TokenKind.RPAREN)
+            return e
+        raise ParseError(
+            f"expected an expression, found {tok.kind.value!r}", tok.location
+        )
+
+
+def _collect_labels(stmts: list[Stmt], labels: dict[str, Stmt]) -> None:
+    for s in stmts:
+        if s.label is not None:
+            if s.label in labels:
+                raise SemanticError(f"duplicate label {s.label!r}", s.location)
+            labels[s.label] = s
+        if isinstance(s, If):
+            _collect_labels(s.then_body, labels)
+            _collect_labels(s.else_body, labels)
+        elif isinstance(s, While):
+            _collect_labels(s.body, labels)
+
+
+def _check_targets(stmts: list[Stmt], labels: dict[str, Stmt]) -> None:
+    for s in stmts:
+        if isinstance(s, Goto):
+            if s.target not in labels:
+                raise SemanticError(f"goto to undefined label {s.target!r}", s.location)
+        elif isinstance(s, CondGoto):
+            for t in (s.then_target, s.else_target):
+                if t is not None and t not in labels:
+                    raise SemanticError(f"goto to undefined label {t!r}", s.location)
+        elif isinstance(s, If):
+            _check_targets(s.then_body, labels)
+            _check_targets(s.else_body, labels)
+        elif isinstance(s, While):
+            _check_targets(s.body, labels)
+
+
+def _check_arrays(prog: Program) -> None:
+    """Every ArrayRef must name a declared array; declared arrays must not be
+    used as scalars."""
+    arrays = set(prog.arrays)
+
+    def expr_check(e: Expr, loc) -> None:
+        from .ast_nodes import ArrayRef as AR, BinOp as B, UnOp as U, Var as V
+
+        if isinstance(e, AR):
+            if e.name not in arrays:
+                raise SemanticError(f"use of undeclared array {e.name!r}", loc)
+            expr_check(e.index, loc)
+        elif isinstance(e, V):
+            if e.name in arrays:
+                raise SemanticError(
+                    f"array {e.name!r} used without a subscript", loc
+                )
+        elif isinstance(e, B):
+            expr_check(e.left, loc)
+            expr_check(e.right, loc)
+        elif isinstance(e, U):
+            expr_check(e.operand, loc)
+
+    def stmt_check(s: Stmt) -> None:
+        if isinstance(s, Assign):
+            if isinstance(s.target, ArrayRef):
+                if s.target.name not in arrays:
+                    raise SemanticError(
+                        f"use of undeclared array {s.target.name!r}", s.location
+                    )
+                expr_check(s.target.index, s.location)
+            elif s.target.name in arrays:
+                raise SemanticError(
+                    f"array {s.target.name!r} assigned without a subscript",
+                    s.location,
+                )
+            expr_check(s.expr, s.location)
+        elif isinstance(s, CondGoto):
+            expr_check(s.pred, s.location)
+        elif isinstance(s, If):
+            expr_check(s.cond, s.location)
+            for t in s.then_body + s.else_body:
+                stmt_check(t)
+        elif isinstance(s, While):
+            expr_check(s.cond, s.location)
+            for t in s.body:
+                stmt_check(t)
+
+    for s in prog.body:
+        stmt_check(s)
+    for sub in prog.subs.values():
+        for s in sub.body:
+            stmt_check(s)
+
+
+def _check_calls(
+    stmts: list[Stmt], prog: Program, current_sub: str | None
+) -> None:
+    """Calls must name defined subroutines with matching arity; arguments
+    must be scalar variables; call graph must be acyclic (checked by a
+    simple reachability walk from each sub)."""
+    for s in stmts:
+        if isinstance(s, Call):
+            sub = prog.subs.get(s.name)
+            if sub is None:
+                raise SemanticError(
+                    f"call of undefined subroutine {s.name!r}", s.location
+                )
+            if len(s.args) != len(sub.formals):
+                raise SemanticError(
+                    f"call of {s.name!r} with {len(s.args)} arguments "
+                    f"(expects {len(sub.formals)})",
+                    s.location,
+                )
+            for a in s.args:
+                if a in prog.arrays:
+                    raise SemanticError(
+                        f"array {a!r} cannot be passed to a subroutine "
+                        "(scalar by-reference parameters only)",
+                        s.location,
+                    )
+        elif isinstance(s, If):
+            _check_calls(s.then_body, prog, current_sub)
+            _check_calls(s.else_body, prog, current_sub)
+        elif isinstance(s, While):
+            _check_calls(s.body, prog, current_sub)
+
+
+def _callees(stmts: list[Stmt], out: set[str]) -> None:
+    for s in stmts:
+        if isinstance(s, Call):
+            out.add(s.name)
+        elif isinstance(s, If):
+            _callees(s.then_body, out)
+            _callees(s.else_body, out)
+        elif isinstance(s, While):
+            _callees(s.body, out)
+
+
+def _check_no_recursion(prog: Program) -> None:
+    direct: dict[str, set[str]] = {}
+    for name, sub in prog.subs.items():
+        callees: set[str] = set()
+        _callees(sub.body, callees)
+        direct[name] = callees
+    for root in prog.subs:
+        seen: set[str] = set()
+        stack = list(direct[root])
+        while stack:
+            c = stack.pop()
+            if c == root:
+                raise SemanticError(
+                    f"recursive subroutine {root!r} (calls are expanded "
+                    "by inlining, so recursion is not supported)",
+                    prog.subs[root].location,
+                )
+            if c in seen or c not in direct:
+                continue
+            seen.add(c)
+            stack.extend(direct[c])
+
+
+def _validate(prog: Program) -> None:
+    labels: dict[str, Stmt] = {}
+    _collect_labels(prog.body, labels)
+    _check_targets(prog.body, labels)
+    _check_arrays(prog)
+    for sub in prog.subs.values():
+        sub_labels: dict[str, Stmt] = {}
+        _collect_labels(sub.body, sub_labels)
+        _check_targets(sub.body, sub_labels)  # labels are sub-scoped
+        _check_calls(sub.body, prog, sub.name)
+    _check_calls(prog.body, prog, None)
+    _check_no_recursion(prog)
+
+
+def parse(source: str) -> Program:
+    """Parse source text into a validated :class:`Program`.
+
+    Raises :class:`~repro.lang.errors.CompileError` subclasses on bad input.
+    """
+    return _Parser(tokenize(source)).program()

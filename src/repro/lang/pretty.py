@@ -1,0 +1,128 @@
+"""Pretty-printer producing parseable source text (round-trip tested)."""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CondGoto,
+    Expr,
+    Goto,
+    If,
+    IntLit,
+    Program,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    While,
+)
+
+# Precedence levels; higher binds tighter.  Parenthesization is emitted when
+# a child has lower-or-equal precedence than its parent in a position where
+# that would change parsing.
+_PREC = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "==": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+    "neg": 7,
+}
+
+
+def pretty_expr(e: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing as needed."""
+    if isinstance(e, IntLit):
+        if e.value < 0:
+            # negative literal renders as a unary minus application
+            s = f"-{-e.value}"
+            return f"({s})" if parent_prec > _PREC["neg"] else s
+        return str(e.value)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, ArrayRef):
+        return f"{e.name}[{pretty_expr(e.index)}]"
+    if isinstance(e, UnOp):
+        prec = _PREC["neg"] if e.op == "-" else _PREC["not"]
+        inner = pretty_expr(e.operand, prec)
+        s = f"-{inner}" if e.op == "-" else f"not {inner}"
+        return f"({s})" if parent_prec > prec else s
+    if isinstance(e, BinOp):
+        prec = _PREC[e.op]
+        left = pretty_expr(e.left, prec)
+        # comparisons are non-associative, +,-,*,/,% are left-associative:
+        # the right child must be strictly tighter.
+        right = pretty_expr(e.right, prec + 1)
+        s = f"{left} {e.op} {right}"
+        return f"({s})" if parent_prec > prec else s
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+def _stmt_lines(s: Stmt, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    prefix = f"{s.label}: " if s.label else ""
+    if isinstance(s, Assign):
+        if isinstance(s.target, ArrayRef):
+            tgt = f"{s.target.name}[{pretty_expr(s.target.index)}]"
+        else:
+            tgt = s.target.name
+        out.append(f"{pad}{prefix}{tgt} := {pretty_expr(s.expr)};")
+    elif isinstance(s, Goto):
+        out.append(f"{pad}{prefix}goto {s.target};")
+    elif isinstance(s, CondGoto):
+        line = f"{pad}{prefix}if {pretty_expr(s.pred)} then goto {s.then_target}"
+        if s.else_target is not None:
+            line += f" else goto {s.else_target}"
+        out.append(line + ";")
+    elif isinstance(s, Skip):
+        out.append(f"{pad}{prefix}skip;")
+    elif isinstance(s, Call):
+        out.append(f"{pad}{prefix}call {s.name}({', '.join(s.args)});")
+    elif isinstance(s, If):
+        out.append(f"{pad}{prefix}if {pretty_expr(s.cond)} then {{")
+        for t in s.then_body:
+            _stmt_lines(t, indent + 1, out)
+        if s.else_body:
+            out.append(f"{pad}}} else {{")
+            for t in s.else_body:
+                _stmt_lines(t, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(s, While):
+        out.append(f"{pad}{prefix}while {pretty_expr(s.cond)} do {{")
+        for t in s.body:
+            _stmt_lines(t, indent + 1, out)
+        out.append(f"{pad}}}")
+    else:
+        raise TypeError(f"unknown statement node {type(s).__name__}")
+
+
+def pretty(prog: Program) -> str:
+    """Render a program as parseable source text."""
+    out: list[str] = []
+    if prog.scalars:
+        out.append("var " + ", ".join(prog.scalars) + ";")
+    if prog.arrays:
+        decls = ", ".join(f"{n}[{sz}]" for n, sz in prog.arrays.items())
+        out.append(f"array {decls};")
+    for group in prog.alias_groups:
+        out.append("alias (" + ", ".join(group) + ");")
+    for sub in prog.subs.values():
+        out.append(f"sub {sub.name}({', '.join(sub.formals)}) {{")
+        for s in sub.body:
+            _stmt_lines(s, 1, out)
+        out.append("}")
+    for s in prog.body:
+        _stmt_lines(s, 0, out)
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,329 @@
+"""Subroutine expansion — making the Section 5 FORTRAN scenario executable.
+
+The paper's aliasing example is a FORTRAN subroutine::
+
+    SUBROUTINE F(X, Y, Z)
+    ...
+    CALL F(A, B, A)
+    CALL F(C, D, D)
+
+All parameters are by reference, and F is compiled *once*, so its body must
+be correct under any aliasing any call site can induce: X~Z (from the first
+call) and Y~Z (from the second), but not X~Y.  Our language's ``sub``/
+``call`` reproduce this:
+
+* the *alias structure over the formals* of each subroutine is the union
+  over call sites: formals p, q are aliased iff some call passes the same
+  actual for both (computed transitively through nested calls);
+* calls are then expanded by inlining — formals renamed to actuals, locals
+  and labels freshened per site — and each site inherits the subroutine's
+  formal-level alias pairs mapped through its own actuals.  A site that
+  passes distinct actuals for a formally-aliased pair still treats them as
+  may-aliased: that is exactly the price of compiling the body once, and
+  it is what makes the expansion faithful to the paper rather than a mere
+  specializing inliner.
+
+Expansion happens before CFG construction (`compile_program` and the
+reference interpreters call :func:`expand_subroutines` automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CondGoto,
+    Expr,
+    Goto,
+    If,
+    IntLit,
+    Program,
+    Skip,
+    Stmt,
+    SubDef,
+    UnOp,
+    Var,
+    While,
+    expr_vars,
+)
+
+
+def _rename_expr(e: Expr, env: dict[str, str]) -> Expr:
+    if isinstance(e, IntLit):
+        return e
+    if isinstance(e, Var):
+        return Var(env.get(e.name, e.name))
+    if isinstance(e, ArrayRef):
+        return ArrayRef(env.get(e.name, e.name), _rename_expr(e.index, env))
+    if isinstance(e, BinOp):
+        return BinOp(e.op, _rename_expr(e.left, env), _rename_expr(e.right, env))
+    if isinstance(e, UnOp):
+        return UnOp(e.op, _rename_expr(e.operand, env))
+    raise TypeError(type(e))
+
+
+def _rename_stmts(
+    stmts: list[Stmt], env: dict[str, str], labels: dict[str, str]
+) -> list[Stmt]:
+    out: list[Stmt] = []
+    for s in stmts:
+        label = labels.get(s.label) if s.label else None
+        if isinstance(s, Assign):
+            tgt = s.target
+            if isinstance(tgt, ArrayRef):
+                new_tgt: Var | ArrayRef = ArrayRef(
+                    env.get(tgt.name, tgt.name), _rename_expr(tgt.index, env)
+                )
+            else:
+                new_tgt = Var(env.get(tgt.name, tgt.name))
+            out.append(
+                Assign(new_tgt, _rename_expr(s.expr, env), label=label,
+                       location=s.location)
+            )
+        elif isinstance(s, Goto):
+            out.append(Goto(labels[s.target], label=label, location=s.location))
+        elif isinstance(s, CondGoto):
+            out.append(
+                CondGoto(
+                    _rename_expr(s.pred, env),
+                    labels[s.then_target],
+                    labels[s.else_target] if s.else_target else None,
+                    label=label,
+                    location=s.location,
+                )
+            )
+        elif isinstance(s, Skip):
+            out.append(Skip(label=label, location=s.location))
+        elif isinstance(s, If):
+            out.append(
+                If(
+                    _rename_expr(s.cond, env),
+                    _rename_stmts(s.then_body, env, labels),
+                    _rename_stmts(s.else_body, env, labels),
+                    label=label,
+                    location=s.location,
+                )
+            )
+        elif isinstance(s, While):
+            out.append(
+                While(
+                    _rename_expr(s.cond, env),
+                    _rename_stmts(s.body, env, labels),
+                    label=label,
+                    location=s.location,
+                )
+            )
+        elif isinstance(s, Call):
+            out.append(
+                Call(
+                    s.name,
+                    [env.get(a, a) for a in s.args],
+                    label=label,
+                    location=s.location,
+                )
+            )
+        else:
+            raise TypeError(type(s))
+    return out
+
+
+def _collect_labels_in(stmts: list[Stmt], out: set[str]) -> None:
+    for s in stmts:
+        if s.label:
+            out.add(s.label)
+        if isinstance(s, If):
+            _collect_labels_in(s.then_body, out)
+            _collect_labels_in(s.else_body, out)
+        elif isinstance(s, While):
+            _collect_labels_in(s.body, out)
+
+
+def _locals_of(sub: SubDef) -> list[str]:
+    """Names used by the body that are not formals, in first-appearance
+    order (these are per-expansion locals)."""
+    seen: dict[str, None] = {}
+
+    def walk(stmts: list[Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, Assign):
+                if isinstance(s.target, ArrayRef):
+                    seen.setdefault(s.target.name, None)
+                    for v in expr_vars(s.target.index):
+                        seen.setdefault(v, None)
+                else:
+                    seen.setdefault(s.target.name, None)
+                for v in expr_vars(s.expr):
+                    seen.setdefault(v, None)
+            elif isinstance(s, CondGoto):
+                for v in expr_vars(s.pred):
+                    seen.setdefault(v, None)
+            elif isinstance(s, If):
+                for v in expr_vars(s.cond):
+                    seen.setdefault(v, None)
+                walk(s.then_body)
+                walk(s.else_body)
+            elif isinstance(s, While):
+                for v in expr_vars(s.cond):
+                    seen.setdefault(v, None)
+                walk(s.body)
+            elif isinstance(s, Call):
+                for a in s.args:
+                    seen.setdefault(a, None)
+
+    walk(sub.body)
+    return [v for v in seen if v not in sub.formals]
+
+
+@dataclass
+class ExpansionReport:
+    """What expansion did: per subroutine, the formal-level alias pairs
+    derived from the union of call sites, and the expansion count."""
+
+    formal_aliases: dict[str, frozenset[tuple[str, str]]] = field(
+        default_factory=dict
+    )
+    expansions: dict[str, int] = field(default_factory=dict)
+
+
+def _formal_alias_pairs(prog: Program) -> dict[str, set[tuple[str, str]]]:
+    """Fixpoint over the (acyclic) call graph: formals p, q of sub f are
+    aliased iff some call of f passes identical actuals for them, or a call
+    from inside sub g passes two of g's own already-aliased formals."""
+    pairs: dict[str, set[tuple[str, str]]] = {n: set() for n in prog.subs}
+
+    def aliased_in_context(a: str, b: str, ctx: str | None) -> bool:
+        if a == b:
+            return True
+        if ctx is None:
+            return False
+        key = (a, b) if a <= b else (b, a)
+        return key in pairs[ctx]
+
+    def visit_calls(stmts: list[Stmt], ctx: str | None, changed: list[bool]):
+        for s in stmts:
+            if isinstance(s, Call):
+                sub = prog.subs[s.name]
+                for i, p in enumerate(sub.formals):
+                    for j in range(i + 1, len(sub.formals)):
+                        q = sub.formals[j]
+                        if aliased_in_context(s.args[i], s.args[j], ctx):
+                            key = (p, q) if p <= q else (q, p)
+                            if key not in pairs[s.name]:
+                                pairs[s.name].add(key)
+                                changed[0] = True
+            elif isinstance(s, If):
+                visit_calls(s.then_body, ctx, changed)
+                visit_calls(s.else_body, ctx, changed)
+            elif isinstance(s, While):
+                visit_calls(s.body, ctx, changed)
+
+    while True:
+        changed = [False]
+        visit_calls(prog.body, None, changed)
+        for name, sub in prog.subs.items():
+            visit_calls(sub.body, name, changed)
+        if not changed[0]:
+            return pairs
+
+
+def expand_subroutines(prog: Program) -> tuple[Program, ExpansionReport]:
+    """Expand every call by inlining; returns the flat program (no subs, no
+    Call statements) plus the expansion report.  The returned program's
+    ``alias_groups`` gain, at every call site, the subroutine's formal
+    alias pairs mapped through that site's actuals."""
+    if not prog.subs:
+        return prog, ExpansionReport()
+
+    formal_pairs = _formal_alias_pairs(prog)
+    report = ExpansionReport(
+        formal_aliases={
+            n: frozenset(p) for n, p in formal_pairs.items()
+        },
+        expansions={n: 0 for n in prog.subs},
+    )
+
+    taken: set[str] = set(prog.variables())
+    for sub in prog.subs.values():
+        taken.update(sub.formals)
+        taken.update(_locals_of(sub))
+    label_pool: set[str] = set()
+    _collect_labels_in(prog.body, label_pool)
+    for sub in prog.subs.values():
+        _collect_labels_in(sub.body, label_pool)
+
+    counter = [0]
+
+    def fresh(base: str, pool: set[str]) -> str:
+        while True:
+            name = f"{base}_{counter[0]}"
+            counter[0] += 1
+            if name not in pool:
+                pool.add(name)
+                return name
+
+    alias_groups: list[tuple[str, ...]] = list(prog.alias_groups)
+
+    def expand(stmts: list[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Call):
+                sub = prog.subs[s.name]
+                report.expansions[s.name] += 1
+                env = dict(zip(sub.formals, s.args))
+                for local in _locals_of(sub):
+                    env[local] = fresh(f"_{s.name}_{local}", taken)
+                labels_in: set[str] = set()
+                _collect_labels_in(sub.body, labels_in)
+                lmap = {
+                    l: fresh(f"_{s.name}_{l}", label_pool) for l in labels_in
+                }
+                body = _rename_stmts(sub.body, env, lmap)
+                # nested calls inside the inlined body expand too
+                body = expand(body)
+                if s.label:
+                    out.append(Skip(label=s.label, location=s.location))
+                out.extend(body)
+                # the price of one compilation: this site inherits every
+                # formal-level alias pair through its own actuals
+                for p, q in sorted(formal_pairs[s.name]):
+                    a, b = env[p], env[q]
+                    if a != b:
+                        alias_groups.append((a, b))
+            elif isinstance(s, If):
+                out.append(
+                    If(
+                        s.cond,
+                        expand(s.then_body),
+                        expand(s.else_body),
+                        label=s.label,
+                        location=s.location,
+                    )
+                )
+            elif isinstance(s, While):
+                out.append(
+                    While(s.cond, expand(s.body), label=s.label,
+                          location=s.location)
+                )
+            else:
+                out.append(s)
+        return out
+
+    flat = Program(
+        body=expand(prog.body),
+        arrays=dict(prog.arrays),
+        scalars=list(prog.scalars),
+        alias_groups=_dedupe(alias_groups),
+        subs={},
+    )
+    return flat, report
+
+
+def _dedupe(groups: list[tuple[str, ...]]) -> list[tuple[str, ...]]:
+    seen: dict[tuple[str, ...], None] = {}
+    for g in groups:
+        seen.setdefault(tuple(sorted(g)), None)
+    return list(seen)

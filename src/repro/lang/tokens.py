@@ -1,0 +1,88 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical classes of the source language."""
+
+    IDENT = "identifier"
+    INT = "integer literal"
+
+    # keywords
+    KW_IF = "if"
+    KW_THEN = "then"
+    KW_ELSE = "else"
+    KW_GOTO = "goto"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_SKIP = "skip"
+    KW_ARRAY = "array"
+    KW_VAR = "var"
+    KW_ALIAS = "alias"
+    KW_SUB = "sub"
+    KW_CALL = "call"
+    KW_AND = "and"
+    KW_OR = "or"
+    KW_NOT = "not"
+
+    # punctuation / operators
+    ASSIGN = ":="
+    COLON = ":"
+    SEMI = ";"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    EOF = "end of input"
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "if": TokenKind.KW_IF,
+    "then": TokenKind.KW_THEN,
+    "else": TokenKind.KW_ELSE,
+    "goto": TokenKind.KW_GOTO,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "skip": TokenKind.KW_SKIP,
+    "array": TokenKind.KW_ARRAY,
+    "var": TokenKind.KW_VAR,
+    "alias": TokenKind.KW_ALIAS,
+    "sub": TokenKind.KW_SUB,
+    "call": TokenKind.KW_CALL,
+    "and": TokenKind.KW_AND,
+    "or": TokenKind.KW_OR,
+    "not": TokenKind.KW_NOT,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexeme with its kind, literal text, and position."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.location}"

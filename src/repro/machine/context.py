@@ -1,0 +1,67 @@
+"""Tags, contexts and tokens."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class _AccessValue:
+    """The dummy value carried by access tokens.  The paper: "Notice that
+    this token does not carry any value since it represents permission to
+    access the stored state"."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "•"
+
+
+ACCESS = _AccessValue()
+
+
+@dataclass(frozen=True, slots=True)
+class Context:
+    """A tag context: which loop activation and iteration a token belongs
+    to.  ``parent`` is the context in which the activation was entered
+    (None only for the root)."""
+
+    parent: "Context | None"
+    activation: int
+    iteration: int
+
+    def next_iteration(self) -> "Context":
+        return Context(self.parent, self.activation, self.iteration + 1)
+
+    def depth(self) -> int:
+        d = 0
+        cur = self.parent
+        while cur is not None:
+            d += 1
+            cur = cur.parent
+        return d
+
+    def __repr__(self) -> str:
+        chain = []
+        cur: Context | None = self
+        while cur is not None:
+            chain.append(f"{cur.activation}.{cur.iteration}")
+            cur = cur.parent
+        return "<" + "/".join(reversed(chain)) + ">"
+
+
+ROOT = Context(None, 0, 0)
+
+
+class Token(NamedTuple):
+    """A token in flight: destined for ``(node, port)`` with tag ``ctx``."""
+
+    node: int
+    port: int
+    value: object  # int or ACCESS
+    ctx: Context

@@ -1,0 +1,43 @@
+"""Machine failure modes."""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for simulator errors."""
+
+
+class TokenClashError(MachineError):
+    """Two tokens with the same tag arrived at the same operator input slot
+    — the graph does not specify a meaningful (deterministic) dataflow
+    computation.  This is exactly the failure Section 3 exhibits for naive
+    Schema 2 on cyclic graphs."""
+
+    def __init__(self, node: int, port: int, ctx, describe: str = ""):
+        self.node = node
+        self.port = port
+        self.ctx = ctx
+        super().__init__(
+            f"token clash at node {node} ({describe}) port {port} ctx {ctx}"
+        )
+
+
+class DeadlockError(MachineError):
+    """The machine quiesced before the END node received all its tokens."""
+
+    def __init__(self, message: str, waiting=None):
+        self.waiting = waiting or []
+        super().__init__(message)
+
+
+class SimulationLimitError(MachineError):
+    """Cycle or operation budget exceeded (likely a livelock)."""
+
+
+class MemoryFault(MachineError):
+    """Bad address: unknown array or out-of-bounds subscript."""
+
+
+class IStructureError(MachineError):
+    """Multiple writes to one I-structure element (they are single
+    assignment) or malformed I-structure access."""

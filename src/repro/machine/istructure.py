@@ -1,0 +1,105 @@
+"""I-structure memory (Arvind et al., referenced as [3] in the paper).
+
+Each element is written at most once.  A read of an empty element is
+*deferred*: the reader's identity is queued and satisfied when the write
+arrives, so reads and writes of a write-once array may proceed concurrently
+(Section 6.3's enhancement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import IStructureError, MemoryFault
+
+_EMPTY = 0
+_FULL = 1
+
+
+@dataclass
+class _Element:
+    state: int = _EMPTY
+    value: int = 0
+    deferred: list = field(default_factory=list)
+
+
+class IStructureMemory:
+    """Named write-once arrays with deferred reads."""
+
+    def __init__(self, arrays: dict[str, int] | None = None):
+        self._arrays: dict[str, list[_Element]] = {
+            name: [_Element() for _ in range(size)]
+            for name, size in (arrays or {}).items()
+        }
+
+    def declare(self, name: str, size: int) -> None:
+        self._arrays[name] = [_Element() for _ in range(size)]
+
+    def has(self, name: str) -> bool:
+        return name in self._arrays
+
+    def _element(self, arr: str, index: int) -> _Element:
+        try:
+            cells = self._arrays[arr]
+        except KeyError:
+            raise MemoryFault(f"unknown I-structure {arr!r}") from None
+        if not 0 <= index < len(cells):
+            raise MemoryFault(
+                f"index {index} out of bounds for I-structure {arr!r}[{len(cells)}]"
+            )
+        return cells[index]
+
+    def read(self, arr: str, index: int, waiter) -> tuple[bool, int]:
+        """Attempt a read.  Returns ``(True, value)`` if the element is
+        full; otherwise registers ``waiter`` and returns ``(False, 0)``."""
+        el = self._element(arr, index)
+        if el.state == _FULL:
+            return True, el.value
+        el.deferred.append(waiter)
+        return False, 0
+
+    def write(self, arr: str, index: int, value: int) -> list:
+        """Write an element (must be empty) and return the deferred waiters
+        now satisfied; the caller delivers their responses."""
+        el = self._element(arr, index)
+        if el.state == _FULL:
+            raise IStructureError(
+                f"second write to I-structure element {arr}[{index}]"
+            )
+        el.state = _FULL
+        el.value = value
+        waiters, el.deferred = el.deferred, []
+        return waiters
+
+    def snapshot(self) -> dict[str, list[int]]:
+        """Contents with unwritten elements reading as 0 (matching the
+        zero-initialized plain-memory convention, for equivalence checks)."""
+        return {
+            name: [el.value if el.state == _FULL else 0 for el in cells]
+            for name, cells in self._arrays.items()
+        }
+
+    def release_pending_with_default(self, default: int = 0) -> list:
+        """Satisfy every deferred reader with the default element value,
+        leaving the elements empty (a write may still arrive later and fill
+        them).  Called by the machine at quiescence: with no tokens in
+        flight, no write can ever release these readers, and the updatable
+        arrays they mirror read 0 when unwritten.  Returns the satisfied
+        waiters paired with the value."""
+        out = []
+        for cells in self._arrays.values():
+            for el in cells:
+                if el.deferred:
+                    waiters, el.deferred = el.deferred, []
+                    out.extend((w, default) for w in waiters)
+        return out
+
+    def pending_reads(self) -> list[tuple[str, int]]:
+        """Elements with deferred readers — nonempty at quiescence means
+        deadlock (a read of a never-written element)."""
+        out = []
+        for name, cells in self._arrays.items():
+            for i, el in enumerate(cells):
+                if el.deferred:
+                    out.append((name, i))
+        return out

@@ -1,0 +1,61 @@
+"""Execution metrics: the quantities our parallelism claims are stated in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Counters from one simulation run.
+
+    * ``cycles`` — makespan.  With unlimited PEs this is the dataflow
+      critical path of the computation.
+    * ``operations`` — total operator firings (S1, the sequential work).
+    * ``profile[t]`` — operators fired at cycle t (the parallelism profile).
+    * ``avg_parallelism`` — operations / cycles (S1/S∞ with unlimited PEs).
+    """
+
+    cycles: int = 0
+    operations: int = 0
+    by_kind: dict = field(default_factory=dict)
+    profile: dict = field(default_factory=dict)
+    memory_ops: int = 0
+    switch_ops: int = 0
+    merge_ops: int = 0
+    synch_ops: int = 0
+    clashes: int = 0
+    # resource high-water marks (explicit-token-store occupancy)
+    peak_tokens_in_flight: int = 0
+    peak_waiting_frames: int = 0
+    peak_enabled: int = 0
+
+    @property
+    def avg_parallelism(self) -> float:
+        return self.operations / self.cycles if self.cycles else 0.0
+
+    @property
+    def peak_parallelism(self) -> int:
+        return max(self.profile.values(), default=0)
+
+    @property
+    def critical_path(self) -> int:
+        """Alias for ``cycles``; meaningful as the critical path only when
+        the run used unlimited PEs."""
+        return self.cycles
+
+    def profile_list(self) -> list[int]:
+        if not self.profile:
+            return []
+        out = [0] * (max(self.profile) + 1)
+        for t, c in self.profile.items():
+            out[t] = c
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.operations} ops in {self.cycles} cycles "
+            f"(avg parallelism {self.avg_parallelism:.2f}, "
+            f"peak {self.peak_parallelism}); "
+            f"{self.memory_ops} memory ops, {self.synch_ops} synchs"
+        )

@@ -1,0 +1,19 @@
+"""Top-level facade re-exporting the compile/simulate pipeline."""
+
+from .translate.pipeline import (
+    SCHEMAS,
+    CompileOptions,
+    CompiledProgram,
+    compile_program,
+    run_source,
+    simulate,
+)
+
+__all__ = [
+    "SCHEMAS",
+    "CompileOptions",
+    "CompiledProgram",
+    "compile_program",
+    "run_source",
+    "simulate",
+]

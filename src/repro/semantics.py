@@ -1,0 +1,59 @@
+"""Shared scalar operator semantics.
+
+Both the reference sequential interpreters and the dataflow machine use
+these functions, so the two execution paths cannot drift apart.
+
+Conventions (documented deviations from trap semantics, chosen so that the
+language is total and random-program property tests never hit undefined
+behaviour):
+
+* all values are Python ints (arbitrary precision);
+* comparisons and logical connectives yield 0/1; any nonzero value is true;
+* division is *floor* division and, together with modulus, is **total**:
+  a zero divisor yields 0.
+"""
+
+from __future__ import annotations
+
+
+def truthy(v: int) -> bool:
+    """The branch rule: any nonzero value is true."""
+    return v != 0
+
+
+def apply_binop(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return 0 if b == 0 else a // b
+    if op == "%":
+        return 0 if b == 0 else a % b
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "and":
+        return int(truthy(a) and truthy(b))
+    if op == "or":
+        return int(truthy(a) or truthy(b))
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def apply_unop(op: str, a: int) -> int:
+    if op == "-":
+        return -a
+    if op == "not":
+        return int(not truthy(a))
+    raise ValueError(f"unknown unary operator {op!r}")

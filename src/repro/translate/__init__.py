@@ -1,0 +1,63 @@
+"""The paper's core contribution: translating imperative programs into
+dataflow graphs (Schemas 1-3 plus the Section 4 optimized construction and
+the Section 6 parallelizing transformations).
+
+Start at :func:`compile_program` / :func:`run_source`.
+"""
+
+from .streams import (
+    Stream,
+    cover_streams,
+    per_variable_streams,
+    single_stream,
+    streams_for,
+    value_streams,
+)
+from .allpaths import Translation, translate_allpaths
+from .optimized import translate_optimized
+from .switch_placement import count_physical_switches, switch_placement
+from .source_vectors import SourceVectors, compute_source_vectors
+from .transforms import forward_stores, parallelize_reads
+from .redundant_elim import eliminate_redundant_switches, sweep_dead_value_nodes
+from .array_parallel import (
+    ArrayParallelReport,
+    parallelize_array_stores,
+    promote_write_once_arrays,
+)
+from .pipeline import (
+    SCHEMAS,
+    CompileOptions,
+    CompiledProgram,
+    compile_program,
+    run_source,
+    simulate,
+)
+
+__all__ = [
+    "ArrayParallelReport",
+    "CompileOptions",
+    "CompiledProgram",
+    "SCHEMAS",
+    "SourceVectors",
+    "Stream",
+    "Translation",
+    "compile_program",
+    "compute_source_vectors",
+    "count_physical_switches",
+    "cover_streams",
+    "eliminate_redundant_switches",
+    "forward_stores",
+    "parallelize_array_stores",
+    "parallelize_reads",
+    "per_variable_streams",
+    "promote_write_once_arrays",
+    "run_source",
+    "simulate",
+    "single_stream",
+    "streams_for",
+    "sweep_dead_value_nodes",
+    "switch_placement",
+    "translate_allpaths",
+    "translate_optimized",
+    "value_streams",
+]

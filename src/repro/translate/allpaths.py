@@ -1,0 +1,257 @@
+"""All-paths wiring: Schemas 1, 2 and base Schema 3.
+
+Every stream's token follows every control-flow path: each fork switches
+every stream, each join merges every stream, each loop control carries
+every stream.  With the single Schema-1 stream this implements sequential
+semantics (Figure 5); with per-variable streams it is exactly Figure 8's
+Schema 2 graph; with cover streams it is base Schema 3.
+
+The start->end convention edge carries no tokens (it exists only for the
+control-dependence analysis), so wiring skips it: start's seeds all enter
+the program along its True edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFG, Edge, NodeKind
+from ..cfg.intervals import Loop
+from ..dfg.graph import DFGraph, Port
+from ..dfg.nodes import OpKind, Seed
+from .blocks import StatementTranslator
+from .streams import Stream
+
+
+@dataclass
+class Translation:
+    """A translated program graph plus provenance."""
+
+    graph: DFGraph
+    streams: list[Stream]
+    node_map: dict[int, list[int]] = field(default_factory=dict)
+    # per CFG fork id: stream name -> switch DF node id
+    switches: dict[int, dict[str, int]] = field(default_factory=dict)
+
+
+def _edge_key(e: Edge) -> tuple:
+    return (e.src, e.dst, e.direction is not None, bool(e.direction))
+
+
+def _real_in_edges(cfg: CFG, nid: int) -> list[Edge]:
+    """In-edges excluding the start->end convention edge."""
+    return sorted(
+        (
+            e
+            for e in cfg.in_edges(nid)
+            if not (
+                e.src == cfg.entry
+                and e.dst == cfg.exit
+                and e.direction is False
+            )
+        ),
+        key=_edge_key,
+    )
+
+
+def translate_allpaths(
+    cfg: CFG,
+    streams: list[Stream],
+    loops: list[Loop] | None = None,
+) -> Translation:
+    """Translate a CFG where every stream follows every control path."""
+    loops = loops or []
+    loop_by_entry = {lp.entry_node: lp for lp in loops}
+    loop_bodies = {lp.id: lp.body for lp in loops}
+
+    g = DFGraph()
+    t = Translation(graph=g, streams=streams)
+    snames = [s.name for s in streams]
+
+    if not streams:
+        # degenerate: a program with no variables computes nothing observable
+        g.add(OpKind.START, seeds=())
+        g.add(OpKind.END, returns=())
+        return t
+
+    def seed_for(s: Stream) -> Seed:
+        if s.carries_value:
+            return Seed("value", next(iter(s.members)))
+        return Seed("access", s.name)
+
+    start = g.add(OpKind.START, seeds=tuple(seed_for(s) for s in streams))
+    end = g.add(
+        OpKind.END,
+        returns=tuple(
+            next(iter(s.members)) if s.carries_value else None
+            for s in streams
+        ),
+    )
+
+    # ---- phase A: interface nodes (merges, loop controls, end) ----------
+    # edge_target[(edge, stream)] -> (df node, input port) the producer
+    # should connect into;  block_input[(cfg node, stream)] -> Port
+    edge_target: dict[tuple[Edge, str], tuple[int, int]] = {}
+    block_input: dict[tuple[int, str], Port] = {}
+
+    for nid in sorted(cfg.nodes):
+        node = cfg.node(nid)
+        ins = _real_in_edges(cfg, nid)
+        if node.kind is NodeKind.JOIN:
+            for s in snames:
+                merge = g.add(OpKind.MERGE, nports=len(ins), tag=f"join{nid}:{s}")
+                t.node_map.setdefault(nid, []).append(merge.id)
+                for i, e in enumerate(ins):
+                    edge_target[(e, s)] = (merge.id, i)
+                block_input[(nid, s)] = Port(merge.id, 0)
+        elif node.kind is NodeKind.LOOP_ENTRY:
+            lp = loop_by_entry[nid]
+            body = loop_bodies[lp.id]
+            ext = [e for e in ins if e.src not in body]
+            back = [e for e in ins if e.src in body]
+            le = g.add(
+                OpKind.LOOP_ENTRY,
+                loop_id=lp.id,
+                nchannels=len(streams),
+                channel_labels=tuple(snames),
+                tag=f"cfg{nid}",
+            )
+            t.node_map.setdefault(nid, []).append(le.id)
+            n = len(streams)
+            for ci, s in enumerate(streams):
+                for group, base in ((ext, ci), (back, n + ci)):
+                    if len(group) == 1:
+                        edge_target[(group[0], s.name)] = (le.id, base)
+                    elif len(group) > 1:
+                        m = g.add(
+                            OpKind.MERGE,
+                            nports=len(group),
+                            tag=f"le{nid}:{s.name}",
+                        )
+                        t.node_map.setdefault(nid, []).append(m.id)
+                        for i, e in enumerate(group):
+                            edge_target[(e, s.name)] = (m.id, i)
+                        g.connect(
+                            Port(m.id, 0), le.id, base,
+                            is_access=not s.carries_value,
+                        )
+                block_input[(nid, s.name)] = Port(le.id, ci)
+        elif node.kind is NodeKind.END:
+            for port, s in enumerate(streams):
+                if len(ins) == 1:
+                    edge_target[(ins[0], s.name)] = (end.id, port)
+                else:
+                    m = g.add(OpKind.MERGE, nports=len(ins), tag=f"end:{s.name}")
+                    for i, e in enumerate(ins):
+                        edge_target[(e, s.name)] = (m.id, i)
+                    g.connect(
+                        Port(m.id, 0), end.id, port,
+                        is_access=not s.carries_value,
+                    )
+
+    # ---- phase B: translate nodes in reverse postorder -------------------
+    # edge_out[(edge, stream)] -> producer Port, for edges into single-pred
+    # consumers processed later.
+    edge_out: dict[tuple[Edge, str], Port] = {}
+
+    def deliver(e: Edge, s: Stream, port: Port) -> None:
+        key = (e, s.name)
+        if key in edge_target:
+            dn, dp = edge_target[key]
+            g.connect(port, dn, dp, is_access=not s.carries_value)
+        else:
+            edge_out[key] = port
+
+    def inputs_for(nid: int) -> dict[str, Port]:
+        node = cfg.node(nid)
+        if node.kind in (NodeKind.JOIN, NodeKind.LOOP_ENTRY):
+            return {s: block_input[(nid, s)] for s in snames}
+        ins = _real_in_edges(cfg, nid)
+        if len(ins) != 1:
+            raise AssertionError(
+                f"node {nid} ({node.kind}) expected single pred, has {len(ins)}"
+            )
+        (e,) = ins
+        return {s: edge_out[(e, s)] for s in snames}
+
+    order = cfg.reverse_postorder()
+    for nid in order:
+        node = cfg.node(nid)
+        kind = node.kind
+        out_edges = sorted(
+            (
+                e
+                for e in cfg.out_edges(nid)
+                if not (
+                    e.src == cfg.entry
+                    and e.dst == cfg.exit
+                    and e.direction is False
+                )
+            ),
+            key=_edge_key,
+        )
+        if kind is NodeKind.START:
+            (true_edge,) = out_edges
+            for i, s in enumerate(streams):
+                deliver(true_edge, s, Port(start.id, i))
+        elif kind is NodeKind.END:
+            continue
+        elif kind is NodeKind.ASSIGN:
+            inc = inputs_for(nid)
+            st = StatementTranslator(g, streams, inc, tag=f"cfg{nid}")
+            res = st.translate_assign(node)
+            t.node_map.setdefault(nid, []).extend(res.created)
+            (e,) = out_edges
+            for s in streams:
+                deliver(e, s, res.outgoing[s.name])
+        elif kind is NodeKind.FORK:
+            inc = inputs_for(nid)
+            st = StatementTranslator(g, streams, inc, tag=f"cfg{nid}")
+            res = st.translate_fork(node)
+            t.node_map.setdefault(nid, []).extend(res.created)
+            true_edges = [e for e in out_edges if e.direction is True]
+            false_edges = [e for e in out_edges if e.direction is False]
+            t.switches[nid] = {}
+            for s in streams:
+                sw = g.add(OpKind.SWITCH, tag=f"cfg{nid}:{s.name}")
+                t.node_map.setdefault(nid, []).append(sw.id)
+                t.switches[nid][s.name] = sw.id
+                g.connect(
+                    res.outgoing[s.name], sw.id, 0,
+                    is_access=not s.carries_value,
+                )
+                g.connect(res.pred_port, sw.id, 1)
+                for e in true_edges:
+                    deliver(e, s, Port(sw.id, 0))
+                for e in false_edges:
+                    deliver(e, s, Port(sw.id, 1))
+        elif kind is NodeKind.JOIN:
+            (e,) = out_edges
+            for s in streams:
+                deliver(e, s, block_input[(nid, s.name)])
+        elif kind is NodeKind.LOOP_ENTRY:
+            (e,) = out_edges
+            for s in streams:
+                deliver(e, s, block_input[(nid, s.name)])
+        elif kind is NodeKind.LOOP_EXIT:
+            inc = inputs_for(nid)
+            lx = g.add(
+                OpKind.LOOP_EXIT,
+                loop_id=node.loop_id,
+                nchannels=len(streams),
+                channel_labels=tuple(snames),
+                tag=f"cfg{nid}",
+            )
+            t.node_map.setdefault(nid, []).append(lx.id)
+            for ci, s in enumerate(streams):
+                g.connect(
+                    inc[s.name], lx.id, ci, is_access=not s.carries_value
+                )
+            (e,) = out_edges
+            for ci, s in enumerate(streams):
+                deliver(e, s, Port(lx.id, ci))
+        else:
+            raise TypeError(f"cannot translate node kind {kind}")
+
+    g.validate(allow_dangling_outputs=True)
+    return t

@@ -1,0 +1,316 @@
+"""Section 6.3, Figure 14: parallelizing array stores across iterations.
+
+For a loop whose only reference to array ``a`` is a single store with a
+subscript affine in a basic induction variable (so distinct iterations hit
+distinct elements — checked by
+:func:`~repro.analysis.array_dep.store_is_iteration_independent`), the
+access token for ``a`` need not wait for each store to complete:
+
+* the incoming token is *duplicated*: one copy proceeds immediately to the
+  next iteration, the other fires the store (Figure 14(b));
+* a second *completion* channel circulates through the loop, synchronizing
+  with each store's completion, so the token that finally leaves the loop
+  is not generated "until all stores have completed" (Figure 14(c)).
+
+Also here: the write-once/I-structure variant — if the array is write-once,
+its element ops become ISTORE/ILOAD on I-structure memory and reads may
+proceed concurrently with writes (deferred reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.array_dep import array_is_write_once, store_is_iteration_independent
+from ..cfg.graph import CFG, NodeKind
+from ..cfg.intervals import Loop
+from ..dfg.graph import Port
+from ..dfg.nodes import OpKind
+from .allpaths import Translation
+
+
+@dataclass(frozen=True)
+class ArrayParallelReport:
+    """What the transform did (for benches and tests)."""
+
+    pipelined: tuple[tuple[int, str], ...]  # (loop id, array)
+    skipped: tuple[tuple[int, str, str], ...]  # (loop id, array, reason)
+
+
+def _find_created(t: Translation, cfg_nid: int, kind: OpKind, var: str) -> int | None:
+    for did in t.node_map.get(cfg_nid, []):
+        node = t.graph.nodes.get(did)
+        if node is not None and node.kind is kind and node.var == var:
+            return did
+    return None
+
+
+def parallelize_array_stores(
+    t: Translation, cfg: CFG, loops: list[Loop]
+) -> ArrayParallelReport:
+    """Apply the Figure 14 rewrite to every qualifying (loop, array store).
+
+    Requirements beyond iteration independence (all checked; failures are
+    reported, not fatal):
+
+    * the array's access stream governs only the array (unaliased), and
+    * the loop wiring is simple: the stream's backedge into the loop entry
+      comes straight from one switch (single backedge), and the loop has
+      its channel on a single loop exit.
+    """
+    g = t.graph
+    pipelined: list[tuple[int, str]] = []
+    skipped: list[tuple[int, str, str]] = []
+
+    for lp in loops:
+        stores = [
+            nid
+            for nid in sorted(lp.body)
+            if cfg.node(nid).kind is NodeKind.ASSIGN
+            and cfg.node(nid).stores()
+        ]
+        arrays_here = {
+            next(iter(cfg.node(nid).stores()))
+            for nid in stores
+            if _find_created(t, nid, OpKind.ASTORE, next(iter(cfg.node(nid).stores())))
+        }
+        for arr in sorted(arrays_here):
+            store_nodes = [
+                nid
+                for nid in stores
+                if cfg.node(nid).stores() == {arr}
+            ]
+            if len(store_nodes) != 1:
+                skipped.append((lp.id, arr, "multiple stores"))
+                continue
+            (snid,) = store_nodes
+            if not store_is_iteration_independent(cfg, lp, snid):
+                skipped.append((lp.id, arr, "not iteration independent"))
+                continue
+            stream = next(
+                (s for s in t.streams if s.governs == frozenset({arr})), None
+            )
+            if stream is None or stream.carries_value:
+                skipped.append((lp.id, arr, "array stream aliased"))
+                continue
+            ok, reason = _rewrite_one(t, cfg, lp, snid, arr, stream.name)
+            if ok:
+                pipelined.append((lp.id, arr))
+            else:
+                skipped.append((lp.id, arr, reason))
+    return ArrayParallelReport(tuple(pipelined), tuple(skipped))
+
+
+def _rewrite_one(
+    t: Translation, cfg: CFG, lp: Loop, store_cfg: int, arr: str, sname: str
+) -> tuple[bool, str]:
+    g = t.graph
+    le_id = _find_created(t, lp.entry_node, OpKind.LOOP_ENTRY, None) or next(
+        (
+            did
+            for did in t.node_map.get(lp.entry_node, [])
+            if g.nodes.get(did) is not None
+            and g.node(did).kind is OpKind.LOOP_ENTRY
+        ),
+        None,
+    )
+    if le_id is None:
+        return False, "no loop entry node in graph"
+    le = g.node(le_id)
+    if sname not in le.channel_labels:
+        return False, "loop entry does not carry the array stream"
+    ci = le.channel_labels.index(sname)
+    n = le.nchannels
+
+    if len(lp.exit_nodes) != 1:
+        return False, "loop has multiple exits"
+    lx_id = next(
+        (
+            did
+            for did in t.node_map.get(lp.exit_nodes[0], [])
+            if g.nodes.get(did) is not None
+            and g.node(did).kind is OpKind.LOOP_EXIT
+        ),
+        None,
+    )
+    if lx_id is None:
+        return False, "no loop exit node in graph"
+    lx = g.node(lx_id)
+    if sname not in lx.channel_labels:
+        return False, "loop exit does not carry the array stream"
+    lx_ci = lx.channel_labels.index(sname)
+
+    astore_id = _find_created(t, store_cfg, OpKind.ASTORE, arr)
+    if astore_id is None:
+        return False, "no ASTORE in graph"
+
+    # the stream's backedge must come straight from one switch
+    back_arc = g.producer(le_id, n + ci)
+    if back_arc is None:
+        return False, "backedge channel unconnected"
+    back_switch = g.node(back_arc.src)
+    if back_switch.kind is not OpKind.SWITCH or back_arc.src_port != 0:
+        return False, "backedge is not a single switch True-output"
+    pred_arc = g.producer(back_switch.id, 1)
+    assert pred_arc is not None
+    pred_src = Port(pred_arc.src, pred_arc.src_port)
+
+    entry_arc = g.producer(le_id, ci)
+    if entry_arc is None:
+        return False, "entry channel unconnected"
+    entry_src = Port(entry_arc.src, entry_arc.src_port)
+
+    store_acc_in = g.producer(astore_id, 2)
+    assert store_acc_in is not None
+    store_acc_src = Port(store_acc_in.src, store_acc_in.src_port)
+    # The completion may fan out (stream continuation plus constant
+    # triggers); for an unaliased array every consumer is a continuation of
+    # this stream, so all of them take the fast-forwarded token instead.
+    store_out_arcs = g.consumers(astore_id, 0)
+
+    # ---- expand LE with a completion channel (shift back ports by one) ---
+    old_back_arcs = [
+        (p, g.producer(le_id, p)) for p in range(n, 2 * n)
+    ]
+    for _, a in old_back_arcs:
+        if a is not None:
+            g.disconnect(a)
+    le.nchannels = n + 1
+    le.channel_labels = le.channel_labels + (f"~done:{arr}",)
+    for p, a in old_back_arcs:
+        if a is not None:
+            g.connect(Port(a.src, a.src_port), le_id, p + 1, is_access=True)
+    done_entry_port = n  # new entry-side port
+    done_back_port = 2 * n + 1  # new back-side port
+    done_channel_out = n  # new output channel
+
+    # LX gains a channel (no shifting needed: back ports don't exist there)
+    lx.nchannels = lx.nchannels + 1
+    lx.channel_labels = lx.channel_labels + (f"~done:{arr}",)
+    lx_done_in = lx.nchannels - 1
+
+    # ---- seed the completion token alongside the array token -------------
+    g.connect(entry_src, le_id, done_entry_port, is_access=True)
+
+    # ---- duplicate the access token at the store (Figure 14(b)) ----------
+    g.disconnect(store_acc_in)
+    for a in store_out_arcs:
+        g.disconnect(a)
+        # fast path: the token proceeds without waiting for the store
+        g.connect(store_acc_src, a.dst, a.dst_port, is_access=True)
+    # the store consumes a duplicate
+    g.connect(store_acc_src, astore_id, 2, is_access=True)
+
+    # ---- completion channel: synch with this iteration's store -----------
+    sd = g.add(OpKind.SYNCH, nports=2, tag=f"fig14-done:{arr}")
+    g.connect(Port(le_id, done_channel_out), sd.id, 0, is_access=True)
+    g.connect(Port(astore_id, 0), sd.id, 1, is_access=True)
+    swd = g.add(OpKind.SWITCH, tag=f"fig14-switch:{arr}")
+    g.connect(Port(sd.id, 0), swd.id, 0, is_access=True)
+    g.connect(pred_src, swd.id, 1)
+    g.connect(Port(swd.id, 0), le_id, done_back_port, is_access=True)
+    g.connect(Port(swd.id, 1), lx_id, lx_done_in, is_access=True)
+
+    # ---- after the loop: both channels must have arrived ------------------
+    exit_arcs = g.consumers(lx_id, lx_ci)
+    for a in exit_arcs:
+        g.disconnect(a)
+    se = g.add(OpKind.SYNCH, nports=2, tag=f"fig14-exit:{arr}")
+    g.connect(Port(lx_id, lx_ci), se.id, 0, is_access=True)
+    g.connect(Port(lx_id, lx_done_in), se.id, 1, is_access=True)
+    for a in exit_arcs:
+        g.connect(Port(se.id, 0), a.dst, a.dst_port, is_access=True)
+
+    g.validate(allow_dangling_outputs=True)
+    return True, ""
+
+
+def _reads_strictly_after_writing_loops(
+    cfg: CFG, loops: list[Loop], arr: str
+) -> bool:
+    """Promotion soundness gate: I-structure reads see *the* write to an
+    element regardless of program order, so a read that sequentially
+    precedes a write to the same array would change meaning (it must read
+    the initial 0).  Require every read of the array to execute after
+    every writing loop: the read is outside the loop body and dominated by
+    the loop's entry (once control leaves a loop, all its iterations —
+    hence all its writes — are done)."""
+    from ..analysis.dominance import dominator_tree
+    from ..lang.ast_nodes import ArrayRef as AR
+
+    writing = [
+        lp
+        for lp in loops
+        if any(
+            cfg.node(n).kind is NodeKind.ASSIGN
+            and isinstance(cfg.node(n).target, AR)
+            and cfg.node(n).target.name == arr
+            for n in lp.body
+        )
+    ]
+    if not writing:
+        return True
+    dom = dominator_tree(cfg)
+    read_nodes = [
+        n
+        for n in cfg.nodes
+        if cfg.node(n).kind in (NodeKind.ASSIGN, NodeKind.FORK)
+        and arr in cfg.node(n).loads()
+    ]
+    for r in read_nodes:
+        for lp in writing:
+            if r in lp.body or r == lp.entry_node or r in lp.exit_nodes:
+                return False
+            if not dom.dominates(lp.entry_node, r):
+                return False
+    return True
+
+
+def promote_write_once_arrays(
+    t: Translation, cfg: CFG, loops: list[Loop], arrays: list[str]
+) -> list[str]:
+    """Section 6.3's further enhancement: write-once arrays move to
+    I-structure memory.  Element stores become ISTOREs (unordered — the
+    single-assignment property makes ordering irrelevant), element loads
+    become ILOADs whose read is deferred by the memory until the write
+    arrives; the access token no longer gates reads at all.
+
+    Returns the promoted array names; the caller must allocate them in
+    :class:`~repro.machine.IStructureMemory` instead of data memory.
+    """
+    g = t.graph
+    promoted: list[str] = []
+    for arr in arrays:
+        if not array_is_write_once(cfg, loops, arr):
+            continue
+        if not _reads_strictly_after_writing_loops(cfg, loops, arr):
+            continue
+        aloads = [
+            n.id for n in g.nodes.values() if n.kind is OpKind.ALOAD and n.var == arr
+        ]
+        astores = [
+            n.id for n in g.nodes.values() if n.kind is OpKind.ASTORE and n.var == arr
+        ]
+        for nid in astores:
+            node = g.node(nid)
+            acc_in = g.producer(nid, 2)
+            assert acc_in is not None
+            g.disconnect(acc_in)
+            # ISTORE: in (index, value) = old ports 0,1; out done = old out 0.
+            node.kind = OpKind.ISTORE
+            # the incoming access token simply is not consumed here anymore;
+            # the done signal feeds the old continuation unchanged
+        for nid in aloads:
+            node = g.node(nid)
+            acc_in = g.producer(nid, 1)
+            assert acc_in is not None
+            src = Port(acc_in.src, acc_in.src_port)
+            g.disconnect(acc_in)
+            cont = g.consumers(nid, 1)
+            for a in cont:
+                g.disconnect(a)
+                g.connect(src, a.dst, a.dst_port, is_access=True)
+            node.kind = OpKind.ILOAD
+        promoted.append(arr)
+    g.validate(allow_dangling_outputs=True)
+    return promoted

@@ -1,0 +1,254 @@
+"""Per-statement dataflow blocks — the read/compute/write schemas of
+Figures 3-4 (Schema 1), 6-7 (Schema 2) and 12-13 (Schema 3).
+
+Shared by every wiring layer.  A statement block receives the current port
+of each token stream passing through the statement and returns the updated
+ports:
+
+* a memory operation on variable ``v`` *collects* the access tokens of all
+  streams governing ``v`` (a synch tree when there is more than one — the
+  Schema 3 read block), fires, and its completion token becomes the new
+  current port of each collected stream (replication);
+* scalar reads become LOADs (one per distinct name), array element reads
+  become ALOADs (one per occurrence, nested subscripts handled innermost
+  first); the write becomes a STORE/ASTORE;
+* for value-carrying streams (memory elimination) the token itself is the
+  value: reads use it directly and the write simply replaces the stream's
+  outgoing port with the computed value — no memory operators at all;
+* constants are triggered by the statement's first incoming token so each
+  execution of the statement produces each constant exactly once.
+
+Because every operation threads the collected streams' ports, operations on
+overlapping access sets are automatically sequenced while disjoint ones
+proceed in parallel — which is the whole point of the paper's Schema 2/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import CFGNode
+from ..dfg.graph import DFGraph, Port
+from ..dfg.nodes import OpKind
+from ..lang.ast_nodes import ArrayRef, BinOp, Expr, IntLit, UnOp, Var, expr_vars
+from .streams import Stream
+
+
+@dataclass
+class BlockResult:
+    """Outcome of translating one statement/fork body."""
+
+    outgoing: dict[str, Port]  # stream name -> its new current port
+    created: list[int] = field(default_factory=list)
+    pred_port: Port | None = None  # forks: the predicate value
+
+
+class StatementTranslator:
+    """Translates one CFG statement node into dataflow operators.
+
+    ``incoming`` maps stream names to the ports currently carrying their
+    tokens into this statement.  Streams absent from ``incoming`` do not
+    pass through this node (the optimized wiring bypasses them).
+    """
+
+    def __init__(
+        self,
+        g: DFGraph,
+        streams: list[Stream],
+        incoming: dict[str, Port],
+        tag: str = "",
+    ):
+        self.g = g
+        self.streams = streams
+        self.by_name = {s.name: s for s in streams}
+        self.state = dict(incoming)
+        self.created: list[int] = []
+        self.tag = tag
+        self._trigger: Port | None = None
+        # access set per variable, restricted to access streams
+        self._access: dict[str, list[Stream]] = {}
+        for s in streams:
+            if s.carries_value:
+                continue
+            for v in s.governs:
+                self._access.setdefault(v, []).append(s)
+        self._value_stream: dict[str, Stream] = {
+            v: s for s in streams if s.carries_value for v in s.members
+        }
+
+    # -- helpers ------------------------------------------------------------
+
+    def _new(self, kind: OpKind, **payload):
+        node = self.g.add(kind, tag=self.tag, **payload)
+        self.created.append(node.id)
+        return node
+
+    def trigger(self) -> Port:
+        """A port delivering exactly one token per execution of this
+        statement, used to fire constants."""
+        if self._trigger is None:
+            for s in self.streams:
+                if s.name in self.state:
+                    self._trigger = self.state[s.name]
+                    break
+            else:
+                raise ValueError(
+                    f"statement {self.tag!r} has no incoming stream to "
+                    "trigger constants"
+                )
+        return self._trigger
+
+    def collect(self, var: str) -> tuple[Port, list[Stream]]:
+        """Collect the access tokens of every stream governing ``var``
+        (Schema 3's synch tree; a single stream needs no synch).  Returns
+        the trigger port for the memory operation and the collected
+        streams."""
+        needed = [
+            s for s in self._access.get(var, []) if s.name in self.state
+        ]
+        if not needed:
+            raise ValueError(
+                f"no access stream for variable {var!r} reaches statement "
+                f"{self.tag!r} (missing from incoming: bug in wiring layer)"
+            )
+        if len(needed) == 1:
+            return self.state[needed[0].name], needed
+        synch = self._new(OpKind.SYNCH, nports=len(needed))
+        for i, s in enumerate(needed):
+            self.g.connect(self.state[s.name], synch.id, i, is_access=True)
+        return Port(synch.id, 0), needed
+
+    def complete(self, done: Port, needed: list[Stream]) -> None:
+        """The memory operation's completion token becomes the new current
+        port of every collected stream (fan-out replication)."""
+        for s in needed:
+            self.state[s.name] = done
+
+    # -- reads ---------------------------------------------------------------
+
+    def load_scalar(self, var: str) -> Port:
+        """Current value of a scalar: the token itself for value streams, a
+        LOAD for access streams."""
+        vs = self._value_stream.get(var)
+        if vs is not None:
+            if vs.name not in self.state:
+                raise ValueError(
+                    f"value stream {vs.name!r} missing at {self.tag!r}"
+                )
+            return self.state[vs.name]
+        trig, needed = self.collect(var)
+        load = self._new(OpKind.LOAD, var=var)
+        self.g.connect(trig, load.id, 0, is_access=True)
+        self.complete(Port(load.id, 1), needed)
+        return Port(load.id, 0)
+
+    def load_array(self, arr: str, index: Port) -> Port:
+        trig, needed = self.collect(arr)
+        load = self._new(OpKind.ALOAD, var=arr)
+        self.g.connect(index, load.id, 0)
+        self.g.connect(trig, load.id, 1, is_access=True)
+        self.complete(Port(load.id, 1), needed)
+        return Port(load.id, 0)
+
+    # -- expression compilation ------------------------------------------------
+
+    def compile_expr(self, e: Expr, env: dict[str, Port]) -> Port:
+        if isinstance(e, IntLit):
+            c = self._new(OpKind.CONST, value=e.value)
+            self.g.connect(self.trigger(), c.id, 0, is_access=True)
+            return Port(c.id, 0)
+        if isinstance(e, Var):
+            return env[e.name]
+        if isinstance(e, ArrayRef):
+            idx = self.compile_expr(e.index, env)
+            return self.load_array(e.name, idx)
+        if isinstance(e, BinOp):
+            left = self.compile_expr(e.left, env)
+            right = self.compile_expr(e.right, env)
+            b = self._new(OpKind.BINOP, op=e.op)
+            self.g.connect(left, b.id, 0)
+            self.g.connect(right, b.id, 1)
+            return Port(b.id, 0)
+        if isinstance(e, UnOp):
+            operand = self.compile_expr(e.operand, env)
+            u = self._new(OpKind.UNOP, op=e.op)
+            self.g.connect(operand, u.id, 0)
+            return Port(u.id, 0)
+        raise TypeError(f"unknown expression {type(e).__name__}")
+
+    def _scalar_env(self, exprs: list[Expr]) -> dict[str, Port]:
+        """Pre-load every distinct scalar read by the given expressions, in
+        first-appearance order.  Array reads happen inline during expression
+        compilation (per occurrence)."""
+        env: dict[str, Port] = {}
+        names: list[str] = []
+        for e in exprs:
+            for v in expr_vars(e):
+                if v not in names:
+                    names.append(v)
+        scalar_reads = _scalar_read_names(exprs)
+        for v in names:
+            if v in scalar_reads:
+                env[v] = self.load_scalar(v)
+        return env
+
+    # -- statement bodies -------------------------------------------------------
+
+    def translate_assign(self, node: CFGNode) -> BlockResult:
+        target = node.target
+        exprs: list[Expr] = [node.expr]
+        if isinstance(target, ArrayRef):
+            exprs.append(target.index)
+        env = self._scalar_env(exprs)
+        value = self.compile_expr(node.expr, env)
+        if isinstance(target, ArrayRef):
+            idx = self.compile_expr(target.index, env)
+            trig, needed = self.collect(target.name)
+            store = self._new(OpKind.ASTORE, var=target.name)
+            self.g.connect(idx, store.id, 0)
+            self.g.connect(value, store.id, 1)
+            self.g.connect(trig, store.id, 2, is_access=True)
+            self.complete(Port(store.id, 0), needed)
+        else:
+            var = target.name
+            vs = self._value_stream.get(var)
+            if vs is not None:
+                # memory elimination: the outgoing token IS the new value
+                self.state[vs.name] = value
+            else:
+                trig, needed = self.collect(var)
+                store = self._new(OpKind.STORE, var=var)
+                self.g.connect(value, store.id, 0)
+                self.g.connect(trig, store.id, 1, is_access=True)
+                self.complete(Port(store.id, 0), needed)
+        return BlockResult(outgoing=dict(self.state), created=self.created)
+
+    def translate_fork(self, node: CFGNode) -> BlockResult:
+        env = self._scalar_env([node.pred])
+        pred = self.compile_expr(node.pred, env)
+        return BlockResult(
+            outgoing=dict(self.state),
+            created=self.created,
+            pred_port=pred,
+        )
+
+
+def _scalar_read_names(exprs: list[Expr]) -> set[str]:
+    """Names read as scalars (array names are read per ArrayRef occurrence
+    instead)."""
+    out: set[str] = set()
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, Var):
+            out.add(e.name)
+        elif isinstance(e, ArrayRef):
+            walk(e.index)
+        elif isinstance(e, BinOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, UnOp):
+            walk(e.operand)
+
+    for e in exprs:
+        walk(e)
+    return out

@@ -1,0 +1,345 @@
+"""Optimized construction — Section 4.2: build the dataflow graph directly
+from switch-placement and source-vector information, with no redundant
+switches.
+
+Key consequences of the construction, versus the all-paths Schema 2 wiring:
+
+* a fork generates switches only for streams with a reference site between
+  it and its immediate postdominator (CD+, Theorem 1) — a fork needing no
+  switches generates *no code at all* (its predicate is dead);
+* a fork whose predicate reads a variable but that needs no switch for it
+  (Figure 9's ``w``) consumes the token for the read and forwards it,
+  unswitched, toward its immediate postdominator;
+* merges appear only at joins where a stream has more than one source; a
+  single-source join is a wire;
+* loop entries/exits carry only the streams the loop references — all
+  other tokens bypass the loop entirely on a direct arc (no iteration
+  tagging, no switches at the loop's exit fork).
+"""
+
+from __future__ import annotations
+
+from ..analysis.dominance import postdominator_tree
+from ..cfg.graph import CFG, NodeKind
+from ..cfg.intervals import Loop
+from ..dfg.graph import DFGraph, Port
+from ..dfg.nodes import OpKind, Seed
+from .allpaths import Translation, _real_in_edges
+from .blocks import StatementTranslator
+from .source_vectors import Source, compute_source_vectors, _src_key
+from .streams import Stream
+from .switch_placement import switch_placement
+
+
+def close_carried_streams(
+    cfg: CFG, streams: list[Stream], loops: list[Loop]
+) -> tuple[CFG, dict[str, frozenset[int]]]:
+    """Fixpoint closure of each loop's carried-stream set against switch
+    placement.
+
+    A loop must carry a stream not only when its body *references* it but
+    also when some fork in its body needs a switch for it — e.g. a variable
+    used only in an outer loop whose backedge is decided by a fork inside
+    an inner loop: the token's route passes through the inner region and
+    must be tagged per inner iteration.  Enlarging a loop's carried set
+    makes its entry/exit reference sites, which can create further switch
+    needs, hence the iteration (monotone, so it terminates).
+    """
+    g = cfg.copy()
+    carried: dict[int, set[str]] = {
+        lp.id: {s.name for s in streams if s.governs & lp.refs}
+        for lp in loops
+    }
+    controls: dict[int, list[int]] = {
+        lp.id: [lp.entry_node, *lp.exit_nodes] for lp in loops
+    }
+    body_forks: dict[int, list[int]] = {
+        lp.id: [
+            n for n in lp.body if g.node(n).kind is NodeKind.FORK
+        ]
+        for lp in loops
+    }
+    while True:
+        for lp in loops:
+            names = frozenset(carried[lp.id])
+            for nid in controls[lp.id]:
+                g.node(nid).carried_streams = names
+        placement = switch_placement(g, streams)
+        changed = False
+        for lp in loops:
+            for s in streams:
+                if s.name in carried[lp.id]:
+                    continue
+                if any(f in placement[s.name] for f in body_forks[lp.id]):
+                    carried[lp.id].add(s.name)
+                    changed = True
+        if not changed:
+            return g, placement
+
+
+def translate_optimized(
+    cfg: CFG,
+    streams: list[Stream],
+    loops: list[Loop],
+    placement: dict[str, frozenset[int]] | None = None,
+) -> Translation:
+    """Build the no-redundant-switch dataflow graph (Section 4.2's four-step
+    recipe; step 1 is assumed done — pass a loop-augmented CFG)."""
+    if placement is None:
+        cfg, placement = close_carried_streams(cfg, streams, loops)
+    pdom = postdominator_tree(cfg)
+    svs = compute_source_vectors(cfg, streams, placement, loops, pdom)
+
+    g = DFGraph()
+    t = Translation(graph=g, streams=streams)
+
+    if not streams:
+        g.add(OpKind.START, seeds=())
+        g.add(OpKind.END, returns=())
+        return t
+
+    def seed_for(s: Stream) -> Seed:
+        if s.carries_value:
+            return Seed("value", next(iter(s.members)))
+        return Seed("access", s.name)
+
+    start = g.add(OpKind.START, seeds=tuple(seed_for(s) for s in streams))
+    end = g.add(
+        OpKind.END,
+        returns=tuple(
+            next(iter(s.members)) if s.carries_value else None
+            for s in streams
+        ),
+    )
+
+    by_name = {s.name: s for s in streams}
+    loops_by_entry = {lp.entry_node: lp for lp in loops}
+
+    # (cfg node, out-direction, stream) -> concrete producer Port
+    source_port: dict[tuple[int, bool, str], Port] = {}
+    # wiring jobs whose producers appear later (loop backedges):
+    # (Source, stream name, consumer df node, consumer port)
+    deferred: list[tuple[Source, str, int, int]] = []
+
+    def resolve(src: Source, sname: str) -> Port:
+        return source_port[(src[0], src[1], sname)]
+
+    def wire_sources(
+        srcs: frozenset[Source], sname: str, dst: int, base_port: int = 0
+    ) -> None:
+        """Connect each source (sorted, deterministic) into consecutive
+        ports of ``dst`` starting at ``base_port``."""
+        s = by_name[sname]
+        for i, src in enumerate(sorted(srcs, key=_src_key)):
+            g.connect(
+                resolve(src, sname),
+                dst,
+                base_port + i,
+                is_access=not s.carries_value,
+            )
+
+    def consume_single(nid: int, sname: str) -> Port:
+        return resolve(svs.single(nid, sname), sname)
+
+    for nid in cfg.reverse_postorder():
+        node = cfg.node(nid)
+        kind = node.kind
+
+        if kind is NodeKind.START:
+            for i, s in enumerate(streams):
+                source_port[(nid, True, s.name)] = Port(start.id, i)
+
+        elif kind is NodeKind.END:
+            continue  # handled after the loop (all sources then known)
+
+        elif kind is NodeKind.ASSIGN:
+            refs = [s for s in streams if s.referenced_by(node)]
+            incoming = {s.name: consume_single(nid, s.name) for s in refs}
+            st = StatementTranslator(g, streams, incoming, tag=f"cfg{nid}")
+            res = st.translate_assign(node)
+            t.node_map.setdefault(nid, []).extend(res.created)
+            for s in refs:
+                source_port[(nid, True, s.name)] = res.outgoing[s.name]
+
+        elif kind is NodeKind.FORK:
+            switched = [
+                s for s in streams if svs.needs_switch(nid, s.name)
+            ]
+            referenced = [s for s in streams if s.referenced_by(node)]
+            if not switched:
+                # no decision anyone downstream depends on: the fork
+                # disappears; referenced tokens pass through untouched
+                for s in referenced:
+                    source_port[(nid, True, s.name)] = consume_single(
+                        nid, s.name
+                    )
+                continue
+            arriving = list(
+                dict.fromkeys(
+                    [s.name for s in referenced] + [s.name for s in switched]
+                )
+            )
+            incoming = {
+                name: consume_single(nid, name) for name in arriving
+            }
+            st = StatementTranslator(g, streams, incoming, tag=f"cfg{nid}")
+            res = st.translate_fork(node)
+            t.node_map.setdefault(nid, []).extend(res.created)
+            t.switches[nid] = {}
+            switched_names = {s.name for s in switched}
+            for s in switched:
+                sw = g.add(OpKind.SWITCH, tag=f"cfg{nid}:{s.name}")
+                t.node_map.setdefault(nid, []).append(sw.id)
+                t.switches[nid][s.name] = sw.id
+                g.connect(
+                    res.outgoing[s.name], sw.id, 0,
+                    is_access=not s.carries_value,
+                )
+                g.connect(res.pred_port, sw.id, 1)
+                source_port[(nid, True, s.name)] = Port(sw.id, 0)
+                source_port[(nid, False, s.name)] = Port(sw.id, 1)
+            for s in referenced:
+                if s.name not in switched_names:
+                    # Figure 9: read for the predicate, forward unswitched
+                    source_port[(nid, True, s.name)] = res.outgoing[s.name]
+
+        elif kind is NodeKind.JOIN:
+            for s in streams:
+                srcs = svs.at(nid, s.name)
+                if len(srcs) <= 1:
+                    continue  # wire-through or not present: no operator
+                m = g.add(
+                    OpKind.MERGE, nports=len(srcs), tag=f"cfg{nid}:{s.name}"
+                )
+                t.node_map.setdefault(nid, []).append(m.id)
+                wire_sources(srcs, s.name, m.id)
+                source_port[(nid, True, s.name)] = Port(m.id, 0)
+
+        elif kind is NodeKind.LOOP_ENTRY:
+            lp = loops_by_entry[nid]
+            carried = [s for s in streams if s.referenced_by(node)]
+            # bypassing streams with several entry-side sources still merge
+            # here (the loop entry is a control merge point)
+            for s in streams:
+                if s in carried:
+                    continue
+                srcs = svs.at(nid, s.name)
+                if len(srcs) > 1:
+                    m = g.add(
+                        OpKind.MERGE,
+                        nports=len(srcs),
+                        tag=f"cfg{nid}:bypass:{s.name}",
+                    )
+                    t.node_map.setdefault(nid, []).append(m.id)
+                    wire_sources(srcs, s.name, m.id)
+                    source_port[(nid, True, s.name)] = Port(m.id, 0)
+            if not carried:
+                continue  # the whole loop is bypassed by every stream
+            le = g.add(
+                OpKind.LOOP_ENTRY,
+                loop_id=lp.id,
+                nchannels=len(carried),
+                channel_labels=tuple(s.name for s in carried),
+                tag=f"cfg{nid}",
+            )
+            t.node_map.setdefault(nid, []).append(le.id)
+            n = len(carried)
+            backedges = [
+                e for e in _real_in_edges(cfg, nid) if e.src in lp.body
+            ]
+            for ci, s in enumerate(carried):
+                # entry side
+                ext_srcs = svs.at(nid, s.name)
+                if not ext_srcs:
+                    raise AssertionError(
+                        f"loop {lp.id} carries {s.name!r} but no source "
+                        f"reaches its entry"
+                    )
+                if len(ext_srcs) == 1:
+                    wire_sources(ext_srcs, s.name, le.id, ci)
+                else:
+                    m = g.add(
+                        OpKind.MERGE,
+                        nports=len(ext_srcs),
+                        tag=f"cfg{nid}:entry:{s.name}",
+                    )
+                    t.node_map.setdefault(nid, []).append(m.id)
+                    wire_sources(ext_srcs, s.name, m.id)
+                    g.connect(
+                        Port(m.id, 0), le.id, ci,
+                        is_access=not s.carries_value,
+                    )
+                # back side (producers appear later: defer); includes fork
+                # bypasses from inside the body that land here
+                back_srcs: set[Source] = set()
+                for e in backedges:
+                    back_srcs |= svs.edge_sources(e, s.name)
+                back_srcs |= svs.back_extra(nid, s.name)
+                if not back_srcs:
+                    raise AssertionError(
+                        f"loop {lp.id} carries {s.name!r} but no backedge "
+                        f"returns its token"
+                    )
+                if len(back_srcs) == 1:
+                    (src,) = back_srcs
+                    deferred.append((src, s.name, le.id, n + ci))
+                else:
+                    m = g.add(
+                        OpKind.MERGE,
+                        nports=len(back_srcs),
+                        tag=f"cfg{nid}:back:{s.name}",
+                    )
+                    t.node_map.setdefault(nid, []).append(m.id)
+                    for i, src in enumerate(sorted(back_srcs, key=_src_key)):
+                        deferred.append((src, s.name, m.id, i))
+                    g.connect(
+                        Port(m.id, 0), le.id, n + ci,
+                        is_access=not s.carries_value,
+                    )
+                source_port[(nid, True, s.name)] = Port(le.id, ci)
+
+        elif kind is NodeKind.LOOP_EXIT:
+            carried = [s for s in streams if s.referenced_by(node)]
+            if not carried:
+                continue
+            lx = g.add(
+                OpKind.LOOP_EXIT,
+                loop_id=node.loop_id,
+                nchannels=len(carried),
+                channel_labels=tuple(s.name for s in carried),
+                tag=f"cfg{nid}",
+            )
+            t.node_map.setdefault(nid, []).append(lx.id)
+            for ci, s in enumerate(carried):
+                g.connect(
+                    consume_single(nid, s.name), lx.id, ci,
+                    is_access=not s.carries_value,
+                )
+                source_port[(nid, True, s.name)] = Port(lx.id, ci)
+
+        else:
+            raise TypeError(f"cannot translate node kind {kind}")
+
+    # END: all producers now registered
+    for port, s in enumerate(streams):
+        srcs = svs.at(cfg.exit, s.name)
+        if not srcs:
+            raise AssertionError(f"stream {s.name!r} never reaches end")
+        if len(srcs) == 1:
+            wire_sources(srcs, s.name, end.id, port)
+        else:
+            m = g.add(OpKind.MERGE, nports=len(srcs), tag=f"end:{s.name}")
+            wire_sources(srcs, s.name, m.id)
+            g.connect(
+                Port(m.id, 0), end.id, port, is_access=not s.carries_value
+            )
+
+    # loop backedges
+    for src, sname, dst, dport in deferred:
+        g.connect(
+            resolve(src, sname), dst, dport,
+            is_access=not by_name[sname].carries_value,
+        )
+
+    g.validate(allow_dangling_outputs=True)
+    return t

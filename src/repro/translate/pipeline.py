@@ -1,0 +1,234 @@
+"""One-call compilation pipeline: source text -> executable dataflow graph.
+
+Schemas (paper section in parentheses):
+
+* ``schema1`` (§2.3) — single access token, sequential inter-statement
+  semantics; raw CFG, no loop control needed.
+* ``schema2`` (§3) — one access token per variable, loop controls inserted,
+  tokens follow every control path (Figure 8).  Rejects aliased programs.
+* ``schema2_opt`` (§4) — Schema 2 tokens wired by switch placement (Fig 10)
+  and source vectors (Fig 11): no redundant switches, loop bypass.
+* ``schema3`` (§5) — cover-parameterized access tokens over an alias
+  structure, all-paths wiring (the paper's base Schema 3).
+* ``schema3_opt`` — Schema 3 collection with the Section 4 optimized wiring.
+* ``memory_elim`` (§6.1) — optimized wiring where unaliased scalars carry
+  their values on tokens (no loads/stores; merges are the implicit phis);
+  aliased scalars and arrays keep Schema 3 access collection.
+
+Post-transforms (any schema): ``parallel_reads`` and ``forward_stores``
+(§6.2); ``parallelize_arrays`` (Figure 14) and ``use_istructures`` (§6.3)
+require loop-augmented optimized-style graphs and simple loops — they apply
+where legal and report what they skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.alias import AliasStructure, Cover
+from ..cfg.builder import build_cfg
+from ..cfg.graph import CFG
+from ..cfg.intervals import Loop, decompose
+from ..dfg.graph import DFGraph
+from ..lang.ast_nodes import Program
+from ..lang.parser import parse
+from ..machine.config import MachineConfig
+from ..machine.istructure import IStructureMemory
+from ..machine.memory import DataMemory
+from ..machine.simulator import SimResult, Simulator
+from .allpaths import Translation, translate_allpaths
+from .array_parallel import (
+    ArrayParallelReport,
+    parallelize_array_stores,
+    promote_write_once_arrays,
+)
+from .optimized import translate_optimized
+from .streams import Stream, cover_streams, streams_for
+from .transforms import forward_stores, parallelize_reads
+
+SCHEMAS = (
+    "schema1",
+    "schema2",
+    "schema2_opt",
+    "schema3",
+    "schema3_opt",
+    "memory_elim",
+)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs for :func:`compile_program`; see the module docstring."""
+
+    schema: str = "schema2_opt"
+    cover: str = "singletons"  # schema3: singletons | whole | alias_classes
+    insert_loops: bool = True  # False reproduces the broken Figure 8 graph
+    optimize: bool = False  # classic CFG optimizations before translation
+    parallel_reads: bool = False
+    forward_stores: bool = False
+    parallelize_arrays: bool = False
+    use_istructures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.schema not in SCHEMAS:
+            raise ValueError(f"unknown schema {self.schema!r}; pick from {SCHEMAS}")
+        if self.cover not in ("singletons", "whole", "alias_classes"):
+            raise ValueError(f"unknown cover {self.cover!r}")
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled program: the dataflow graph plus everything needed to run
+    and inspect it."""
+
+    source: str
+    prog: Program
+    options: CompileOptions
+    cfg: CFG  # loop-augmented unless insert_loops=False or schema1
+    loops: list[Loop]
+    streams: list[Stream]
+    translation: Translation
+    alias: AliasStructure
+    istructure_arrays: list[str] = field(default_factory=list)
+    array_report: ArrayParallelReport | None = None
+    reads_parallelized: int = 0
+    stores_forwarded: int = 0
+    expansion: object | None = None  # subroutine ExpansionReport, if any
+    opt_report: object | None = None  # cfg OptReport when optimize=True
+
+    @property
+    def graph(self) -> DFGraph:
+        return self.translation.graph
+
+    def memories(
+        self, inputs: dict[str, int] | None = None
+    ) -> tuple[DataMemory, IStructureMemory]:
+        inputs = inputs or {}
+        plain = {
+            name: size
+            for name, size in self.prog.arrays.items()
+            if name not in self.istructure_arrays
+        }
+        scalars = {
+            v: inputs.get(v, 0)
+            for v in self.prog.variables()
+            if v not in self.prog.arrays
+        }
+        scalars.update(
+            {k: v for k, v in inputs.items() if k not in self.prog.arrays}
+        )
+        mem = DataMemory(scalars=scalars, arrays=plain)
+        ist = IStructureMemory(
+            {
+                name: self.prog.arrays[name]
+                for name in self.istructure_arrays
+            }
+        )
+        return mem, ist
+
+
+def _pick_cover(alias: AliasStructure, name: str) -> Cover:
+    if name == "singletons":
+        return Cover.singletons(alias)
+    if name == "whole":
+        return Cover.whole(alias)
+    return Cover.alias_classes(alias)
+
+
+def compile_program(
+    source: str | Program, schema: str = "schema2_opt", **kwargs
+) -> CompiledProgram:
+    """Compile source text (or a parsed Program) under the given schema.
+
+    Keyword arguments are :class:`CompileOptions` fields.
+    """
+    opts = CompileOptions(schema=schema, **kwargs)
+    if isinstance(source, Program):
+        prog, text = source, ""
+    else:
+        text = source
+        prog = parse(source)
+
+    expansion = None
+    if prog.subs:
+        from ..lang.subroutines import expand_subroutines
+
+        prog, expansion = expand_subroutines(prog)
+
+    arrays = set(prog.arrays)
+    for group in prog.alias_groups:
+        bad = [n for n in group if n in arrays]
+        if bad:
+            raise ValueError(
+                f"alias declarations must name scalars only, got arrays {bad}"
+            )
+    alias = AliasStructure.from_program(prog)
+
+    cfg = build_cfg(prog)
+    opt_report = None
+    if opts.optimize:
+        from ..cfg.optimize import optimize_cfg
+
+        cfg, opt_report = optimize_cfg(cfg)
+    loops: list[Loop] = []
+    use_loops = opts.insert_loops and schema != "schema1"
+    if use_loops:
+        # decompose() applies the paper's code-copying transform first if
+        # the graph has irreducible cyclic regions
+        cfg, loops = decompose(cfg)
+
+    if schema in ("schema3", "schema3_opt"):
+        streams = cover_streams(_pick_cover(alias, opts.cover))
+    else:
+        streams = streams_for(prog, "schema2" if schema == "schema2_opt" else schema, alias=alias)
+
+    if schema in ("schema2_opt", "schema3_opt", "memory_elim"):
+        translation = translate_optimized(cfg, streams, loops)
+    else:
+        translation = translate_allpaths(cfg, streams, loops)
+
+    cp = CompiledProgram(
+        source=text,
+        prog=prog,
+        options=opts,
+        cfg=cfg,
+        loops=loops,
+        streams=streams,
+        translation=translation,
+        alias=alias,
+        expansion=expansion,
+        opt_report=opt_report,
+    )
+
+    if opts.parallelize_arrays:
+        cp.array_report = parallelize_array_stores(translation, cfg, loops)
+    if opts.use_istructures:
+        cp.istructure_arrays = promote_write_once_arrays(
+            translation, cfg, loops, sorted(prog.arrays)
+        )
+    if opts.forward_stores:
+        cp.stores_forwarded = forward_stores(translation.graph)
+    if opts.parallel_reads:
+        cp.reads_parallelized = parallelize_reads(translation.graph)
+    return cp
+
+
+def simulate(
+    cp: CompiledProgram,
+    inputs: dict[str, int] | None = None,
+    config: MachineConfig | None = None,
+) -> SimResult:
+    """Run a compiled program on the ETS machine."""
+    mem, ist = cp.memories(inputs)
+    return Simulator(cp.graph, mem, ist, config).run()
+
+
+def run_source(
+    source: str,
+    inputs: dict[str, int] | None = None,
+    schema: str = "schema2_opt",
+    config: MachineConfig | None = None,
+    **kwargs,
+) -> SimResult:
+    """Parse, compile, and simulate in one call."""
+    return simulate(compile_program(source, schema=schema, **kwargs), inputs, config)

@@ -1,0 +1,110 @@
+"""Iterative redundant switch elimination — the alternative the paper
+mentions in Section 4: "one way to optimize the dataflow graph produced by
+Schema 2 is to eliminate switches whose outputs are immediately merged
+together ... The elimination of such redundant switches may make other
+switches redundant [which] may be eliminated in turn.  A generalization of
+this idea ... was discussed at length in an earlier version of this paper."
+
+The paper then *abandons* this in favor of the direct construction.  We
+implement the iterative pass anyway, as an ablation: it removes
+conditional-structure redundancy (including the cascade through nested
+conditionals) but — unlike the direct construction — it does not let
+tokens bypass loops (that generalization needs the loop-control channel
+surgery the direct construction gets for free), and it leaves the dead
+predicate fan-out behind until a separate sweep collects it.  The bench
+``test_ablation_redundant_elim`` quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import DFGraph, Port
+from ..dfg.nodes import OpKind
+
+_PURE_VALUE_KINDS = (OpKind.CONST, OpKind.BINOP, OpKind.UNOP)
+
+
+def eliminate_redundant_switches(g: DFGraph) -> int:
+    """Remove every switch whose two outputs feed the same merge, iterating
+    until no more are found (the cascade).  Returns the number of switches
+    removed.  Follow with :func:`sweep_dead_value_nodes` to collect
+    predicate subgraphs that lost all consumers."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(g.nodes):
+            node = g.nodes.get(nid)
+            if node is None or node.kind is not OpKind.SWITCH:
+                continue
+            outs0 = g.consumers(nid, 0)
+            outs1 = g.consumers(nid, 1)
+            if len(outs0) != 1 or len(outs1) != 1:
+                continue
+            (a0,), (a1,) = outs0, outs1
+            if a0.dst != a1.dst:
+                continue
+            merge = g.node(a0.dst)
+            if merge.kind is not OpKind.MERGE:
+                continue
+            _collapse(g, node, merge, a0, a1)
+            removed += 1
+            changed = True
+    return removed
+
+
+def _collapse(g: DFGraph, sw, merge, a0, a1) -> None:
+    """The switch's token reaches ``merge`` either way: route it directly,
+    shrinking the merge by one port (and splicing the merge away entirely
+    if only one input remains)."""
+    data_in = g.producer(sw.id, 0)
+    assert data_in is not None
+    data_src = Port(data_in.src, data_in.src_port)
+    is_access = data_in.is_access
+
+    # detach the switch completely (its predicate input arc too)
+    other_arcs = [
+        a
+        for a in g.in_arcs(merge.id)
+        if not (a.src == sw.id)
+    ]
+    g.remove_node(sw.id)
+
+    # re-pack the merge's remaining inputs plus the direct token
+    for a in other_arcs:
+        g.disconnect(a)
+    inputs = [(Port(a.src, a.src_port), a.is_access) for a in other_arcs]
+    inputs.append((data_src, is_access))
+    if len(inputs) == 1:
+        # single-input merge is a wire: splice it out
+        consumers = g.consumers(merge.id, 0)
+        for c in consumers:
+            g.disconnect(c)
+        g.remove_node(merge.id)
+        (src, acc), = inputs
+        for c in consumers:
+            g.connect(src, c.dst, c.dst_port, is_access=acc)
+    else:
+        merge.nports = len(inputs)
+        for i, (src, acc) in enumerate(inputs):
+            g.connect(src, merge.id, i, is_access=acc)
+
+
+def sweep_dead_value_nodes(g: DFGraph) -> int:
+    """Remove pure value operators (constants, arithmetic) none of whose
+    outputs have consumers — the predicate subgraphs orphaned by switch
+    elimination.  Iterates (removing a consumer can orphan its inputs).
+    Returns the number of nodes removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(g.nodes):
+            node = g.nodes.get(nid)
+            if node is None or node.kind not in _PURE_VALUE_KINDS:
+                continue
+            if any(g.consumers(nid, p) for p in range(1)):
+                continue
+            g.remove_node(nid)
+            removed += 1
+            changed = True
+    return removed

@@ -1,0 +1,232 @@
+"""Source vectors — Section 4.2, Figure 11.
+
+For each node ``N`` and stream ``s``, ``SV_N(s)`` is the set of sources
+⟨M, out-direction⟩ from which ``s``'s token can arrive at ``N``.  The
+computation is the forward pass of Figure 11 over the loop-augmented CFG in
+reverse postorder (the worklist's "all predecessors visited, backedges
+ignored" discipline), with the paper's non-local step: a fork that does not
+switch ``s`` propagates its sources directly to its immediate postdominator
+— this is what lets tokens bypass conditionals and whole loops.
+
+Deviations from the figure's literal text, noted for fidelity:
+
+* the figure's join case always contributes ⟨N, true⟩; we contribute the
+  single source itself when ``|SV_N(s)| == 1`` (the figure's build step
+  says such a join "is equivalent to no operator", so the wire-through is
+  where the single-source rule actually lands), and nothing when the token
+  never reaches the join;
+* forks that *reference* a stream without switching it (e.g. the predicate
+  reads ``w`` but no switch for ``w`` is needed, Figure 9) consume the
+  token for their loads and forward it to the immediate postdominator;
+* LOOP_ENTRY/LOOP_EXIT (absent from the figure) act as referencing
+  statements for the streams the loop carries and as pass-throughs for the
+  rest; backedge wiring into a loop entry is resolved by
+  :func:`edge_sources` at construction time, since backedge sources are
+  computed after the header in the forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.dominance import DomTree, postdominator_tree
+from ..cfg.graph import CFG, Edge, NodeKind
+from ..cfg.intervals import Loop
+from .streams import Stream
+
+#: A token source: (producing CFG node, out-direction).  Non-fork producers
+#: use True as their single out-direction, per the paper.
+Source = tuple[int, bool]
+
+
+def _src_key(s: Source):
+    return (s[0], s[1])
+
+
+@dataclass
+class SourceVectors:
+    """SV for every (node, stream), plus the analysis inputs needed to
+    resolve edges at construction time."""
+
+    cfg: CFG
+    streams: list[Stream]
+    placement: dict[str, frozenset[int]]
+    pdom: DomTree
+    sv: dict[str, dict[int, frozenset[Source]]] = field(default_factory=dict)
+    loops_by_entry: dict[int, Loop] = field(default_factory=dict)
+    # extra *backedge-side* sources for loop entries: tokens whose fork
+    # bypass (from inside the loop body) lands on the loop entry are
+    # arrivals for the next iteration, not fresh external entries
+    back_bypass: dict[str, dict[int, frozenset[Source]]] = field(
+        default_factory=dict
+    )
+
+    def needs_switch(self, fork: int, sname: str) -> bool:
+        """Physical switch placement (start never gets one)."""
+        return fork != self.cfg.entry and fork in self.placement[sname]
+
+    def at(self, node: int, sname: str) -> frozenset[Source]:
+        return self.sv[sname].get(node, frozenset())
+
+    def back_extra(self, le_node: int, sname: str) -> frozenset[Source]:
+        return self.back_bypass.get(sname, {}).get(le_node, frozenset())
+
+    def single(self, node: int, sname: str) -> Source:
+        srcs = self.at(node, sname)
+        if len(srcs) != 1:
+            raise AssertionError(
+                f"SV of stream {sname!r} at node {node} "
+                f"({self.cfg.node(node).describe()}) should be a single "
+                f"source, got {sorted(srcs, key=_src_key)}"
+            )
+        return next(iter(srcs))
+
+    def edge_sources(self, e: Edge, sname: str) -> frozenset[Source]:
+        """Sources of stream ``s`` physically flowing along CFG edge ``e``
+        — used for backedges into loop entries, whose producers are
+        computed after the header in the forward pass."""
+        n = e.src
+        node = self.cfg.node(n)
+        stream = next(s for s in self.streams if s.name == sname)
+        if node.kind in (NodeKind.FORK, NodeKind.START):
+            if self.needs_switch(n, sname):
+                return frozenset({(n, bool(e.direction))})
+            if stream.referenced_by(node):
+                # read the token for the predicate, forward unswitched
+                return frozenset({(n, True)})
+            return frozenset()  # bypassed around this fork entirely
+        if stream.referenced_by(node):
+            return frozenset({(n, True)})
+        if node.kind is NodeKind.JOIN:
+            srcs = self.at(n, sname)
+            if len(srcs) > 1:
+                return frozenset({(n, True)})
+            return srcs
+        return self.at(n, sname)
+
+
+def _is_backedge(cfg: CFG, e: Edge, loops_by_entry: dict[int, Loop]) -> bool:
+    lp = loops_by_entry.get(e.dst)
+    return lp is not None and e.src in lp.body
+
+
+def compute_source_vectors(
+    cfg: CFG,
+    streams: list[Stream],
+    placement: dict[str, frozenset[int]],
+    loops: list[Loop],
+    pdom: DomTree | None = None,
+) -> SourceVectors:
+    """The Figure 11 forward pass (see module docstring for the handled
+    generalizations)."""
+    if pdom is None:
+        pdom = postdominator_tree(cfg)
+    loops_by_entry = {lp.entry_node: lp for lp in loops}
+    res = SourceVectors(
+        cfg=cfg,
+        streams=streams,
+        placement=placement,
+        pdom=pdom,
+        loops_by_entry=loops_by_entry,
+    )
+    sv: dict[str, dict[int, set[Source]]] = {
+        s.name: {n: set() for n in cfg.nodes} for s in streams
+    }
+    back_bypass: dict[str, dict[int, set[Source]]] = {
+        s.name: {} for s in streams
+    }
+
+    convention = (cfg.entry, cfg.exit, False)
+
+    def bypass_to(fork: int, name: str, contribution: set[Source]) -> None:
+        """Deliver a fork's unswitched sources to its immediate
+        postdominator.  If that is a loop entry and the fork sits inside
+        that loop's body, the token is coming *around* the loop: it belongs
+        on the backedge side."""
+        if not contribution:
+            return
+        p = pdom.idom[fork]
+        lp = loops_by_entry.get(p)
+        if lp is not None and fork in lp.body:
+            back_bypass[name].setdefault(p, set()).update(contribution)
+        else:
+            sv[name][p].update(contribution)
+
+    def forward_edges(nid: int) -> list[Edge]:
+        out = []
+        for e in cfg.out_edges(nid):
+            if (e.src, e.dst, e.direction) == convention:
+                continue
+            if _is_backedge(cfg, e, loops_by_entry):
+                continue  # resolved at build time via edge_sources
+            out.append(e)
+        return out
+
+    order = cfg.reverse_postorder()
+    for nid in order:
+        node = cfg.node(nid)
+        kind = node.kind
+        for s in streams:
+            name = s.name
+            if kind is NodeKind.START:
+                # Figure 11's start case: all tokens enter along True; the
+                # start->end convention edge carries nothing.
+                true_succ = next(
+                    e.dst for e in cfg.out_edges(nid) if e.direction is True
+                )
+                sv[name][true_succ].add((nid, True))
+            elif kind is NodeKind.END:
+                continue
+            elif kind is NodeKind.FORK:
+                if nid != cfg.entry and nid in placement[name]:
+                    for e in forward_edges(nid):
+                        sv[name][e.dst].add((nid, bool(e.direction)))
+                elif s.referenced_by(node):
+                    bypass_to(nid, name, {(nid, True)})
+                else:
+                    bypass_to(nid, name, sv[name][nid])
+            elif kind is NodeKind.JOIN:
+                srcs = sv[name][nid]
+                if len(srcs) > 1:
+                    contribution = {(nid, True)}
+                elif len(srcs) == 1:
+                    contribution = set(srcs)
+                else:
+                    contribution = set()
+                for e in forward_edges(nid):
+                    sv[name][e.dst].update(contribution)
+            elif kind is NodeKind.LOOP_ENTRY and not s.referenced_by(node):
+                # Section 4: a token for a variable the loop never touches
+                # bypasses the loop entirely — jump its sources to the first
+                # postdominator outside the loop body (the loop-exit
+                # region).  Like a join, a multi-entry loop entry merges
+                # alternative incoming paths, so a bypassing stream with
+                # several sources gets a plain merge here.
+                lp = loops_by_entry[nid]
+                target = nid
+                for p in pdom.walk_up(pdom.idom[nid]):
+                    if p not in lp.body and p != nid:
+                        target = p
+                        break
+                srcs = sv[name][nid]
+                if len(srcs) > 1:
+                    sv[name][target].add((nid, True))
+                else:
+                    sv[name][target].update(srcs)
+            else:  # ASSIGN, carried LOOP_ENTRY, LOOP_EXIT
+                if s.referenced_by(node):
+                    contribution = {(nid, True)}
+                else:
+                    contribution = sv[name][nid]
+                for e in forward_edges(nid):
+                    sv[name][e.dst].update(contribution)
+
+    res.sv = {
+        name: {n: frozenset(v) for n, v in per_node.items()}
+        for name, per_node in sv.items()
+    }
+    res.back_bypass = {
+        name: {n: frozenset(v) for n, v in per_le.items()}
+        for name, per_le in back_bypass.items()
+    }
+    return res

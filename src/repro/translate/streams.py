@@ -1,0 +1,138 @@
+"""Token streams: the unifying abstraction behind all three schemas.
+
+A *stream* is one circulating token identity:
+
+* Schema 1 — a single access stream governing every variable;
+* Schema 2 — one access stream per variable;
+* Schema 3 — one access stream per cover element (Definition 7), governing
+  every variable whose alias class the element intersects;
+* memory elimination (Section 6.1) — unaliased scalars become *value*
+  streams: the token carries the variable's current value, loads/stores
+  disappear, and merges act as the implicit phi-functions.
+
+``governs`` is the set of variables whose memory operations must collect
+this stream's token; a CFG node *references* the stream iff it references
+a governed variable.  All wiring layers (sequential, all-paths, optimized)
+and the switch-placement machinery are written against this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.alias import AliasStructure, Cover
+from ..cfg.graph import CFGNode
+from ..lang.ast_nodes import Program
+
+
+@dataclass(frozen=True)
+class Stream:
+    """One circulating token identity.
+
+    * ``name`` — stable printable identity ("x", or "x+z" for covers).
+    * ``members`` — the cover element (singleton for schemas 1-applied
+      per-variable and 2).
+    * ``governs`` — variables whose memory ops collect this token.
+    * ``carries_value`` — value stream (memory elimination); ``members``
+      is then a single unaliased scalar.
+    """
+
+    name: str
+    members: frozenset[str]
+    governs: frozenset[str]
+    carries_value: bool = False
+
+    def referenced_by(self, node: CFGNode) -> bool:
+        if node.carried_streams is not None:
+            # loop controls with an explicit carried-stream set (the
+            # optimized construction's closure, see optimized.py)
+            return self.name in node.carried_streams
+        return bool(node.refs() & self.governs)
+
+    def __repr__(self) -> str:
+        k = "val" if self.carries_value else "acc"
+        return f"Stream({self.name}:{k})"
+
+
+def single_stream(variables: list[str], name: str = "pc") -> list[Stream]:
+    """Schema 1: one access token governing everything — the dataflow
+    program counter."""
+    vs = frozenset(variables)
+    if not vs:
+        return []
+    return [Stream(name, vs, vs)]
+
+
+def per_variable_streams(variables: list[str]) -> list[Stream]:
+    """Schema 2 (no aliasing assumed): one access token per variable."""
+    return [Stream(v, frozenset({v}), frozenset({v})) for v in variables]
+
+
+def cover_streams(cover: Cover) -> list[Stream]:
+    """Schema 3: one access token per cover element; the element governs
+    every variable whose alias class it intersects (the access-set rule
+    C[x] = {c : c ∩ [x] != {}})."""
+    alias = cover.alias
+    out = []
+    for el in cover.elements:
+        governs = frozenset(
+            x for x in alias.variables if el & alias.alias_class(x)
+        )
+        out.append(Stream("+".join(sorted(el)), el, governs))
+    return out
+
+
+def value_streams(
+    prog: Program, alias: AliasStructure | None = None
+) -> list[Stream]:
+    """Section 6.1 memory elimination: unaliased scalars carry their value
+    on the token; aliased scalars and arrays keep per-variable access
+    streams (with schema-3 collection if aliased)."""
+    variables = prog.variables()
+    if alias is None:
+        alias = AliasStructure.from_program(prog)
+    out: list[Stream] = []
+    arrays = set(prog.arrays)
+    for v in variables:
+        if v not in arrays and alias.is_unaliased(v):
+            out.append(
+                Stream(v, frozenset({v}), frozenset({v}), carries_value=True)
+            )
+        else:
+            governs = frozenset(
+                x for x in alias.variables if {v} & set(alias.alias_class(x))
+            )
+            out.append(Stream(v, frozenset({v}), governs))
+    return out
+
+
+def streams_for(
+    prog: Program,
+    schema: str,
+    cover: Cover | None = None,
+    alias: AliasStructure | None = None,
+) -> list[Stream]:
+    """Stream set for a named schema.
+
+    Schemas 2 and 2-opt require an alias-free program (the paper assumes no
+    aliasing until Section 5); pass a cover for schema 3, or use
+    ``memory_elim`` which handles mixed aliasing automatically.
+    """
+    variables = prog.variables()
+    if alias is None:
+        alias = AliasStructure.from_program(prog)
+    if schema == "schema1":
+        return single_stream(variables)
+    if schema in ("schema2", "schema2_opt"):
+        if alias.pairs:
+            raise ValueError(
+                "schema 2 assumes no aliasing (Section 3); use schema3 with "
+                "a cover, or memory_elim"
+            )
+        return per_variable_streams(variables)
+    if schema == "schema3":
+        c = cover if cover is not None else Cover.singletons(alias)
+        return cover_streams(c)
+    if schema == "memory_elim":
+        return value_streams(prog, alias)
+    raise ValueError(f"unknown schema {schema!r}")

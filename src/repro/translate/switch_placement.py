@@ -1,0 +1,46 @@
+"""Switch placement — Section 4.1, Figure 10.
+
+``F`` needs a switch for a stream's access token iff some node referencing
+the stream lies between ``F`` and its immediate postdominator; by Theorem 1
+this is exactly ``F ∈ CD+(reference sites)``.  The Figure 10 algorithm is a
+worklist over control dependences, which is
+:func:`~repro.analysis.control_dep.cd_plus_of_set` run per stream.
+
+The start node is formally a fork (the start->end convention edge) and is
+marked like any other; the construction layer never places a *physical*
+switch at start — its tokens always enter the program (Figure 11's start
+case).
+"""
+
+from __future__ import annotations
+
+from ..analysis.control_dep import cd_plus_of_set, control_dependence
+from ..cfg.graph import CFG
+from .streams import Stream
+
+
+def switch_placement(
+    cfg: CFG,
+    streams: list[Stream],
+    cd: dict[int, set[int]] | None = None,
+) -> dict[str, frozenset[int]]:
+    """For each stream, the set of fork nodes that need a switch for its
+    token (Figure 10 run once per stream).  Includes the start node when it
+    formally qualifies; physical construction skips it."""
+    if cd is None:
+        cd = control_dependence(cfg)
+    out: dict[str, frozenset[int]] = {}
+    for s in streams:
+        sites = {n for n in cfg.nodes if s.referenced_by(cfg.node(n))}
+        out[s.name] = frozenset(cd_plus_of_set(cfg, sites, cd))
+    return out
+
+
+def count_physical_switches(
+    cfg: CFG, placement: dict[str, frozenset[int]]
+) -> int:
+    """Total switches the optimized construction will create (excluding the
+    start node, which gets none)."""
+    return sum(
+        len(forks - {cfg.entry}) for forks in placement.values()
+    )

@@ -1,0 +1,130 @@
+"""Section 6.2 dataflow-graph transforms: parallel reads and store-to-load
+forwarding.
+
+Both are graph-to-graph rewrites applied after any schema's construction.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import DFGraph, Port
+from ..dfg.nodes import OpKind
+
+_LOAD_KINDS = (OpKind.LOAD, OpKind.ALOAD)
+
+
+def _acc_in_port(kind: OpKind) -> int:
+    return 0 if kind is OpKind.LOAD else 1  # ALOAD: index is port 0
+
+
+def _is_load(g: DFGraph, nid: int) -> bool:
+    return g.node(nid).kind in _LOAD_KINDS
+
+
+def _chain_next(g: DFGraph, nid: int) -> int | None:
+    """The single load directly chained after ``nid`` on its access output,
+    or None."""
+    outs = g.consumers(nid, 1)  # access-out is port 1 for both load kinds
+    if len(outs) != 1:
+        return None
+    (arc,) = outs
+    if not _is_load(g, arc.dst):
+        return None
+    if arc.dst_port != _acc_in_port(g.node(arc.dst).kind):
+        return None
+    return arc.dst
+
+
+def parallelize_reads(g: DFGraph) -> int:
+    """Section 6.2: "The predecessor of the first load can safely replicate
+    access and pass it to every operation in the sequence.  The replicas
+    must be collected and passed to the successor of the last operation."
+
+    Finds every maximal chain of >= 2 loads linked access-out -> access-in,
+    fans the head's access source to all of them, and collects their
+    completions with a synch tree.  Returns the number of chains rewritten.
+    """
+    nexts: dict[int, int] = {}
+    for nid in list(g.nodes):
+        if _is_load(g, nid):
+            nxt = _chain_next(g, nid)
+            if nxt is not None:
+                nexts[nid] = nxt
+    chained_into = set(nexts.values())
+    rewritten = 0
+    for head in sorted(nexts):
+        if head in chained_into:
+            continue  # not a chain head
+        chain = [head]
+        while chain[-1] in nexts:
+            chain.append(nexts[chain[-1]])
+        if len(chain) < 2:
+            continue
+        # the head's access source
+        head_in = g.producer(head, _acc_in_port(g.node(head).kind))
+        assert head_in is not None
+        src = Port(head_in.src, head_in.src_port)
+        g.disconnect(head_in)
+        # the tail's continuation
+        tail = chain[-1]
+        tail_outs = g.consumers(tail, 1)
+        for a in tail_outs:
+            g.disconnect(a)
+        # break the internal links
+        for a, b in zip(chain, chain[1:]):
+            link = g.producer(b, _acc_in_port(g.node(b).kind))
+            g.disconnect(link)
+        # replicate access to every load; collect with a synch
+        synch = g.add(OpKind.SYNCH, nports=len(chain), tag="parallel-reads")
+        for i, nid in enumerate(chain):
+            g.connect(src, nid, _acc_in_port(g.node(nid).kind), is_access=True)
+            g.connect(Port(nid, 1), synch.id, i, is_access=True)
+        for a in tail_outs:
+            g.connect(Port(synch.id, 0), a.dst, a.dst_port, is_access=True)
+        rewritten += 1
+    return rewritten
+
+
+def forward_stores(g: DFGraph) -> int:
+    """Section 6.2: "If a store to a variable z is followed sequentially by
+    a read from z, with no intervening stores to any variable that could be
+    aliased to z, then the value stored can be passed directly to the
+    output of the load."
+
+    Implemented for the direct pattern STORE v --access--> LOAD v: the load
+    disappears; its value consumers read the stored value, its access
+    continuation comes from the store's completion.  Iterates to a
+    fixpoint (forwarding can expose further pairs).  Returns the number of
+    loads eliminated.
+    """
+    eliminated = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(g.nodes):
+            node = g.nodes.get(nid)
+            if node is None or node.kind is not OpKind.LOAD:
+                continue
+            acc_in = g.producer(nid, 0)
+            if acc_in is None:
+                continue
+            producer = g.node(acc_in.src)
+            if producer.kind is not OpKind.STORE or producer.var != node.var:
+                continue
+            if acc_in.src_port != 0:
+                continue
+            # the stored value's source
+            val_in = g.producer(producer.id, 0)
+            assert val_in is not None
+            val_src = Port(val_in.src, val_in.src_port)
+            value_consumers = g.consumers(nid, 0)
+            access_consumers = g.consumers(nid, 1)
+            for a in value_consumers + access_consumers:
+                g.disconnect(a)
+            g.remove_node(nid)
+            for a in value_consumers:
+                g.connect(val_src, a.dst, a.dst_port)
+            for a in access_consumers:
+                g.connect(Port(producer.id, 0), a.dst, a.dst_port, is_access=True)
+            eliminated += 1
+            changed = True
+    return eliminated

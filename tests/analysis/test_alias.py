@@ -1,0 +1,143 @@
+"""Tests for alias structures and covers (Section 5, Definitions 6-7)."""
+
+import pytest
+
+from repro.analysis import AliasStructure, Cover
+from repro.lang import parse
+
+# The paper's FORTRAN example: SUBROUTINE F(X, Y, Z) called as F(A, B, A)
+# and F(C, D, D): X ~ Z and Y ~ Z but X !~ Y.
+FORTRAN_SRC = "alias (x, z); alias (y, z); x := 1; y := 2; z := 3;"
+
+
+def fortran_alias():
+    return AliasStructure.from_program(parse(FORTRAN_SRC))
+
+
+def test_paper_alias_classes():
+    """[X] = {X,Z}, [Y] = {Y,Z}, [Z] = {X,Y,Z} (Section 5)."""
+    a = fortran_alias()
+    assert a.alias_class("x") == {"x", "z"}
+    assert a.alias_class("y") == {"y", "z"}
+    assert a.alias_class("z") == {"x", "y", "z"}
+
+
+def test_alias_relation_not_transitive():
+    a = fortran_alias()
+    assert a.related("x", "z") and a.related("z", "y")
+    assert not a.related("x", "y")
+
+
+def test_alias_relation_reflexive_symmetric():
+    a = fortran_alias()
+    for v in a.variables:
+        assert a.related(v, v)
+    for p in a.pairs:
+        assert a.related(p[1], p[0])
+    a.validate()
+
+
+def test_trivial_alias_structure():
+    a = AliasStructure.trivial(["p", "q"])
+    assert a.is_unaliased("p")
+    assert a.alias_class("q") == {"q"}
+
+
+def test_alias_declared_name_becomes_a_variable():
+    """Declaring an alias makes the name a program variable even when it is
+    never referenced (an unused FORTRAN reference parameter)."""
+    a = AliasStructure.from_program(parse("alias (x, unref); x := 1;"))
+    assert "unref" in a.variables
+    assert a.alias_class("x") == {"x", "unref"}
+
+
+def test_alias_class_of_unknown_variable_raises():
+    with pytest.raises(KeyError):
+        fortran_alias().alias_class("nosuch")
+
+
+# -- covers --------------------------------------------------------------
+
+
+def test_singleton_cover_access_sets_match_paper():
+    """With one token per variable, operations on X or Y collect two tokens
+    (their own plus Z's); operations on Z collect all three (Section 5)."""
+    a = fortran_alias()
+    c = Cover.singletons(a)
+    assert c.synch_cost("x") == 2
+    assert c.synch_cost("y") == 2
+    assert c.synch_cost("z") == 3
+    assert set(c.access_set("x")) == {frozenset({"x"}), frozenset({"z"})}
+    assert set(c.access_set("z")) == {
+        frozenset({"x"}),
+        frozenset({"y"}),
+        frozenset({"z"}),
+    }
+
+
+def test_whole_cover_minimizes_synchronization():
+    a = fortran_alias()
+    c = Cover.whole(a)
+    for v in a.variables:
+        assert c.synch_cost(v) == 1
+
+
+def test_alias_classes_cover():
+    a = fortran_alias()
+    c = Cover.alias_classes(a)
+    # [x] and [y] are strictly contained in [z], so only [z] remains
+    assert c.elements == (frozenset({"x", "y", "z"}),)
+
+
+def test_alias_classes_cover_with_unaliased_variables():
+    src = "alias (x, z); x := 1; z := 2; p := 3; q := 4;"
+    a = AliasStructure.from_program(parse(src))
+    c = Cover.alias_classes(a)
+    els = set(c.elements)
+    assert frozenset({"x", "z"}) in els
+    assert frozenset({"p"}) in els
+    assert frozenset({"q"}) in els
+    # unaliased variables keep their own token: full parallelism among them
+    assert c.synch_cost("p") == 1
+    assert c.synch_cost("q") == 1
+
+
+def test_cover_must_cover():
+    a = fortran_alias()
+    with pytest.raises(ValueError):
+        Cover(a, (frozenset({"x"}),))
+
+
+def test_cover_rejects_empty_element():
+    a = fortran_alias()
+    with pytest.raises(ValueError):
+        Cover(a, (frozenset(), frozenset({"x", "y", "z"})))
+
+
+def test_cover_rejects_foreign_names():
+    a = fortran_alias()
+    with pytest.raises(ValueError):
+        Cover(a, (frozenset({"x", "y", "z", "w"}),))
+
+
+def test_custom_cover_tradeoff():
+    """A custom cover can sit between the extremes."""
+    a = fortran_alias()
+    c = Cover(a, (frozenset({"x", "z"}), frozenset({"y"})))
+    assert c.synch_cost("x") == 1  # only the xz token intersects [x]
+    assert c.synch_cost("y") == 2  # [y] = {y,z}: both elements intersect
+    assert c.synch_cost("z") == 2
+
+
+def test_token_names_stable():
+    a = fortran_alias()
+    c = Cover.singletons(a)
+    assert c.token_names() == ["x", "y", "z"]
+
+
+def test_unaliased_program_singleton_equals_alias_classes():
+    src = "p := 1; q := p;"
+    a = AliasStructure.from_program(parse(src))
+    assert set(Cover.singletons(a).elements) == set(
+        Cover.alias_classes(a).elements
+    )

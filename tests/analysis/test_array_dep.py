@@ -1,0 +1,191 @@
+"""Tests for array subscript analysis (Section 6.3)."""
+
+from repro.analysis import (
+    AffineSubscript,
+    basic_induction_variables,
+    extract_affine,
+    gcd_test,
+    store_is_iteration_independent,
+)
+from repro.analysis.array_dep import array_is_write_once, array_references_in_loop
+from repro.cfg import NodeKind, build_cfg, find_loops
+from repro.lang import parse
+from repro.lang.parser import parse as parse_prog
+
+# The paper's Section 6.3 loop:
+#   start: join; i := i + 1; x[i] := 1; if i < 10 then goto start
+PAPER_LOOP = """
+array x[16];
+i := 0;
+s: i := i + 1;
+   x[i] := 1;
+   if i < 10 then goto s;
+"""
+
+
+def loop_and_cfg(src):
+    cfg = build_cfg(parse(src))
+    (loop,) = find_loops(cfg)
+    return cfg, loop
+
+
+def expr_of(src):
+    return parse_prog(f"q := {src};").body[0].expr
+
+
+def test_extract_affine_basics():
+    assert extract_affine(expr_of("i"), "i") == AffineSubscript("i", 1, 0)
+    assert extract_affine(expr_of("i + 1"), "i") == AffineSubscript("i", 1, 1)
+    assert extract_affine(expr_of("2 * i - 3"), "i") == AffineSubscript("i", 2, -3)
+    assert extract_affine(expr_of("i * 4 + 2"), "i") == AffineSubscript("i", 4, 2)
+    assert extract_affine(expr_of("7"), "i") == AffineSubscript("i", 0, 7)
+    assert extract_affine(expr_of("-i"), "i") == AffineSubscript("i", -1, 0)
+
+
+def test_extract_affine_rejects_nonlinear_and_foreign():
+    assert extract_affine(expr_of("i * i"), "i") is None
+    assert extract_affine(expr_of("i + j"), "i") is None
+    assert extract_affine(expr_of("i / 2"), "i") is None
+
+
+def test_basic_induction_variable_detection():
+    cfg, loop = loop_and_cfg(PAPER_LOOP)
+    ivs = basic_induction_variables(cfg, loop)
+    assert ivs == {"i": 1}
+
+
+def test_induction_variable_with_negative_step():
+    src = """
+    array a[16];
+    i := 10;
+    s: i := i - 2;
+       a[i] := 0;
+       if i > 0 then goto s;
+    """
+    cfg, loop = loop_and_cfg(src)
+    assert basic_induction_variables(cfg, loop) == {"i": -2}
+
+
+def test_multiply_defined_variable_is_not_basic_iv():
+    src = """
+    i := 0;
+    s: i := i + 1;
+       i := i + 2;
+       if i < 10 then goto s;
+    """
+    cfg, loop = loop_and_cfg(src)
+    assert basic_induction_variables(cfg, loop) == {}
+
+
+def test_conditional_increment_is_not_basic_iv():
+    src = """
+    i := 0;
+    s: if p == 1 then { i := i + 1; }
+       j := j + 1;
+       if j < 10 then goto s;
+    """
+    cfg, loop = loop_and_cfg(src)
+    ivs = basic_induction_variables(cfg, loop)
+    assert "i" not in ivs
+    assert ivs["j"] == 1
+
+
+def test_gcd_test_distinct_strides():
+    # a[2i] vs a[2j+1]: never equal
+    assert not gcd_test(AffineSubscript("i", 2, 0), AffineSubscript("i", 2, 1))
+    # a[2i] vs a[4j+2]: possible (i=1, j=0 wait 2*1=2=4*0+2 yes)
+    assert gcd_test(AffineSubscript("i", 2, 0), AffineSubscript("i", 4, 2))
+    # same subscript: dependence possible
+    assert gcd_test(AffineSubscript("i", 1, 0), AffineSubscript("i", 1, 0))
+    # constants: depends on equality
+    assert gcd_test(AffineSubscript("i", 0, 5), AffineSubscript("i", 0, 5))
+    assert not gcd_test(AffineSubscript("i", 0, 5), AffineSubscript("i", 0, 6))
+
+
+def test_paper_loop_store_is_iteration_independent():
+    cfg, loop = loop_and_cfg(PAPER_LOOP)
+    (store,) = [
+        n.id
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and "x" in n.stores()
+    ]
+    assert store_is_iteration_independent(cfg, loop, store)
+
+
+def test_constant_subscript_store_not_independent():
+    src = """
+    array a[8];
+    i := 0;
+    s: i := i + 1;
+       a[3] := i;
+       if i < 10 then goto s;
+    """
+    cfg, loop = loop_and_cfg(src)
+    (store,) = [
+        n.id
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and "a" in n.stores()
+    ]
+    assert not store_is_iteration_independent(cfg, loop, store)
+
+
+def test_store_with_read_in_loop_not_independent():
+    src = """
+    array a[16];
+    i := 0;
+    s: i := i + 1;
+       a[i] := a[i - 1] + 1;
+       if i < 10 then goto s;
+    """
+    cfg, loop = loop_and_cfg(src)
+    (store,) = [
+        n.id
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and "a" in n.stores()
+    ]
+    assert not store_is_iteration_independent(cfg, loop, store)
+
+
+def test_two_stores_to_same_array_not_independent():
+    src = """
+    array a[32];
+    i := 0;
+    s: i := i + 1;
+       a[i] := 1;
+       a[i + 16] := 2;
+       if i < 10 then goto s;
+    """
+    cfg, loop = loop_and_cfg(src)
+    stores = [
+        n.id
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and "a" in n.stores()
+    ]
+    for s in stores:
+        assert not store_is_iteration_independent(cfg, loop, s)
+
+
+def test_array_references_in_loop():
+    cfg, loop = loop_and_cfg(PAPER_LOOP)
+    stores, loads = array_references_in_loop(cfg, loop, "x")
+    assert len(stores) == 1
+    assert loads == []
+
+
+def test_write_once_detection():
+    cfg, _ = loop_and_cfg(PAPER_LOOP)
+    loops = find_loops(cfg)
+    assert array_is_write_once(cfg, loops, "x")
+
+
+def test_write_once_rejected_with_outside_store():
+    src = PAPER_LOOP + "x[0] := 99;"
+    cfg = build_cfg(parse(src))
+    loops = find_loops(cfg)
+    assert not array_is_write_once(cfg, loops, "x")
+
+
+def test_unwritten_array_is_write_once():
+    src = "array z[4]; q := z[0];"
+    cfg = build_cfg(parse(src))
+    assert array_is_write_once(cfg, [], "z")

@@ -1,0 +1,158 @@
+"""Tests for control dependence and CD+ (Definitions 4-5, Theorem 1)."""
+
+from repro.analysis import (
+    between_brute_force,
+    cd_plus,
+    cd_plus_of_set,
+    control_dependence,
+    control_dependence_directed,
+)
+from repro.analysis.control_dep import needs_switch_brute_force
+from repro.analysis.dominance import postdominator_tree
+from repro.cfg import NodeKind, build_cfg
+from repro.lang import parse
+
+RUNNING_EXAMPLE = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+DIAMOND = "if c == 0 then { y := 1; } else { y := 2; } z := y;"
+
+NESTED_IF = """
+if a == 0 then {
+  if b == 0 then { x := 1; }
+  y := 2;
+}
+z := 3;
+"""
+
+
+def forks(cfg):
+    return [n.id for n in cfg.nodes.values() if n.kind is NodeKind.FORK]
+
+
+def assigns(cfg, var):
+    return [
+        n.id
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and n.stores() == {var}
+    ]
+
+
+def test_diamond_branches_depend_on_fork():
+    cfg = build_cfg(parse(DIAMOND))
+    cd = control_dependence(cfg)
+    (fork,) = forks(cfg)
+    for n in assigns(cfg, "y"):
+        assert cd[n] == {fork}
+    (z,) = assigns(cfg, "z")
+    # z executes unconditionally: control dependent only on start
+    assert cd[z] == {cfg.entry}
+
+
+def test_directed_control_dependence_directions():
+    cfg = build_cfg(parse(DIAMOND))
+    cdd = control_dependence_directed(cfg)
+    (fork,) = forks(cfg)
+    dirs = set()
+    for n in assigns(cfg, "y"):
+        (pair,) = cdd[n]
+        assert pair[0] == fork
+        dirs.add(pair[1])
+    assert dirs == {True, False}
+
+
+def test_loop_body_depends_on_loop_fork():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    cd = control_dependence(cfg)
+    (fork,) = forks(cfg)
+    join = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    # classic: loop body (including the fork itself) is control dependent on
+    # the loop-exit fork
+    assert fork in cd[join]
+    assert fork in cd[fork]
+    # in-loop assigns depend on the fork; the initial x := 0 does not
+    x0, x1 = assigns(cfg, "x")
+    (y,) = assigns(cfg, "y")
+    assert fork not in cd[x0]
+    assert fork in cd[x1]
+    assert fork in cd[y]
+
+
+def test_nested_if_iterated_control_dependence():
+    cfg = build_cfg(parse(NESTED_IF))
+    cd = control_dependence(cfg)
+    (x,) = assigns(cfg, "x")
+    # x depends directly on the inner fork only
+    inner_forks = cd[x] - {cfg.entry}
+    assert len(inner_forks) == 1
+    # CD+ pulls in the outer fork too
+    plus = cd_plus_of_set(cfg, {x})
+    outer_and_inner = plus - {cfg.entry}
+    assert len(outer_and_inner) == 2
+
+
+def test_cd_plus_contains_cd():
+    cfg = build_cfg(parse(NESTED_IF))
+    cd = control_dependence(cfg)
+    plus = cd_plus(cfg)
+    for n in cfg.nodes:
+        assert cd[n] <= plus[n]
+
+
+def test_theorem_1_on_corpus():
+    """F ∈ CD+(N)  <=>  N is between F and ipostdom(F) (Theorem 1)."""
+    sources = [RUNNING_EXAMPLE, DIAMOND, NESTED_IF]
+    sources.append(
+        """
+        a := 1;
+        l1: a := a + 1;
+        if a % 3 == 0 then goto l2;
+        b := b + 1;
+        if b < 10 then goto l1;
+        l2: c := 1;
+        if c < a then goto l1;
+        d := 2;
+        """
+    )
+    for src in sources:
+        cfg = build_cfg(parse(src))
+        pdom = postdominator_tree(cfg)
+        plus = cd_plus(cfg)
+        for f in cfg.nodes:
+            for n in cfg.nodes:
+                between = between_brute_force(cfg, f, n, pdom)
+                assert (f in plus[n]) == between, (src, f, n)
+
+
+def test_needs_switch_brute_force_figure_9():
+    """Figure 9: x is not referenced inside the conditional, so the fork does
+    not need a switch for access_x but does for access_y."""
+    src = """
+    x := x + 1;
+    if w == 0 then { y := 1; } else { y := 2; }
+    x := 0;
+    """
+    cfg = build_cfg(parse(src))
+    (fork,) = forks(cfg)
+    assert not needs_switch_brute_force(cfg, fork, "x")
+    assert needs_switch_brute_force(cfg, fork, "y")
+    assert needs_switch_brute_force(cfg, fork, "w") is False  # w only read before
+
+
+def test_start_needs_switch_for_everything_referenced():
+    """Every referencing node is between start and end (the convention edge),
+    so start formally needs a switch for every variable; the translator
+    special-cases start (tokens always enter the program)."""
+    cfg = build_cfg(parse(DIAMOND))
+    for v in ("c", "y", "z"):
+        assert needs_switch_brute_force(cfg, cfg.entry, v)
+
+
+def test_empty_cd_for_start():
+    cfg = build_cfg(parse(DIAMOND))
+    cd = control_dependence(cfg)
+    assert cd[cfg.entry] == set()

@@ -1,0 +1,163 @@
+"""Tests for dominator/postdominator trees and dominance frontiers."""
+
+import pytest
+
+from repro.analysis import dominator_tree, postdominator_tree
+from repro.analysis.dominance import dominance_frontier
+from repro.cfg import NodeKind, build_cfg
+from repro.lang import parse
+
+RUNNING_EXAMPLE = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+DIAMOND = "if c == 0 then { y := 1; } else { y := 2; } z := y;"
+
+
+def find(cfg, kind, pred=None):
+    for n in cfg.nodes.values():
+        if n.kind is kind and (pred is None or pred(n)):
+            return n
+    raise LookupError
+
+
+def test_dominators_linear_chain():
+    cfg = build_cfg(parse("a := 1; b := 2; c := 3;"))
+    dom = dominator_tree(cfg)
+    assigns = sorted(
+        n.id for n in cfg.nodes.values() if n.kind is NodeKind.ASSIGN
+    )
+    a, b, c = assigns
+    assert dom.idom[a] == cfg.entry
+    assert dom.idom[b] == a
+    assert dom.idom[c] == b
+    assert dom.idom[cfg.entry] is None
+
+
+def test_dominator_of_exit_in_diamond():
+    cfg = build_cfg(parse(DIAMOND))
+    dom = dominator_tree(cfg)
+    join = find(cfg, NodeKind.JOIN)
+    fork = find(cfg, NodeKind.FORK)
+    assert dom.idom[join.id] == fork.id
+    assert dom.dominates(fork.id, join.id)
+    y1 = [
+        n
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and n.stores() == {"y"}
+    ]
+    for n in y1:
+        assert dom.idom[n.id] == fork.id
+        assert not dom.dominates(n.id, join.id)
+
+
+def test_postdominators_diamond():
+    cfg = build_cfg(parse(DIAMOND))
+    pdom = postdominator_tree(cfg)
+    join = find(cfg, NodeKind.JOIN)
+    fork = find(cfg, NodeKind.FORK)
+    assert pdom.idom[fork.id] == join.id
+    # both branch assignments are immediately postdominated by the join
+    for n in cfg.nodes.values():
+        if n.kind is NodeKind.ASSIGN and n.stores() == {"y"}:
+            assert pdom.idom[n.id] == join.id
+
+
+def test_postdominator_of_start_is_end_by_convention():
+    """The start->end convention edge makes end the only strict
+    postdominator of start."""
+    cfg = build_cfg(parse("a := 1; b := 2;"))
+    pdom = postdominator_tree(cfg)
+    assert pdom.idom[cfg.entry] == cfg.exit
+
+
+def test_loop_postdominators():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    pdom = postdominator_tree(cfg)
+    fork = find(cfg, NodeKind.FORK)
+    # the fork's immediate postdominator is end (False edge exits)
+    assert pdom.idom[fork.id] == cfg.exit
+    join = find(cfg, NodeKind.JOIN)
+    # everything in the loop body is postdominated by the fork
+    assert pdom.dominates(fork.id, join.id)
+
+
+def test_dominates_is_reflexive_and_antisymmetric():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    dom = dominator_tree(cfg)
+    for n in cfg.nodes:
+        assert dom.dominates(n, n)
+    for a in cfg.nodes:
+        for b in cfg.nodes:
+            if a != b and dom.dominates(a, b):
+                assert not dom.dominates(b, a)
+
+
+def test_dominance_frontier_diamond():
+    cfg = build_cfg(parse(DIAMOND))
+    dom = dominator_tree(cfg)
+    df = dominance_frontier(cfg, dom)
+    join = find(cfg, NodeKind.JOIN)
+    branch_assigns = [
+        n.id
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.ASSIGN and n.stores() == {"y"}
+    ]
+    for b in branch_assigns:
+        assert df[b] == {join.id}
+    fork = find(cfg, NodeKind.FORK)
+    assert join.id not in df[join.id]
+    assert df[fork.id] == {cfg.exit} or df[fork.id] == set()
+
+
+def test_dominance_frontier_loop_header():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    dom = dominator_tree(cfg)
+    df = dominance_frontier(cfg, dom)
+    join = find(cfg, NodeKind.JOIN)
+    # the loop header is in its own dominance frontier (classic property)
+    assert join.id in df[join.id]
+
+
+def test_brute_force_agreement_dominators():
+    """Compare against a naive all-paths dominator computation."""
+    src = """
+    a := 1;
+    if a < 2 then goto l1;
+    b := 2;
+    l1: c := 3;
+    l2: c := c + 1;
+    if c < 9 then goto l2;
+    d := 4;
+    """
+    cfg = build_cfg(parse(src))
+    dom = dominator_tree(cfg)
+
+    # brute force: dominators via fixpoint over full sets
+    nodes = set(cfg.nodes)
+    doms = {n: set(nodes) for n in nodes}
+    doms[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes - {cfg.entry}:
+            preds = cfg.pred_ids(n)
+            new = set.intersection(*(doms[p] for p in preds)) | {n}
+            if new != doms[n]:
+                doms[n] = new
+                changed = True
+    for n in nodes:
+        for d in nodes:
+            assert dom.dominates(d, n) == (d in doms[n]), (d, n)
+
+
+def test_walk_up_terminates_at_root():
+    cfg = build_cfg(parse(DIAMOND))
+    dom = dominator_tree(cfg)
+    for n in cfg.nodes:
+        chain = list(dom.walk_up(n))
+        assert chain[0] == n
+        assert chain[-1] == cfg.entry

@@ -1,0 +1,99 @@
+"""Tests for the dataflow framework and classic analyses."""
+
+from repro.analysis import def_use_chains, liveness, reaching_definitions
+from repro.cfg import NodeKind, build_cfg
+from repro.lang import parse
+
+RUNNING_EXAMPLE = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def assign_storing(cfg, var, which=0):
+    found = [
+        n.id
+        for n in sorted(cfg.nodes.values(), key=lambda n: n.id)
+        if n.kind is NodeKind.ASSIGN and n.stores() == {var}
+    ]
+    return found[which]
+
+
+def test_reaching_definitions_linear():
+    cfg = build_cfg(parse("x := 1; y := x; x := 2; z := x;"))
+    rd_in, _ = reaching_definitions(cfg)
+    x1 = assign_storing(cfg, "x", 0)
+    x2 = assign_storing(cfg, "x", 1)
+    y = assign_storing(cfg, "y")
+    z = assign_storing(cfg, "z")
+    assert (x1, "x") in rd_in[y]
+    assert (x2, "x") not in rd_in[y]
+    assert (x2, "x") in rd_in[z]
+    assert (x1, "x") not in rd_in[z]
+
+
+def test_reaching_definitions_through_loop():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    rd_in, _ = reaching_definitions(cfg)
+    y = assign_storing(cfg, "y")
+    x0 = assign_storing(cfg, "x", 0)  # x := 0
+    x1 = assign_storing(cfg, "x", 1)  # x := x + 1
+    # both defs of x reach the use in y := x + 1 (first vs later iterations)
+    assert (x0, "x") in rd_in[y]
+    assert (x1, "x") in rd_in[y]
+
+
+def test_initial_definition_reaches_first_use():
+    cfg = build_cfg(parse("y := x;"))
+    rd_in, _ = reaching_definitions(cfg)
+    y = assign_storing(cfg, "y")
+    assert (cfg.entry, "x") in rd_in[y]
+
+
+def test_liveness_simple():
+    cfg = build_cfg(parse("x := 1; y := x; z := y;"))
+    live_in, live_out = liveness(cfg)
+    x = assign_storing(cfg, "x")
+    y = assign_storing(cfg, "y")
+    assert "x" in live_out[x]
+    assert "x" in live_in[y]
+    assert "x" not in live_out[y]
+
+
+def test_liveness_branch():
+    cfg = build_cfg(parse("if c == 0 then { y := a; } else { y := b; } z := y;"))
+    live_in, _ = liveness(cfg)
+    fork = next(n for n in cfg.nodes.values() if n.kind is NodeKind.FORK)
+    assert {"a", "b", "c"} <= set(live_in[fork.id])
+
+
+def test_array_store_does_not_kill_liveness():
+    cfg = build_cfg(parse("array a[4]; a[i] := 1; x := a[j];"))
+    live_in, _ = liveness(cfg)
+    store = assign_storing(cfg, "a")
+    # `a` stays live through the partial store
+    assert "a" in live_in[store]
+
+
+def test_def_use_chains_linear():
+    cfg = build_cfg(parse("x := 1; y := x; z := x;"))
+    du = def_use_chains(cfg)
+    x = assign_storing(cfg, "x")
+    y = assign_storing(cfg, "y")
+    z = assign_storing(cfg, "z")
+    assert du.uses_of_def[(x, "x")] == {y, z}
+    assert du.defs_of_use[(y, "x")] == {x}
+
+
+def test_def_use_chains_loop_carried():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    du = def_use_chains(cfg)
+    x1 = assign_storing(cfg, "x", 1)  # x := x + 1 in loop
+    # its def is used by itself (next iteration), by y := x + 1, and the fork
+    users = du.uses_of_def[(x1, "x")]
+    assert x1 in users
+    assert assign_storing(cfg, "y") in users
+    fork = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.FORK)
+    assert fork in users

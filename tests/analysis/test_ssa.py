@@ -1,0 +1,126 @@
+"""Tests for SSA construction (Section 6.1 connection)."""
+
+from repro.analysis import construct_ssa
+from repro.analysis.ssa import prune_dead_phis
+from repro.cfg import NodeKind, build_cfg
+from repro.lang import parse
+
+RUNNING_EXAMPLE = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+DIAMOND = "if c == 0 then { y := 1; } else { y := 2; } z := y;"
+
+
+def assign_storing(cfg, var, which=0):
+    found = [
+        n.id
+        for n in sorted(cfg.nodes.values(), key=lambda n: n.id)
+        if n.kind is NodeKind.ASSIGN and n.stores() == {var}
+    ]
+    return found[which]
+
+
+def test_diamond_phi_for_y_at_join():
+    cfg = build_cfg(parse(DIAMOND))
+    ssa = construct_ssa(cfg)
+    join = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    phis = {p.var for p in ssa.phis.get(join, [])}
+    assert "y" in phis
+    y_phi = next(p for p in ssa.phis[join] if p.var == "y")
+    versions = {v for _, v in y_phi.sources}
+    d1 = ssa.def_version[(assign_storing(cfg, "y", 0), "y")]
+    d2 = ssa.def_version[(assign_storing(cfg, "y", 1), "y")]
+    assert versions == {d1, d2}
+
+
+def test_diamond_use_of_phi_result():
+    cfg = build_cfg(parse(DIAMOND))
+    ssa = construct_ssa(cfg)
+    join = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    y_phi = next(p for p in ssa.phis[join] if p.var == "y")
+    z = assign_storing(cfg, "z")
+    assert ssa.use_versions[(z, "y")] == y_phi.target_version
+
+
+def test_no_phi_for_unconditional_variable():
+    cfg = build_cfg(parse(DIAMOND))
+    ssa = construct_ssa(cfg)
+    for phis in ssa.phis.values():
+        assert all(p.var != "c" for p in phis)
+
+
+def test_loop_phi_at_header():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    ssa = construct_ssa(cfg)
+    join = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    xs = [p for p in ssa.phis.get(join, []) if p.var == "x"]
+    assert len(xs) == 1
+    phi = xs[0]
+    # sources: the initial x := 0 and the loop-carried x := x + 1
+    incoming = {v for _, v in phi.sources}
+    assert ssa.def_version[(assign_storing(cfg, "x", 0), "x")] in incoming
+    assert ssa.def_version[(assign_storing(cfg, "x", 1), "x")] in incoming
+
+
+def test_ssa_versions_are_distinct_per_def():
+    cfg = build_cfg(parse("x := 1; x := 2; x := 3;"))
+    ssa = construct_ssa(cfg)
+    vs = [
+        ssa.def_version[(assign_storing(cfg, "x", k), "x")] for k in range(3)
+    ]
+    assert len(set(vs)) == 3
+
+
+def test_use_before_def_reads_version_zero():
+    cfg = build_cfg(parse("y := x;"))
+    ssa = construct_ssa(cfg)
+    y = assign_storing(cfg, "y")
+    assert ssa.use_versions[(y, "x")] == 0
+
+
+def test_straightline_reads_latest_version():
+    cfg = build_cfg(parse("x := 1; y := x; x := 2; z := x;"))
+    ssa = construct_ssa(cfg)
+    y = assign_storing(cfg, "y")
+    z = assign_storing(cfg, "z")
+    assert ssa.use_versions[(y, "x")] == ssa.def_version[
+        (assign_storing(cfg, "x", 0), "x")
+    ]
+    assert ssa.use_versions[(z, "x")] == ssa.def_version[
+        (assign_storing(cfg, "x", 1), "x")
+    ]
+
+
+def test_prune_dead_phis():
+    # y's merge result is never used
+    src = "if c == 0 then { y := 1; } else { y := 2; } z := 3;"
+    cfg = build_cfg(parse(src))
+    ssa = construct_ssa(cfg)
+    before = ssa.phi_count()
+    pruned = prune_dead_phis(ssa)
+    assert pruned.phi_count() < before
+    for phis in pruned.phis.values():
+        assert all(p.var != "y" for p in phis)
+
+
+def test_loop_phis_survive_pruning():
+    cfg = build_cfg(parse(RUNNING_EXAMPLE))
+    ssa = prune_dead_phis(construct_ssa(cfg))
+    join = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    assert any(p.var == "x" for p in ssa.phis.get(join, []))
+
+
+def test_array_treated_as_whole_variable():
+    src = """
+    array a[4];
+    if c == 0 then { a[0] := 1; } else { a[1] := 2; }
+    q := a[0];
+    """
+    cfg = build_cfg(parse(src))
+    ssa = construct_ssa(cfg)
+    join = next(n.id for n in cfg.nodes.values() if n.kind is NodeKind.JOIN)
+    assert any(p.var == "a" for p in ssa.phis.get(join, []))

@@ -1,0 +1,64 @@
+"""Tests for the bench harness and workload corpus."""
+
+import pytest
+
+from repro.bench import CORPUS, compare_schemas, format_table, workload
+from repro.bench.harness import HEADER
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+
+
+def test_corpus_names_unique():
+    names = [w.name for w in CORPUS]
+    assert len(names) == len(set(names))
+
+
+def test_workload_lookup():
+    assert workload("gcd").name == "gcd"
+    with pytest.raises(KeyError):
+        workload("nonexistent")
+
+
+def test_all_corpus_programs_parse_and_run():
+    for wl in CORPUS:
+        prog = parse(wl.source)
+        for inputs in wl.inputs:
+            run_ast(prog, inputs)
+
+
+def test_compare_schemas_validates_against_reference():
+    rows = compare_schemas(workload("fib"), ["schema1", "memory_elim"])
+    assert len(rows) == 2
+    assert {r.schema for r in rows} == {"schema1", "memory_elim"}
+    assert all(r.cycles > 0 and r.operations > 0 for r in rows)
+
+
+def test_compare_schemas_respects_config():
+    fast = compare_schemas(
+        workload("fib"), ["schema1"], config=MachineConfig(memory_latency=1)
+    )[0]
+    slow = compare_schemas(
+        workload("fib"), ["schema1"], config=MachineConfig(memory_latency=9)
+    )[0]
+    assert slow.cycles > fast.cycles
+
+
+def test_compare_schemas_inputs_override():
+    small = compare_schemas(
+        workload("fib"), ["schema1"], inputs={"n": 1}
+    )[0]
+    big = compare_schemas(workload("fib"), ["schema1"], inputs={"n": 10})[0]
+    assert big.cycles > small.cycles
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+    lines = table.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert len(set(len(l) for l in lines)) == 1  # all same width
+
+
+def test_schema_row_cells_match_header():
+    rows = compare_schemas(workload("gcd"), ["schema1"])
+    assert len(rows[0].cells()) == len(HEADER)

@@ -1,0 +1,41 @@
+"""Tests for the CFG DOT exporter."""
+
+from repro.cfg import build_cfg, cfg_to_dot, decompose
+from repro.lang import parse
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def test_dot_contains_all_nodes_and_edges():
+    cfg = build_cfg(parse(SRC))
+    dot = cfg_to_dot(cfg)
+    assert dot.startswith("digraph")
+    for nid in cfg.nodes:
+        assert f"n{nid} " in dot or f"n{nid} ->" in dot
+    assert dot.count("->") == cfg.num_edges()
+
+
+def test_dot_labels_fork_directions():
+    cfg = build_cfg(parse(SRC))
+    dot = cfg_to_dot(cfg)
+    assert '[label="T"]' in dot
+    assert '[label="F"]' in dot
+
+
+def test_dot_shapes_by_kind():
+    g, _ = decompose(build_cfg(parse(SRC)))
+    dot = cfg_to_dot(g)
+    assert "shape=diamond" in dot  # fork
+    assert "shape=house" in dot  # loop entry
+    assert "shape=invhouse" in dot  # loop exit
+
+
+def test_dot_escapes_quotes():
+    cfg = build_cfg(parse("x := 1;"))
+    dot = cfg_to_dot(cfg, title="t")
+    assert '"' in dot  # well-formed attributes

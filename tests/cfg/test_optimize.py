@@ -1,0 +1,154 @@
+"""Tests for the conventional CFG optimizations."""
+
+import pytest
+
+from repro.bench.generators import random_program, random_structured_program
+from repro.bench.programs import CORPUS
+from repro.cfg import NodeKind, build_cfg, optimize_cfg
+from repro.cfg.optimize import fold_expr
+from repro.interp import run_ast, run_cfg
+from repro.lang import parse
+from repro.lang.parser import parse as parse_prog
+from repro.translate import compile_program, simulate
+
+
+def expr_of(src):
+    return parse_prog(f"q := {src};").body[0].expr
+
+
+def assigns(cfg):
+    return [n for n in cfg.nodes.values() if n.kind is NodeKind.ASSIGN]
+
+
+def test_fold_expr_arithmetic():
+    from repro.lang import IntLit
+
+    assert fold_expr(expr_of("1 + 2 * 3")) == IntLit(7)
+    assert fold_expr(expr_of("10 / 0")) == IntLit(0)  # shared total semantics
+    assert fold_expr(expr_of("-(2 + 3)")) == IntLit(-5)
+    assert fold_expr(expr_of("1 < 2")) == IntLit(1)
+
+
+def test_fold_expr_partial():
+    e = fold_expr(expr_of("x + (2 * 3)"))
+    from repro.lang import BinOp, IntLit, Var
+
+    assert e == BinOp("+", Var("x"), IntLit(6))
+
+
+def test_constant_propagation_chain():
+    src = "a := 2; b := a + 3; c := b * a; r := c;"
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    # everything folds: each assignment stores a literal
+    from repro.lang import IntLit
+
+    for n in assigns(cfg):
+        assert isinstance(n.expr, IntLit), n.describe()
+    assert report.propagated > 0
+    prog = parse(src)
+    assert run_cfg(cfg, prog) == run_ast(prog)
+
+
+def test_input_variables_block_propagation():
+    src = "b := x + 1; c := b;"
+    cfg, _ = optimize_cfg(build_cfg(parse(src)))
+    from repro.lang import IntLit
+
+    b = next(n for n in assigns(cfg) if n.stores() == {"b"})
+    assert not isinstance(b.expr, IntLit)  # x is a runtime input
+
+
+def test_constant_fork_resolved():
+    src = "if 1 < 2 then { y := 1; } else { y := 2; } r := y;"
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    assert report.forks_resolved == 1
+    forks = [
+        n
+        for n in cfg.nodes.values()
+        if n.kind is NodeKind.FORK and n.id != cfg.entry
+    ]
+    assert forks == []
+    # the dead branch is gone
+    ys = [n for n in assigns(cfg) if n.stores() == {"y"}]
+    assert len(ys) == 1
+    prog = parse(src)
+    assert run_cfg(cfg, prog)["r"] == 1
+
+
+def test_propagation_resolves_data_dependent_fork():
+    src = "c := 5; if c < 10 then { y := 1; } else { y := 2; }"
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    assert report.forks_resolved == 1
+    assert run_cfg(cfg, parse(src))["y"] == 1
+
+
+def test_dead_assignment_removed():
+    src = "x := 1; x := 2;"
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    assert report.dead_assignments == 1
+    assert len(assigns(cfg)) == 1
+    assert run_cfg(cfg, parse(src))["x"] == 2
+
+
+def test_final_values_are_observable():
+    """A variable assigned once and never read is still part of the final
+    memory: it must NOT be removed."""
+    src = "x := 1;"
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    assert report.dead_assignments == 0
+    assert len(assigns(cfg)) == 1
+
+
+def test_array_stores_never_removed():
+    src = "array a[4]; a[0] := 1; a[0] := 2;"
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    assert report.dead_assignments == 0
+    assert len(assigns(cfg)) == 2
+
+
+def test_loop_carried_variable_not_propagated():
+    src = """
+    x := 0;
+    l: x := x + 1;
+    if x < 5 then goto l;
+    """
+    cfg, _ = optimize_cfg(build_cfg(parse(src)))
+    prog = parse(src)
+    assert run_cfg(cfg, prog) == run_ast(prog)
+
+
+@pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
+def test_optimized_compilation_matches_reference(wl):
+    inputs = wl.inputs[0]
+    ref = run_ast(parse(wl.source), inputs)
+    schema = "schema3_opt" if wl.has_aliasing() else "schema2_opt"
+    cp = compile_program(wl.source, schema=schema, optimize=True)
+    assert simulate(cp, inputs).memory == ref, wl.name
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_optimize_preserves_semantics_random(seed):
+    for gen in (random_program, random_structured_program):
+        prog = gen(seed)
+        cfg, _ = optimize_cfg(build_cfg(prog))
+        assert run_cfg(cfg, prog) == run_ast(prog), (seed, gen.__name__)
+
+
+def test_optimize_reduces_work():
+    src = """
+    a := 2 + 3;
+    b := a * 2;
+    t := 99;
+    t := b;
+    if 0 > 1 then { waste := 1; waste := waste * 2; }
+    r := t + b;
+    """
+    cfg, report = optimize_cfg(build_cfg(parse(src)))
+    assert report.total() >= 4
+    cp_plain = compile_program(src, schema="schema2_opt")
+    cp_opt = compile_program(src, schema="schema2_opt", optimize=True)
+    assert len(cp_opt.graph.nodes) < len(cp_plain.graph.nodes)
+    r1 = simulate(cp_plain)
+    r2 = simulate(cp_opt)
+    for k in ("a", "b", "t", "r"):
+        assert r1.memory[k] == r2.memory[k]

@@ -1,0 +1,93 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokenKind.EOF
+
+
+def test_simple_assignment():
+    assert kinds("x := 1;") == [
+        TokenKind.IDENT,
+        TokenKind.ASSIGN,
+        TokenKind.INT,
+        TokenKind.SEMI,
+        TokenKind.EOF,
+    ]
+
+
+def test_keywords_are_distinguished_from_identifiers():
+    toks = tokenize("if ifx then thenx")
+    assert [t.kind for t in toks[:4]] == [
+        TokenKind.KW_IF,
+        TokenKind.IDENT,
+        TokenKind.KW_THEN,
+        TokenKind.IDENT,
+    ]
+
+
+def test_two_char_operators_take_priority():
+    assert kinds("<= >= == != :=")[:-1] == [
+        TokenKind.LE,
+        TokenKind.GE,
+        TokenKind.EQ,
+        TokenKind.NE,
+        TokenKind.ASSIGN,
+    ]
+
+
+def test_colon_alone_is_colon():
+    toks = tokenize("l: x")
+    assert toks[1].kind is TokenKind.COLON
+
+
+def test_comment_runs_to_end_of_line():
+    toks = tokenize("x # this is a comment ;;;\n y")
+    assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("x\n  y := 3;")
+    x, y = toks[0], toks[1]
+    assert (x.location.line, x.location.column) == (1, 1)
+    assert (y.location.line, y.location.column) == (2, 3)
+
+
+def test_number_followed_by_letter_is_an_error():
+    with pytest.raises(LexError):
+        tokenize("x := 12abc;")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("x := $;")
+
+
+def test_underscore_identifiers():
+    toks = tokenize("_foo foo_bar2")
+    assert [t.text for t in toks[:-1]] == ["_foo", "foo_bar2"]
+
+
+def test_multidigit_numbers():
+    toks = tokenize("12345")
+    assert toks[0].text == "12345"
+
+
+def test_brackets_and_braces():
+    assert kinds("[ ] { } ( )")[:-1] == [
+        TokenKind.LBRACKET,
+        TokenKind.RBRACKET,
+        TokenKind.LBRACE,
+        TokenKind.RBRACE,
+        TokenKind.LPAREN,
+        TokenKind.RPAREN,
+    ]

@@ -1,0 +1,198 @@
+"""Unit tests for the parser and static validation."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CondGoto,
+    Goto,
+    If,
+    IntLit,
+    ParseError,
+    SemanticError,
+    Skip,
+    UnOp,
+    Var,
+    While,
+    parse,
+)
+
+RUNNING_EXAMPLE = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def test_running_example_shape():
+    prog = parse(RUNNING_EXAMPLE)
+    assert len(prog.body) == 4
+    a0, a1, a2, c = prog.body
+    assert isinstance(a0, Assign) and a0.target == Var("x")
+    assert a1.label == "l"
+    assert isinstance(c, CondGoto)
+    assert c.then_target == "l" and c.else_target is None
+
+
+def test_assign_expression_tree():
+    prog = parse("z := 1 + 2 * 3;")
+    (s,) = prog.body
+    assert s.expr == BinOp("+", IntLit(1), BinOp("*", IntLit(2), IntLit(3)))
+
+
+def test_parenthesized_expression():
+    prog = parse("z := (1 + 2) * 3;")
+    (s,) = prog.body
+    assert s.expr == BinOp("*", BinOp("+", IntLit(1), IntLit(2)), IntLit(3))
+
+
+def test_left_associativity_of_subtraction():
+    prog = parse("z := 10 - 3 - 2;")
+    (s,) = prog.body
+    assert s.expr == BinOp("-", BinOp("-", IntLit(10), IntLit(3)), IntLit(2))
+
+
+def test_unary_minus_and_not():
+    prog = parse("z := -x; w := 0; w := not (x < 3);")
+    assert prog.body[0].expr == UnOp("-", Var("x"))
+    assert prog.body[2].expr == UnOp("not", BinOp("<", Var("x"), IntLit(3)))
+
+
+def test_logical_precedence():
+    prog = parse("z := a < 1 or b < 2 and c < 3;")
+    (s,) = prog.body
+    # and binds tighter than or
+    assert isinstance(s.expr, BinOp) and s.expr.op == "or"
+    assert s.expr.right.op == "and"
+
+
+def test_array_declaration_and_reference():
+    prog = parse("array a[10]; a[0] := 1; x := a[x + 1];")
+    assert prog.arrays == {"a": 10}
+    s0, s1 = prog.body
+    assert isinstance(s0.target, ArrayRef)
+    assert s1.expr == ArrayRef("a", BinOp("+", Var("x"), IntLit(1)))
+
+
+def test_alias_declaration():
+    prog = parse("alias (x, z); alias (y, z); x := 1;")
+    assert prog.alias_groups == [("x", "z"), ("y", "z")]
+
+
+def test_var_declaration():
+    prog = parse("var a, b, c; a := 1;")
+    assert prog.scalars == ["a", "b", "c"]
+
+
+def test_structured_if_else():
+    prog = parse("if x < 1 then { y := 1; } else { y := 2; }")
+    (s,) = prog.body
+    assert isinstance(s, If)
+    assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+
+def test_structured_while():
+    prog = parse("while i < 10 do { i := i + 1; }")
+    (s,) = prog.body
+    assert isinstance(s, While)
+    assert len(s.body) == 1
+
+
+def test_nested_structured_statements():
+    prog = parse(
+        """
+        while i < 10 do {
+          if i % 2 == 0 then { s := s + i; }
+          i := i + 1;
+        }
+        """
+    )
+    (w,) = prog.body
+    assert isinstance(w.body[0], If)
+
+
+def test_skip_statement():
+    prog = parse("l: skip; goto l;")
+    assert isinstance(prog.body[0], Skip)
+    assert prog.body[0].label == "l"
+
+
+def test_cond_goto_with_else():
+    prog = parse("l: if x < 5 then goto l else goto m; m: skip;")
+    c = prog.body[0]
+    assert isinstance(c, CondGoto) and c.else_target == "m"
+
+
+def test_goto_statement():
+    prog = parse("l: goto l;")
+    assert isinstance(prog.body[0], Goto)
+
+
+def test_program_variables_order():
+    prog = parse("x := y + z; w := x;")
+    assert parse("x := y + z; w := x;").variables() == ["x", "y", "z", "w"]
+    assert prog.variables() == ["x", "y", "z", "w"]
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(SemanticError):
+        parse("l: skip; l: skip;")
+
+
+def test_undefined_goto_target_rejected():
+    with pytest.raises(SemanticError):
+        parse("goto nowhere;")
+
+
+def test_undefined_cond_goto_target_rejected():
+    with pytest.raises(SemanticError):
+        parse("if x < 1 then goto nowhere;")
+
+
+def test_undeclared_array_rejected():
+    with pytest.raises(SemanticError):
+        parse("a[0] := 1;")
+
+
+def test_array_used_as_scalar_rejected():
+    with pytest.raises(SemanticError):
+        parse("array a[4]; x := a;")
+
+
+def test_array_assigned_as_scalar_rejected():
+    with pytest.raises(SemanticError):
+        parse("array a[4]; a := 1;")
+
+
+def test_duplicate_array_declaration_rejected():
+    with pytest.raises(SemanticError):
+        parse("array a[4], a[5]; a[0] := 1;")
+
+
+def test_missing_semicolon_is_parse_error():
+    with pytest.raises(ParseError):
+        parse("x := 1")
+
+
+def test_unterminated_block_is_parse_error():
+    with pytest.raises(ParseError):
+        parse("while x < 1 do { x := 1;")
+
+
+def test_garbage_statement_is_parse_error():
+    with pytest.raises(ParseError):
+        parse(":= 3;")
+
+
+def test_label_inside_structured_body():
+    prog = parse("while x < 3 do { l: x := x + 1; }")
+    assert prog.body[0].body[0].label == "l"
+
+
+def test_goto_into_structured_body_allowed():
+    # unstructured control flow is the point of the paper
+    prog = parse("goto l; while x < 3 do { l: x := x + 1; }")
+    assert isinstance(prog.body[0], Goto)

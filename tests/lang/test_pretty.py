@@ -1,0 +1,91 @@
+"""Round-trip tests: parse -> pretty -> parse yields an equivalent AST."""
+
+import pytest
+
+from repro.lang import parse, pretty
+from repro.lang.pretty import pretty_expr
+
+SOURCES = [
+    "x := 0;",
+    "x := 1 + 2 * 3;",
+    "x := (1 + 2) * 3;",
+    "x := 10 - 3 - 2;",
+    "x := -y;",
+    "x := 0; x := not (x < 1);",
+    "x := a and b or c;",
+    "x := (a or b) and c;",
+    "array a[8]; a[i + 1] := a[i] * 2;",
+    "alias (x, z); alias (y, z); x := 1;",
+    "var p, q; p := q;",
+    "l: skip; goto l;",
+    "l: if x < 5 then goto l else goto m; m: skip;",
+    "if x == 0 then { y := 1; } else { y := 2; }",
+    "while i < 10 do { i := i + 1; }",
+    """
+    x := 0;
+    l: y := x + 1;
+       x := x + 1;
+       if x < 5 then goto l;
+    """,
+]
+
+
+def strip_locations(prog):
+    """AST equality ignoring source locations."""
+
+    def stmt_key(s):
+        from repro.lang import Assign, CondGoto, Goto, If, Skip, While
+
+        if isinstance(s, Assign):
+            return ("assign", s.label, s.target, s.expr)
+        if isinstance(s, Goto):
+            return ("goto", s.label, s.target)
+        if isinstance(s, CondGoto):
+            return ("condgoto", s.label, s.pred, s.then_target, s.else_target)
+        if isinstance(s, Skip):
+            return ("skip", s.label)
+        if isinstance(s, If):
+            return (
+                "if",
+                s.label,
+                s.cond,
+                tuple(stmt_key(t) for t in s.then_body),
+                tuple(stmt_key(t) for t in s.else_body),
+            )
+        if isinstance(s, While):
+            return ("while", s.label, s.cond, tuple(stmt_key(t) for t in s.body))
+        raise TypeError(type(s))
+
+    return (
+        tuple(stmt_key(s) for s in prog.body),
+        tuple(sorted(prog.arrays.items())),
+        tuple(prog.scalars),
+        tuple(prog.alias_groups),
+    )
+
+
+@pytest.mark.parametrize("src", SOURCES)
+def test_round_trip(src):
+    prog = parse(src)
+    printed = pretty(prog)
+    reparsed = parse(printed)
+    assert strip_locations(prog) == strip_locations(reparsed)
+
+
+def test_idempotent_printing():
+    prog = parse(SOURCES[-1])
+    once = pretty(prog)
+    twice = pretty(parse(once))
+    assert once == twice
+
+
+def test_pretty_expr_minimal_parens():
+    prog = parse("x := 1 + 2 * 3;")
+    assert pretty_expr(prog.body[0].expr) == "1 + 2 * 3"
+    prog = parse("x := (1 + 2) * 3;")
+    assert pretty_expr(prog.body[0].expr) == "(1 + 2) * 3"
+
+
+def test_pretty_preserves_nonassociative_grouping():
+    prog = parse("x := 10 - (3 - 2);")
+    assert parse(pretty(prog)).body[0].expr == prog.body[0].expr

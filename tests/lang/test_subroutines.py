@@ -1,0 +1,187 @@
+"""Tests for subroutines: parsing, expansion, and the Section 5 alias
+derivation from call sites."""
+
+import pytest
+
+from repro.analysis import AliasStructure
+from repro.interp import run_ast
+from repro.lang import SemanticError, expand_subroutines, parse, pretty
+from repro.translate import compile_program, simulate
+
+# The paper's example, now executable: SUBROUTINE F(X, Y, Z) called as
+# F(A, B, A) and F(C, D, D).
+PAPER_SRC = """
+sub f(x, y, z) {
+  t := x + y;
+  z := t;
+}
+a := 1; b := 2; c := 3; d := 4;
+call f(a, b, a);
+call f(c, d, d);
+"""
+
+
+def test_parse_subroutine():
+    prog = parse(PAPER_SRC)
+    assert set(prog.subs) == {"f"}
+    assert prog.subs["f"].formals == ["x", "y", "z"]
+
+
+def test_paper_formal_alias_structure():
+    """F(A,B,A) makes X~Z; F(C,D,D) makes Y~Z; X and Y are never the same
+    location — exactly the paper's alias structure."""
+    _, report = expand_subroutines(parse(PAPER_SRC))
+    assert report.formal_aliases["f"] == {("x", "z"), ("y", "z")}
+    assert report.expansions["f"] == 2
+
+
+def test_expansion_inherits_aliases_at_each_site():
+    """Compiling F once means each site inherits BOTH formal pairs: the
+    first call aliases (a,b)? no — X~Z maps to (a,a): trivial; Y~Z maps to
+    (b,a).  The second call: X~Z maps to (c,d); Y~Z maps to (d,d):
+    trivial."""
+    flat, _ = expand_subroutines(parse(PAPER_SRC))
+    groups = {tuple(sorted(g)) for g in flat.alias_groups}
+    assert ("a", "b") in groups  # from Y~Z at call f(a, b, a)
+    assert ("c", "d") in groups  # from X~Z at call f(c, d, d)
+    alias = AliasStructure.from_program(flat)
+    assert alias.related("a", "b")
+    assert alias.related("c", "d")
+    assert not alias.related("a", "c")
+
+
+def test_expansion_renames_locals_per_site():
+    flat, _ = expand_subroutines(parse(PAPER_SRC))
+    stores = [
+        s.target.name
+        for s in flat.body
+        if hasattr(s, "target") and hasattr(s.target, "name")
+    ]
+    t_names = [n for n in stores if "_f_t" in n]
+    assert len(set(t_names)) == 2  # distinct temp per expansion
+
+
+def test_expanded_program_runs_correctly():
+    result = run_ast(parse(PAPER_SRC))
+    # call f(a,b,a): t=a+b=3; a:=3.  call f(c,d,d): t=c+d=7; d:=7.
+    assert result["a"] == 3 and result["b"] == 2
+    assert result["c"] == 3 and result["d"] == 7
+
+
+def test_compiles_and_matches_reference_all_schemas():
+    ref = run_ast(parse(PAPER_SRC))
+    for schema in ("schema1", "schema3", "schema3_opt", "memory_elim"):
+        cp = compile_program(PAPER_SRC, schema=schema)
+        assert simulate(cp).memory == ref, schema
+
+
+def test_aliased_formals_are_access_streams():
+    """Under memory elimination, the inherited may-aliasing forces a, b, c,
+    d to stay in memory while unrelated scalars carry values."""
+    src = PAPER_SRC + "free := 9;"
+    cp = compile_program(src, schema="memory_elim")
+    kinds = {s.name: s.carries_value for s in cp.streams}
+    assert kinds["a"] is False and kinds["b"] is False
+    assert kinds["free"] is True
+
+
+def test_nested_calls_expand():
+    src = """
+    sub inner(p) { p := p * 2; }
+    sub outer(q) { call inner(q); q := q + 1; }
+    x := 5;
+    call outer(x);
+    """
+    result = run_ast(parse(src))
+    assert result["x"] == 11
+
+
+def test_nested_call_alias_propagation():
+    """If outer(u, v) calls inner(u, v) and some caller aliases outer's
+    formals, inner's formals become aliased transitively."""
+    src = """
+    sub inner(p, q) { p := q + 1; }
+    sub outer(u, v) { call inner(u, v); }
+    call outer(w, w);
+    """
+    _, report = expand_subroutines(parse(src))
+    assert ("p", "q") in report.formal_aliases["inner"]
+    assert ("u", "v") in report.formal_aliases["outer"]
+
+
+def test_labels_renamed_per_expansion():
+    src = """
+    sub count(n) {
+      l: n := n - 1;
+      if n > 0 then goto l;
+    }
+    x := 3; y := 2;
+    call count(x);
+    call count(y);
+    """
+    result = run_ast(parse(src))
+    assert result["x"] == 0 and result["y"] == 0
+    cp = compile_program(src, schema="schema2_opt")
+    assert simulate(cp).memory == result
+
+
+def test_call_with_label_is_a_goto_target():
+    src = """
+    sub bump(n) { n := n + 1; }
+    goto entry;
+    x := 99;
+    entry: call bump(v);
+    """
+    result = run_ast(parse(src))
+    assert result["v"] == 1 and result["x"] == 0
+
+
+def test_pretty_round_trip_with_subs():
+    prog = parse(PAPER_SRC)
+    reparsed = parse(pretty(prog))
+    assert run_ast(prog) == run_ast(reparsed)
+
+
+# -- static errors -----------------------------------------------------------
+
+
+def test_undefined_sub_rejected():
+    with pytest.raises(SemanticError):
+        parse("call nope(x);")
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        parse("sub f(a, b) { a := b; } call f(x);")
+
+
+def test_recursion_rejected():
+    with pytest.raises(SemanticError):
+        parse("sub f(a) { call f(a); } call f(x);")
+
+
+def test_mutual_recursion_rejected():
+    with pytest.raises(SemanticError):
+        parse(
+            "sub f(a) { call g(a); } sub g(b) { call f(b); } call f(x);"
+        )
+
+
+def test_duplicate_formals_rejected():
+    with pytest.raises(SemanticError):
+        parse("sub f(a, a) { a := 1; } call f(x, y);")
+
+
+def test_array_argument_rejected():
+    with pytest.raises(SemanticError):
+        parse("array z[4]; sub f(a) { a := 1; } call f(z);")
+
+
+def test_duplicate_sub_rejected():
+    with pytest.raises(SemanticError):
+        parse("sub f(a) { a := 1; } sub f(b) { b := 2; } call f(x);")
+
+
+def test_goto_across_sub_boundary_rejected():
+    with pytest.raises(SemanticError):
+        parse("sub f(a) { goto outside; } outside: skip; call f(x);")

@@ -1,0 +1,105 @@
+"""Tests for k-bounded loop throttling (Monsoon-style loop control)."""
+
+import pytest
+
+from repro.bench.programs import CORPUS, RUNNING_EXAMPLE
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+UNROLLABLE = """
+array a[64];
+i := 0;
+s: i := i + 1;
+   a[i] := i * 2;
+   if i < 40 then goto s;
+"""
+
+
+def run_bounded(src, schema, k, **kw):
+    cp = compile_program(src, schema=schema, **kw)
+    return simulate(cp, None, MachineConfig(loop_bound=k, memory_latency=20))
+
+
+def test_results_identical_for_all_bounds():
+    ref = run_ast(parse(RUNNING_EXAMPLE.source))
+    for k in (1, 2, 3, None):
+        res = run_bounded(RUNNING_EXAMPLE.source, "memory_elim", k)
+        assert res.memory == ref, k
+
+
+def test_corpus_under_lockstep():
+    """k=1 (the strict 'complete set of tokens' reading) is still correct
+    everywhere."""
+    for wl in CORPUS:
+        inputs = wl.inputs[0]
+        ref = run_ast(parse(wl.source), inputs)
+        schema = "schema3_opt" if wl.has_aliasing() else "schema2_opt"
+        cp = compile_program(wl.source, schema=schema)
+        res = simulate(cp, inputs, MachineConfig(loop_bound=1))
+        assert res.memory == ref, wl.name
+
+
+def test_throttling_trades_parallelism_for_occupancy():
+    """On a cross-iteration-parallel loop (Fig 14 pipelined stores), small
+    k costs cycles but caps tokens in flight."""
+    results = {
+        k: run_bounded(UNROLLABLE, "memory_elim", k, parallelize_arrays=True)
+        for k in (1, 4, None)
+    }
+    mems = {tuple(sorted((v, str(m)) for v, m in r.memory.items())) for r in results.values()}
+    assert len(mems) == 1
+    # cycles: k=1 slowest, unbounded fastest
+    assert results[1].metrics.cycles > results[4].metrics.cycles
+    assert results[4].metrics.cycles >= results[None].metrics.cycles
+    # occupancy: unbounded holds the most tokens in flight
+    assert (
+        results[None].metrics.peak_tokens_in_flight
+        >= results[1].metrics.peak_tokens_in_flight
+    )
+
+
+def test_lockstep_limits_iteration_overlap():
+    """With k=1, no operator of iteration j+1 fires before every lap-j
+    token has returned to the loop entry: the store of iteration j+1 never
+    fires while iteration j's store is still in flight."""
+    cp = compile_program(
+        UNROLLABLE, schema="memory_elim", parallelize_arrays=True
+    )
+    res = simulate(
+        cp, None, MachineConfig(loop_bound=1, memory_latency=20, trace=True)
+    )
+    stores = sorted(
+        cyc for cyc, _, desc, _ in res.trace if desc == "astore a"
+    )
+    gaps = [b - a for a, b in zip(stores, stores[1:])]
+    # lockstep: consecutive stores separated by at least a lap
+    assert min(gaps) >= 2
+
+    free = simulate(
+        compile_program(
+            UNROLLABLE, schema="memory_elim", parallelize_arrays=True
+        ),
+        None,
+        MachineConfig(memory_latency=20, trace=True),
+    )
+    free_stores = sorted(
+        cyc for cyc, _, desc, _ in free.trace if desc == "astore a"
+    )
+    free_gaps = [b - a for a, b in zip(free_stores, free_stores[1:])]
+    assert min(free_gaps) < min(gaps) or max(free_gaps) < max(gaps)
+
+
+def test_nested_loops_throttled_independently():
+    wl = next(w for w in CORPUS if w.name == "nested_loops")
+    ref = run_ast(parse(wl.source))
+    for k in (1, 2):
+        cp = compile_program(wl.source, schema="memory_elim")
+        res = simulate(cp, None, MachineConfig(loop_bound=k))
+        assert res.memory == ref, k
+
+
+def test_bound_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(loop_bound=0)

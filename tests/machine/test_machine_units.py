@@ -1,0 +1,197 @@
+"""Unit tests for machine subcomponents: contexts, memories, config,
+metrics."""
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.lang import parse
+from repro.machine import (
+    ACCESS,
+    Context,
+    DataMemory,
+    IStructureMemory,
+    IStructureError,
+    MachineConfig,
+    MemoryFault,
+    ROOT,
+)
+from repro.machine.context import _AccessValue
+from repro.machine.metrics import Metrics
+
+
+# -- contexts -----------------------------------------------------------
+
+
+def test_root_context():
+    assert ROOT.parent is None
+    assert ROOT.depth() == 0
+
+
+def test_next_iteration_preserves_activation():
+    c = Context(ROOT, 7, 0)
+    n = c.next_iteration()
+    assert n.activation == 7 and n.iteration == 1 and n.parent is ROOT
+    assert n != c
+    assert hash(n) != hash(c) or n != c
+
+
+def test_context_depth_and_repr():
+    inner = Context(Context(ROOT, 1, 2), 3, 4)
+    assert inner.depth() == 2
+    assert repr(inner) == "<0.0/1.2/3.4>"
+
+
+def test_contexts_hashable_distinct():
+    a = Context(ROOT, 1, 0)
+    b = Context(ROOT, 2, 0)
+    assert len({a, b, a.next_iteration()}) == 3
+
+
+def test_access_is_singleton():
+    assert _AccessValue() is ACCESS
+    assert repr(ACCESS) == "•"
+
+
+# -- data memory ---------------------------------------------------------
+
+
+def test_scalar_defaults_to_zero():
+    assert DataMemory().read("x") == 0
+
+
+def test_scalar_write_read():
+    m = DataMemory()
+    m.write("x", 5)
+    assert m.read("x") == 5
+
+
+def test_array_bounds():
+    m = DataMemory(arrays={"a": 4})
+    m.awrite("a", 3, 9)
+    assert m.aread("a", 3) == 9
+    with pytest.raises(MemoryFault):
+        m.aread("a", 4)
+    with pytest.raises(MemoryFault):
+        m.awrite("a", -1, 0)
+    with pytest.raises(MemoryFault):
+        m.aread("b", 0)
+
+
+def test_scalar_array_confusion_faults():
+    m = DataMemory(arrays={"a": 4})
+    with pytest.raises(MemoryFault):
+        m.read("a")
+    with pytest.raises(MemoryFault):
+        m.write("a", 1)
+
+
+def test_snapshot_copies():
+    m = DataMemory(scalars={"x": 1}, arrays={"a": 2})
+    snap = m.snapshot()
+    snap["a"][0] = 99
+    assert m.aread("a", 0) == 0
+
+
+def test_copy_independent():
+    m = DataMemory(scalars={"x": 1}, arrays={"a": 2})
+    c = m.copy()
+    c.write("x", 9)
+    c.awrite("a", 0, 9)
+    assert m.read("x") == 1 and m.aread("a", 0) == 0
+
+
+def test_for_program_initializes_all_scalars():
+    prog = parse("array a[3]; y := x;")
+    m = DataMemory.for_program(prog, {"x": 7})
+    snap = m.snapshot()
+    assert snap["x"] == 7 and snap["y"] == 0 and snap["a"] == [0, 0, 0]
+
+
+def test_for_program_rejects_array_input():
+    prog = parse("array a[3]; y := a[0];")
+    with pytest.raises(MemoryFault):
+        DataMemory.for_program(prog, {"a": 1})
+
+
+# -- I-structures ---------------------------------------------------------
+
+
+def test_istructure_write_then_read():
+    m = IStructureMemory({"a": 4})
+    assert m.write("a", 2, 5) == []
+    ok, v = m.read("a", 2, waiter=("n", "ctx"))
+    assert ok and v == 5
+
+
+def test_istructure_deferred_read_released_by_write():
+    m = IStructureMemory({"a": 4})
+    ok, _ = m.read("a", 1, waiter="w1")
+    assert not ok
+    ok, _ = m.read("a", 1, waiter="w2")
+    assert not ok
+    assert m.pending_reads() == [("a", 1)]
+    waiters = m.write("a", 1, 9)
+    assert waiters == ["w1", "w2"]
+    assert m.pending_reads() == []
+
+
+def test_istructure_double_write_rejected():
+    m = IStructureMemory({"a": 2})
+    m.write("a", 0, 1)
+    with pytest.raises(IStructureError):
+        m.write("a", 0, 2)
+
+
+def test_istructure_bounds():
+    m = IStructureMemory({"a": 2})
+    with pytest.raises(MemoryFault):
+        m.read("a", 5, waiter=None)
+    with pytest.raises(MemoryFault):
+        m.write("nope", 0, 1)
+
+
+def test_istructure_snapshot_zeroes_empty():
+    m = IStructureMemory({"a": 3})
+    m.write("a", 1, 7)
+    assert m.snapshot() == {"a": [0, 7, 0]}
+
+
+def test_istructure_declare():
+    m = IStructureMemory()
+    assert not m.has("z")
+    m.declare("z", 2)
+    assert m.has("z")
+
+
+# -- config / metrics ------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(on_clash="explode")
+    with pytest.raises(ValueError):
+        MachineConfig(num_pes=0)
+    with pytest.raises(ValueError):
+        MachineConfig(alu_latency=0)
+
+
+def test_metrics_profile_list():
+    m = Metrics(cycles=5, operations=4, profile={0: 1, 3: 3})
+    assert m.profile_list() == [1, 0, 0, 3]
+    assert m.peak_parallelism == 3
+    assert m.avg_parallelism == pytest.approx(0.8)
+
+
+def test_metrics_empty():
+    m = Metrics()
+    assert m.avg_parallelism == 0.0
+    assert m.peak_parallelism == 0
+    assert m.profile_list() == []
+
+
+@given(st.dictionaries(st.integers(0, 50), st.integers(1, 9), max_size=20))
+def test_metrics_profile_sum_invariant(profile):
+    ops = sum(profile.values())
+    m = Metrics(cycles=max(profile, default=0) + 1, operations=ops, profile=profile)
+    assert sum(m.profile_list()) == ops

@@ -1,0 +1,99 @@
+"""Tests for the multi-PE locality model (static partitioning + network
+hop latency)."""
+
+import pytest
+
+from repro.bench.programs import CORPUS, RUNNING_EXAMPLE
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+
+def run_net(src, inputs=None, **cfg):
+    cp = compile_program(src, schema="memory_elim")
+    return simulate(cp, inputs, MachineConfig(**cfg))
+
+
+def test_network_latency_requires_finite_pes():
+    with pytest.raises(ValueError):
+        MachineConfig(network_latency=3)
+    MachineConfig(network_latency=3, num_pes=4)  # fine
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(partition="hash", num_pes=2)
+    with pytest.raises(ValueError):
+        MachineConfig(network_latency=-1, num_pes=2)
+
+
+@pytest.mark.parametrize("partition", ["round_robin", "block", "random"])
+def test_results_independent_of_partitioning(partition):
+    ref = run_ast(parse(RUNNING_EXAMPLE.source))
+    res = run_net(
+        RUNNING_EXAMPLE.source,
+        num_pes=4,
+        network_latency=5,
+        partition=partition,
+        seed=7,
+    )
+    assert res.memory == ref
+
+
+def test_corpus_under_network_model():
+    for wl in CORPUS:
+        if wl.name not in ("gcd", "fib", "nested_loops", "fortran_sub"):
+            continue
+        inputs = wl.inputs[0]
+        ref = run_ast(parse(wl.source), inputs)
+        schema = "schema3_opt" if wl.has_aliasing() else "schema2_opt"
+        cp = compile_program(wl.source, schema=schema)
+        res = simulate(
+            cp,
+            inputs,
+            MachineConfig(num_pes=3, network_latency=4, partition="block"),
+        )
+        assert res.memory == ref, wl.name
+
+
+def test_network_hops_cost_cycles():
+    uniform = run_net(RUNNING_EXAMPLE.source, num_pes=4, network_latency=0)
+    remote = run_net(
+        RUNNING_EXAMPLE.source, num_pes=4, network_latency=10
+    )
+    assert remote.memory == uniform.memory
+    assert remote.metrics.cycles > uniform.metrics.cycles
+
+
+def test_single_pe_has_no_hops():
+    """With one PE every node is local: network latency is irrelevant."""
+    a = run_net(RUNNING_EXAMPLE.source, num_pes=1, network_latency=0)
+    b = run_net(RUNNING_EXAMPLE.source, num_pes=1, network_latency=50)
+    assert a.metrics.cycles == b.metrics.cycles
+
+
+def test_per_pe_issue_limits_throughput():
+    """In locality mode each PE issues one op per cycle."""
+    src = "a := a + 1; b := b + 1; c := c + 1; d := d + 1;"
+    res = run_net(src, num_pes=2, network_latency=1, partition="block")
+    assert res.metrics.peak_parallelism <= 2
+    assert res.memory == run_ast(parse(src))
+
+
+def test_block_partitioning_beats_round_robin_here():
+    """Graphs are built roughly in program order, so contiguous blocks keep
+    chains local; round-robin scatters every arc across the network."""
+    wl = next(w for w in CORPUS if w.name == "prime_count")
+    cp_b = compile_program(wl.source, schema="memory_elim")
+    cp_r = compile_program(wl.source, schema="memory_elim")
+    block = simulate(
+        cp_b, None, MachineConfig(num_pes=4, network_latency=8, partition="block")
+    )
+    rr = simulate(
+        cp_r,
+        None,
+        MachineConfig(num_pes=4, network_latency=8, partition="round_robin"),
+    )
+    assert block.memory == rr.memory
+    assert block.metrics.cycles < rr.metrics.cycles

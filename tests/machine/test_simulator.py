@@ -1,0 +1,323 @@
+"""Unit tests for the ETS simulator on hand-built graphs."""
+
+import pytest
+
+from repro.dfg import DFGraph, OpKind, Seed
+from repro.machine import (
+    DataMemory,
+    DeadlockError,
+    IStructureMemory,
+    MachineConfig,
+    MachineError,
+    SimulationLimitError,
+    Simulator,
+    TokenClashError,
+    simulate_graph,
+)
+
+
+def run(g, memory=None, istructs=None, **cfg):
+    return simulate_graph(g, memory, istructs, MachineConfig(**cfg))
+
+
+def test_empty_program_graph():
+    g = DFGraph()
+    g.add(OpKind.START, seeds=())
+    g.add(OpKind.END, returns=())
+    res = run(g)
+    assert res.metrics.operations == 0
+    assert res.metrics.cycles == 0
+
+
+def test_load_store_pipeline():
+    """y := x through memory."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "x"),))
+    end = g.add(OpKind.END, returns=(None,))
+    load = g.add(OpKind.LOAD, var="x")
+    store = g.add(OpKind.STORE, var="y")
+    g.connect((start.id, 0), load.id, 0, is_access=True)
+    g.connect((load.id, 0), store.id, 0)
+    g.connect((load.id, 1), store.id, 1, is_access=True)
+    g.connect((store.id, 0), end.id, 0, is_access=True)
+    mem = DataMemory(scalars={"x": 42})
+    res = run(g, mem)
+    assert res.memory["y"] == 42
+    assert res.metrics.memory_ops == 2
+
+
+def test_arithmetic_and_const_trigger():
+    """y := (x + 1) * 3 with value wiring."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("value", "x"),))
+    end = g.add(OpKind.END, returns=("y",))
+    c1 = g.add(OpKind.CONST, value=1)
+    c3 = g.add(OpKind.CONST, value=3)
+    add = g.add(OpKind.BINOP, op="+")
+    mul = g.add(OpKind.BINOP, op="*")
+    g.connect((start.id, 0), add.id, 0)
+    g.connect((start.id, 0), c1.id, 0)  # trigger
+    g.connect((start.id, 0), c3.id, 0)
+    g.connect((c1.id, 0), add.id, 1)
+    g.connect((add.id, 0), mul.id, 0)
+    g.connect((c3.id, 0), mul.id, 1)
+    g.connect((mul.id, 0), end.id, 0)
+    res = run(g, DataMemory(scalars={"x": 5}))
+    assert res.end_values == {"y": 18}
+    assert res.memory["y"] == 18
+
+
+def test_switch_routes_by_control():
+    """switch sends data to the true output for nonzero control."""
+
+    def build(ctrl):
+        g = DFGraph()
+        start = g.add(OpKind.START, seeds=(Seed("value", "d"),))
+        end = g.add(OpKind.END, returns=("r",))
+        c = g.add(OpKind.CONST, value=ctrl)
+        sw = g.add(OpKind.SWITCH)
+        m = g.add(OpKind.MERGE, nports=2)
+        neg = g.add(OpKind.UNOP, op="-")
+        g.connect((start.id, 0), sw.id, 0)
+        g.connect((start.id, 0), c.id, 0)
+        g.connect((c.id, 0), sw.id, 1)
+        g.connect((sw.id, 0), m.id, 0)  # true: pass through
+        g.connect((sw.id, 1), neg.id, 0)  # false: negate
+        g.connect((neg.id, 0), m.id, 1)
+        g.connect((m.id, 0), end.id, 0)
+        return g
+
+    res_t = run(build(1), DataMemory(scalars={"d": 7}))
+    assert res_t.end_values["r"] == 7
+    res_f = run(build(0), DataMemory(scalars={"d": 7}))
+    assert res_f.end_values["r"] == -7
+
+
+def test_synch_waits_for_all_inputs():
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "a"), Seed("access", "b")))
+    end = g.add(OpKind.END, returns=(None,))
+    slow = g.add(OpKind.UNOP, op="-", latency=10)
+    c = g.add(OpKind.CONST, value=1)
+    sy = g.add(OpKind.SYNCH, nports=2)
+    g.connect((start.id, 0), c.id, 0)
+    g.connect((c.id, 0), slow.id, 0)
+    # discard slow's numeric output into synch (dummy semantics fine)
+    g.connect((slow.id, 0), sy.id, 0)
+    g.connect((start.id, 1), sy.id, 1, is_access=True)
+    g.connect((sy.id, 0), end.id, 0, is_access=True)
+    res = run(g)
+    # synch fires only after the slow op's 10-cycle latency
+    assert res.metrics.cycles > 10
+
+
+def _loop_graph(limit=5):
+    """Hand-built tagged loop: x starts 0; repeat x := x + 1 while x < limit.
+
+    One LOOP_ENTRY channel carrying x's value.
+    """
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("value", "x"),))
+    end = g.add(OpKind.END, returns=("x",))
+    le = g.add(OpKind.LOOP_ENTRY, loop_id=0, nchannels=1)
+    lx = g.add(OpKind.LOOP_EXIT, loop_id=0, nchannels=1)
+    c1 = g.add(OpKind.CONST, value=1)
+    cl = g.add(OpKind.CONST, value=limit)
+    add = g.add(OpKind.BINOP, op="+")
+    lt = g.add(OpKind.BINOP, op="<")
+    sw = g.add(OpKind.SWITCH)
+    g.connect((start.id, 0), le.id, 0)
+    g.connect((le.id, 0), add.id, 0)
+    g.connect((le.id, 0), c1.id, 0)
+    g.connect((le.id, 0), cl.id, 0)
+    g.connect((c1.id, 0), add.id, 1)
+    g.connect((add.id, 0), lt.id, 0)
+    g.connect((cl.id, 0), lt.id, 1)
+    g.connect((add.id, 0), sw.id, 0)
+    g.connect((lt.id, 0), sw.id, 1)
+    g.connect((sw.id, 0), le.id, 1)  # backedge channel
+    g.connect((sw.id, 1), lx.id, 0)
+    g.connect((lx.id, 0), end.id, 0)
+    return g
+
+
+def test_tagged_loop_executes():
+    res = run(_loop_graph(5), DataMemory(scalars={"x": 0}))
+    assert res.end_values["x"] == 5
+
+
+def test_tagged_loop_many_iterations():
+    res = run(_loop_graph(100), DataMemory(scalars={"x": 0}))
+    assert res.end_values["x"] == 100
+
+
+def test_loop_iterations_have_distinct_contexts():
+    sim = Simulator(
+        _loop_graph(3),
+        DataMemory(scalars={"x": 0}),
+        config=MachineConfig(trace=True),
+    )
+    res = sim.run()
+    add_id = next(n.id for n in sim.graph.nodes.values() if n.kind is OpKind.BINOP and n.op == "+")
+    ctxs = {ctx for (_, nid, _, ctx) in res.trace if nid == add_id}
+    assert len(ctxs) == 3  # one context per iteration
+
+
+def test_deadlock_detected():
+    """END starves because a synch input is fed by a never-taken branch."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "a"),))
+    end = g.add(OpKind.END, returns=(None,))
+    sy = g.add(OpKind.SYNCH, nports=2)
+    g.connect((start.id, 0), sy.id, 0, is_access=True)
+    c1 = g.add(OpKind.CONST, value=1)
+    sw = g.add(OpKind.SWITCH)
+    g.connect((start.id, 0), c1.id, 0)
+    g.connect((start.id, 0), sw.id, 0)
+    g.connect((c1.id, 0), sw.id, 1)
+    g.connect((sw.id, 1), sy.id, 1)  # false branch never taken (control=1)
+    sink = g.add(OpKind.SYNCH, nports=1)
+    g.connect((sw.id, 0), sink.id, 0)  # true branch goes to a sink
+    g.connect((sy.id, 0), end.id, 0, is_access=True)  # never arrives
+    with pytest.raises(DeadlockError):
+        run(g)
+
+
+def _clash_graph():
+    """Two same-tag tokens race into one strict input slot: both START
+    tokens merge into add's port 0 while the slow constant delays port 1,
+    so the second port-0 token finds the slot occupied."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("value", "x"), Seed("value", "x")))
+    end = g.add(OpKind.END, returns=("r",))
+    add = g.add(OpKind.BINOP, op="+")
+    c = g.add(OpKind.CONST, value=1, latency=10)
+    m = g.add(OpKind.MERGE, nports=2)
+    g.connect((start.id, 0), m.id, 0)
+    g.connect((start.id, 1), m.id, 1)
+    g.connect((m.id, 0), add.id, 0)
+    g.connect((start.id, 0), c.id, 0)
+    g.connect((c.id, 0), add.id, 1)
+    g.connect((add.id, 0), end.id, 0)
+    return g
+
+
+def test_token_clash_raises():
+    with pytest.raises(TokenClashError):
+        run(_clash_graph(), DataMemory(scalars={"x": 1}))
+
+
+def test_token_clash_recorded_mode():
+    """Recording mode queues the extra token and completes; the clash is
+    reported in the metrics (the graph is not a valid ETS computation)."""
+    res = run(_clash_graph(), DataMemory(scalars={"x": 1}), on_clash="record")
+    assert res.metrics.clashes == 1
+    assert len(res.clashes) == 1
+    assert res.end_values["r"] == 2
+
+
+def test_array_load_store():
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "a"),))
+    end = g.add(OpKind.END, returns=(None,))
+    ci = g.add(OpKind.CONST, value=2)
+    cj = g.add(OpKind.CONST, value=3)
+    ld = g.add(OpKind.ALOAD, var="a")
+    st = g.add(OpKind.ASTORE, var="a")
+    g.connect((start.id, 0), ci.id, 0)
+    g.connect((start.id, 0), cj.id, 0)
+    g.connect((ci.id, 0), ld.id, 0)
+    g.connect((start.id, 0), ld.id, 1, is_access=True)
+    g.connect((cj.id, 0), st.id, 0)
+    g.connect((ld.id, 0), st.id, 1)
+    g.connect((ld.id, 1), st.id, 2, is_access=True)
+    g.connect((st.id, 0), end.id, 0, is_access=True)
+    mem = DataMemory(arrays={"a": 8})
+    mem.awrite("a", 2, 99)
+    res = run(g, mem)
+    assert res.memory["a"][3] == 99  # a[3] := a[2]
+
+
+def test_istructure_deferred_read():
+    """ILOAD issued before the ISTORE still gets the value."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "t"),))
+    end = g.add(OpKind.END, returns=("r", None))
+    c0 = g.add(OpKind.CONST, value=0)
+    ld = g.add(OpKind.ILOAD, var="ia")
+    slow5 = g.add(OpKind.CONST, value=5, latency=20)
+    c0b = g.add(OpKind.CONST, value=0)
+    st = g.add(OpKind.ISTORE, var="ia")
+    g.connect((start.id, 0), c0.id, 0)
+    g.connect((c0.id, 0), ld.id, 0)  # read fires early
+    g.connect((start.id, 0), slow5.id, 0)
+    g.connect((start.id, 0), c0b.id, 0)
+    g.connect((c0b.id, 0), st.id, 0)
+    g.connect((slow5.id, 0), st.id, 1)  # write arrives late
+    g.connect((ld.id, 0), end.id, 0)
+    g.connect((st.id, 0), end.id, 1, is_access=True)
+    ist = IStructureMemory({"ia": 4})
+    res = run(g, None, ist)
+    assert res.end_values["r"] == 5
+    assert res.memory["ia"][0] == 5
+
+
+def test_istructure_never_written_reads_default_at_quiescence():
+    """A deferred read no write can ever satisfy releases with the default
+    0 once the machine drains — matching zero-initialized updatable
+    arrays (see IStructureMemory.release_pending_with_default)."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "t"),))
+    end = g.add(OpKind.END, returns=("r",))
+    c0 = g.add(OpKind.CONST, value=0)
+    ld = g.add(OpKind.ILOAD, var="ia")
+    g.connect((start.id, 0), c0.id, 0)
+    g.connect((c0.id, 0), ld.id, 0)
+    g.connect((ld.id, 0), end.id, 0)
+    res = run(g, None, IStructureMemory({"ia": 2}))
+    assert res.end_values["r"] == 0
+
+
+def test_finite_pes_same_result_slower():
+    g = _loop_graph(20)
+    wide = run(g, DataMemory(scalars={"x": 0}))
+    narrow = run(_loop_graph(20), DataMemory(scalars={"x": 0}), num_pes=1)
+    assert wide.end_values == narrow.end_values
+    assert narrow.metrics.cycles >= wide.metrics.cycles
+    assert narrow.metrics.peak_parallelism == 1
+
+
+def test_seeded_scheduling_is_deterministic_in_result():
+    results = set()
+    for seed in (1, 2, 3, 4):
+        res = run(
+            _loop_graph(10), DataMemory(scalars={"x": 0}), num_pes=2, seed=seed
+        )
+        results.add(res.end_values["x"])
+    assert results == {10}
+
+
+def test_cycle_limit():
+    with pytest.raises(SimulationLimitError):
+        run(_loop_graph(10**9), DataMemory(scalars={"x": 0}), max_cycles=500)
+
+
+def test_metrics_profile_consistency():
+    res = run(_loop_graph(5), DataMemory(scalars={"x": 0}))
+    m = res.metrics
+    assert sum(m.profile.values()) == m.operations
+    assert m.avg_parallelism > 0
+    assert m.peak_parallelism >= 1
+    assert len(m.profile_list()) <= m.cycles + 1
+    assert "ops in" in m.summary()
+
+
+def test_value_token_on_value_port_required():
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=(Seed("access", "x"),))
+    end = g.add(OpKind.END, returns=("r",))
+    u = g.add(OpKind.UNOP, op="-")
+    g.connect((start.id, 0), u.id, 0)  # access token into arithmetic: bug
+    g.connect((u.id, 0), end.id, 0)
+    with pytest.raises(MachineError):
+        run(g)

@@ -1,0 +1,113 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+@pytest.fixture
+def srcfile(tmp_path):
+    p = tmp_path / "prog.df"
+    p.write_text(SRC)
+    return str(p)
+
+
+def test_run_prints_final_memory(srcfile, capsys):
+    assert main(["run", srcfile]) == 0
+    out = capsys.readouterr().out
+    assert "x = 5" in out and "y = 5" in out
+
+
+def test_run_with_inputs(tmp_path, capsys):
+    p = tmp_path / "p.df"
+    p.write_text("y := x * 2;")
+    main(["run", str(p), "--input", "x=21"])
+    assert "y = 42" in capsys.readouterr().out
+
+
+def test_run_schema_choice(srcfile, capsys):
+    main(["run", srcfile, "--schema", "memory_elim"])
+    assert "x = 5" in capsys.readouterr().out
+
+
+def test_run_machine_options(srcfile, capsys):
+    main(["run", srcfile, "--pes", "2", "--mem-latency", "7", "--seed", "3"])
+    assert "x = 5" in capsys.readouterr().out
+
+
+def test_bad_input_format(srcfile):
+    with pytest.raises(SystemExit):
+        main(["run", srcfile, "--input", "x=abc"])
+
+
+def test_stats(srcfile, capsys):
+    assert main(["stats", srcfile]) == 0
+    out = capsys.readouterr().out
+    assert "nodes" in out and "switch" in out
+    assert "loops: 1" in out
+
+
+def test_dot_dfg(srcfile, capsys):
+    main(["dot", srcfile])
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "style=dotted" in out
+
+
+def test_dot_cfg(srcfile, capsys):
+    main(["dot", srcfile, "--stage", "cfg"])
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "join" in out
+
+
+def test_trace(srcfile, capsys):
+    main(["trace", srcfile])
+    out = capsys.readouterr().out
+    assert "store x" in out or "loop_entry" in out
+
+
+def test_schemas_listing(capsys):
+    main(["schemas"])
+    out = capsys.readouterr().out
+    assert "schema2_opt" in out and "memory_elim" in out
+
+
+def test_stdin(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("z := 7;"))
+    main(["run", "-"])
+    assert "z = 7" in capsys.readouterr().out
+
+
+def test_transforms_flags(tmp_path, capsys):
+    p = tmp_path / "arr.df"
+    p.write_text(
+        """
+        array a[16];
+        i := 0;
+        s: i := i + 1;
+           a[i] := i;
+           if i < 10 then goto s;
+        """
+    )
+    main(
+        [
+            "run",
+            str(p),
+            "--schema",
+            "memory_elim",
+            "--parallelize-arrays",
+            "--istructures",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "i = 10" in out

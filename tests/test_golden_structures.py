@@ -1,0 +1,108 @@
+"""Golden structural snapshots of the paper-figure graphs.
+
+These pin the *exact* operator/arc inventory the constructions produce for
+the paper's own examples, guarding against silent drift in the translation
+(a wiring change that stays semantically correct but alters the structure
+the figures describe would trip these, prompting a deliberate update).
+"""
+
+from repro.bench.programs import FIGURE_9, RUNNING_EXAMPLE
+from repro.dfg import graph_stats
+from repro.translate import compile_program
+
+
+def snapshot(src, schema, **kw):
+    st = graph_stats(compile_program(src, schema=schema, **kw).graph)
+    return {
+        "nodes": st.nodes,
+        "arcs": st.arcs,
+        "access_arcs": st.access_arcs,
+        "switches": st.switches,
+        "merges": st.merges,
+        "synchs": st.synchs,
+        "loads": st.loads,
+        "stores": st.stores,
+        "loop_controls": st.loop_controls,
+    }
+
+
+def test_golden_running_example_schema1():
+    assert snapshot(RUNNING_EXAMPLE.source, "schema1") == {
+        "nodes": 17,
+        "arcs": 24,
+        "access_arcs": 14,
+        "switches": 1,
+        "merges": 1,
+        "synchs": 0,
+        "loads": 3,
+        "stores": 3,
+        "loop_controls": 0,
+    }
+
+
+def test_golden_running_example_schema2():
+    assert snapshot(RUNNING_EXAMPLE.source, "schema2") == {
+        "nodes": 21,
+        "arcs": 33,
+        "access_arcs": 22,
+        "switches": 2,
+        "merges": 2,
+        "synchs": 0,
+        "loads": 3,
+        "stores": 3,
+        "loop_controls": 2,
+    }
+
+
+def test_golden_running_example_schema2_opt():
+    assert snapshot(RUNNING_EXAMPLE.source, "schema2_opt") == {
+        "nodes": 19,
+        "arcs": 31,
+        "access_arcs": 20,
+        "switches": 2,
+        "merges": 0,
+        "synchs": 0,
+        "loads": 3,
+        "stores": 3,
+        "loop_controls": 2,
+    }
+
+
+def test_golden_running_example_memory_elim():
+    assert snapshot(RUNNING_EXAMPLE.source, "memory_elim") == {
+        "nodes": 13,
+        "arcs": 22,
+        "access_arcs": 4,
+        "switches": 2,
+        "merges": 0,
+        "synchs": 0,
+        "loads": 0,
+        "stores": 0,
+        "loop_controls": 2,
+    }
+
+
+def test_golden_figure9_schema2_vs_opt():
+    base = snapshot(FIGURE_9.source, "schema2")
+    opt = snapshot(FIGURE_9.source, "schema2_opt")
+    assert base["switches"] == 3 and base["merges"] == 3
+    assert opt["switches"] == 1 and opt["merges"] == 1
+    assert base["loads"] == opt["loads"]
+    assert base["stores"] == opt["stores"]
+
+
+def test_golden_fig14_pipeline():
+    st = snapshot(
+        "array x[16];\n"
+        "i := 0;\n"
+        "s: i := i + 1;\n"
+        "   x[i] := 1;\n"
+        "   if i < 10 then goto s;",
+        "memory_elim",
+        parallelize_arrays=True,
+    )
+    # the rewrite adds: done-synch, done-switch, exit-synch; LE/LX each
+    # gain a channel (structure of Figure 14(c))
+    assert st["synchs"] == 2
+    assert st["switches"] == 3  # i, a, and the completion switch
+    assert st["loop_controls"] == 2

@@ -1,0 +1,88 @@
+"""Exhaustive tests for the shared operator semantics — the single module
+both the interpreters and the machine evaluate through."""
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.semantics import apply_binop, apply_unop, truthy
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+
+
+@pytest.mark.parametrize(
+    "op,a,b,expected",
+    [
+        ("+", 2, 3, 5),
+        ("-", 2, 3, -1),
+        ("*", 4, -3, -12),
+        ("/", 7, 2, 3),
+        ("/", -7, 2, -4),  # floor division
+        ("/", 7, -2, -4),
+        ("/", 5, 0, 0),  # total
+        ("%", 7, 3, 1),
+        ("%", -7, 3, 2),  # sign follows divisor (Python floor-mod)
+        ("%", 5, 0, 0),  # total
+        ("==", 3, 3, 1),
+        ("==", 3, 4, 0),
+        ("!=", 3, 4, 1),
+        ("<", 1, 2, 1),
+        ("<=", 2, 2, 1),
+        (">", 2, 1, 1),
+        (">=", 1, 2, 0),
+        ("and", 5, 3, 1),
+        ("and", 5, 0, 0),
+        ("or", 0, 0, 0),
+        ("or", 0, -1, 1),
+    ],
+)
+def test_binop_table(op, a, b, expected):
+    assert apply_binop(op, a, b) == expected
+
+
+@pytest.mark.parametrize(
+    "op,a,expected",
+    [("-", 5, -5), ("-", -5, 5), ("not", 0, 1), ("not", 7, 0)],
+)
+def test_unop_table(op, a, expected):
+    assert apply_unop(op, a) == expected
+
+
+def test_unknown_operators_rejected():
+    with pytest.raises(ValueError):
+        apply_binop("**", 1, 2)
+    with pytest.raises(ValueError):
+        apply_unop("~", 1)
+
+
+def test_truthy():
+    assert truthy(1) and truthy(-1) and not truthy(0)
+
+
+@given(ints, ints)
+def test_division_identity(a, b):
+    """a == (a / b) * b + a % b whenever b != 0 (floor semantics)."""
+    if b != 0:
+        assert apply_binop("/", a, b) * b + apply_binop("%", a, b) == a
+
+
+@given(ints, ints)
+def test_comparisons_are_boolean(a, b):
+    for op in ("==", "!=", "<", "<=", ">", ">=", "and", "or"):
+        assert apply_binop(op, a, b) in (0, 1)
+
+
+@given(ints, ints)
+def test_comparison_trichotomy(a, b):
+    assert (
+        apply_binop("<", a, b)
+        + apply_binop("==", a, b)
+        + apply_binop(">", a, b)
+        == 1
+    )
+
+
+@given(ints)
+def test_double_negation(a):
+    assert apply_unop("-", apply_unop("-", a)) == a
+    assert apply_unop("not", apply_unop("not", a)) == truthy(a)

@@ -1,0 +1,176 @@
+"""Tests for Section 6.3: array store pipelining (Figure 14) and write-once
+arrays on I-structure memory."""
+
+from repro.bench.programs import ARRAY_LOOP, CORPUS
+from repro.dfg import OpKind
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+SRC = ARRAY_LOOP.source
+
+BIG_LOOP = """
+array a[64];
+i := 0;
+s: i := i + 1;
+   a[i] := i * 2;
+   if i < 50 then goto s;
+"""
+
+
+def test_paper_loop_qualifies():
+    cp = compile_program(SRC, schema="memory_elim", parallelize_arrays=True)
+    assert cp.array_report is not None
+    assert cp.array_report.pipelined == ((0, "x"),)
+    assert cp.array_report.skipped == ()
+
+
+def test_pipelined_graph_structure():
+    """Figure 14(c): a duplicated token, a per-iteration synch with the
+    store, a completion switch, and an exit synch."""
+    cp = compile_program(SRC, schema="memory_elim", parallelize_arrays=True)
+    tags = [n.tag for n in cp.graph.nodes.values()]
+    assert any(t.startswith("fig14-done") for t in tags)
+    assert any(t.startswith("fig14-switch") for t in tags)
+    assert any(t.startswith("fig14-exit") for t in tags)
+    les = cp.graph.of_kind(OpKind.LOOP_ENTRY)
+    assert any("~done:x" in le.channel_labels for le in les)
+
+
+def test_semantics_preserved():
+    ref = run_ast(parse(SRC))
+    for schema in ("schema2_opt", "memory_elim"):
+        cp = compile_program(SRC, schema=schema, parallelize_arrays=True)
+        assert simulate(cp).memory == ref, schema
+
+
+def test_critical_path_O_n_plus_L():
+    """Figure 14's payoff: n stores at latency L cost ~n*L serialized but
+    ~n + L pipelined (measured under memory elimination, where the store
+    chain is the loop's critical path)."""
+    L = 40
+    config = MachineConfig(memory_latency=L)
+    base = simulate(
+        compile_program(BIG_LOOP, schema="memory_elim"), config=config
+    )
+    fast = simulate(
+        compile_program(
+            BIG_LOOP, schema="memory_elim", parallelize_arrays=True
+        ),
+        config=config,
+    )
+    assert base.memory == fast.memory
+    n = 50
+    assert base.metrics.cycles > n * L * 0.8  # serialized: ~n*L
+    assert fast.metrics.cycles < n * 8 + 3 * L  # pipelined: ~n + L
+
+
+def test_stores_overlap_in_time():
+    cp = compile_program(
+        BIG_LOOP, schema="memory_elim", parallelize_arrays=True
+    )
+    res = simulate(cp, {}, MachineConfig(memory_latency=40, trace=True))
+    store_cycles = sorted(
+        cyc for cyc, _, desc, _ in res.trace if desc == "astore a"
+    )
+    # consecutive stores issue within a few cycles of each other — far less
+    # than the 40-cycle store latency
+    gaps = [b - a for a, b in zip(store_cycles, store_cycles[1:])]
+    assert max(gaps) < 10
+
+
+def test_loop_with_array_read_skipped():
+    src = """
+    array a[16];
+    i := 0;
+    s: i := i + 1;
+       a[i] := a[i - 1] + 1;
+       if i < 10 then goto s;
+    """
+    cp = compile_program(src, schema="memory_elim", parallelize_arrays=True)
+    assert cp.array_report.pipelined == ()
+    (skip,) = cp.array_report.skipped
+    assert skip[1] == "a" and skip[2] == "not iteration independent"
+    assert simulate(cp).memory == run_ast(parse(src))
+
+
+def test_constant_subscript_skipped():
+    src = """
+    array a[8];
+    i := 0;
+    s: i := i + 1;
+       a[3] := i;
+       if i < 5 then goto s;
+    """
+    cp = compile_program(src, schema="memory_elim", parallelize_arrays=True)
+    assert cp.array_report.pipelined == ()
+    assert simulate(cp).memory == run_ast(parse(src))
+
+
+# -- I-structures -----------------------------------------------------------
+
+
+def test_write_once_array_promoted():
+    cp = compile_program(SRC, schema="memory_elim", use_istructures=True)
+    assert cp.istructure_arrays == ["x"]
+    assert cp.graph.count(OpKind.ISTORE) == 1
+    assert cp.graph.count(OpKind.ASTORE) == 0
+
+
+def test_istructure_semantics_preserved():
+    ref = run_ast(parse(SRC))
+    cp = compile_program(SRC, schema="memory_elim", use_istructures=True)
+    assert simulate(cp).memory == ref
+
+
+def test_istructure_reader_defers_until_write():
+    """A read of x[10] placed after the loop gets its value even though the
+    ILOAD can fire before the writing iteration completes."""
+    src = SRC + "q := x[10];"
+    ref = run_ast(parse(src))
+    cp = compile_program(src, schema="memory_elim", use_istructures=True)
+    assert cp.istructure_arrays == ["x"]
+    assert cp.graph.count(OpKind.ILOAD) == 1
+    res = simulate(cp, {}, MachineConfig(memory_latency=25))
+    assert res.memory == ref
+    assert res.memory["q"] == 1
+
+
+def test_non_write_once_array_not_promoted():
+    src = """
+    array a[8];
+    a[0] := 1;
+    a[0] := 2;
+    """
+    cp = compile_program(src, schema="schema2_opt", use_istructures=True)
+    assert cp.istructure_arrays == []
+    assert simulate(cp).memory == run_ast(parse(src))
+
+
+def test_istructures_with_fig14_compose():
+    src = BIG_LOOP + "q := a[25];"
+    ref = run_ast(parse(src))
+    cp = compile_program(
+        src,
+        schema="memory_elim",
+        parallelize_arrays=True,
+        use_istructures=True,
+    )
+    res = simulate(cp, {}, MachineConfig(memory_latency=30))
+    assert res.memory == ref
+
+
+def test_corpus_array_programs_with_both_transforms():
+    for wl in CORPUS:
+        if not wl.uses_arrays():
+            continue
+        inputs = wl.inputs[0]
+        ref = run_ast(parse(wl.source), inputs)
+        cp = compile_program(
+            wl.source,
+            schema="memory_elim",
+            parallelize_arrays=True,
+            use_istructures=True,
+        )
+        assert simulate(cp, inputs).memory == ref, wl.name

@@ -1,0 +1,115 @@
+"""Cross-schema equivalence over the whole corpus: every schema (and every
+transform combination) must produce the reference interpreter's final
+memory.  This is the central correctness claim of the paper's translation.
+"""
+
+import pytest
+
+from repro.bench.programs import CORPUS
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+ALL_SCHEMAS = (
+    "schema1",
+    "schema2",
+    "schema2_opt",
+    "schema3",
+    "schema3_opt",
+    "memory_elim",
+)
+
+
+def schemas_for(wl):
+    """Schema 2 rejects aliased programs (the paper assumes no aliasing
+    until Section 5)."""
+    if wl.has_aliasing():
+        return ("schema1", "schema3", "schema3_opt", "memory_elim")
+    return ALL_SCHEMAS
+
+
+CASES = [
+    (wl, schema, inputs)
+    for wl in CORPUS
+    for schema in schemas_for(wl)
+    for inputs in wl.inputs
+]
+
+
+@pytest.mark.parametrize(
+    "wl,schema,inputs",
+    CASES,
+    ids=[f"{w.name}-{s}-{i}" for w, s, i in [(w, s, tuple(sorted(i.items()))) for w, s, i in CASES]],
+)
+def test_schema_matches_reference(wl, schema, inputs):
+    ref = run_ast(parse(wl.source), inputs)
+    cp = compile_program(wl.source, schema=schema)
+    res = simulate(cp, inputs)
+    assert res.memory == ref
+
+
+@pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
+def test_transform_combinations_match_reference(wl):
+    """Section 6 transforms preserve semantics on every corpus program."""
+    inputs = wl.inputs[0]
+    ref = run_ast(parse(wl.source), inputs)
+    schema = "memory_elim"
+    for kwargs in (
+        dict(parallel_reads=True),
+        dict(forward_stores=True),
+        dict(parallelize_arrays=True),
+        dict(use_istructures=True),
+        dict(
+            parallel_reads=True,
+            forward_stores=True,
+            parallelize_arrays=True,
+            use_istructures=True,
+        ),
+    ):
+        cp = compile_program(wl.source, schema=schema, **kwargs)
+        res = simulate(cp, inputs)
+        assert res.memory == ref, (wl.name, kwargs)
+
+
+@pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
+def test_schema1_transforms_match_reference(wl):
+    inputs = wl.inputs[0]
+    ref = run_ast(parse(wl.source), inputs)
+    cp = compile_program(
+        wl.source, schema="schema1", parallel_reads=True, forward_stores=True
+    )
+    res = simulate(cp, inputs)
+    assert res.memory == ref
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_scheduling_seed_does_not_change_results(seed):
+    """Confluence: with finite PEs and randomized firing order, valid graphs
+    give identical final memory."""
+    wl = next(w for w in CORPUS if w.name == "gcd")
+    inputs = wl.inputs[0]
+    ref = run_ast(parse(wl.source), inputs)
+    cp = compile_program(wl.source, schema="schema2_opt")
+    res = simulate(
+        cp, inputs, MachineConfig(num_pes=2, seed=seed)
+    )
+    assert res.memory == ref
+
+
+@pytest.mark.parametrize("pes", [1, 2, 4, None])
+def test_pe_count_does_not_change_results(pes):
+    wl = next(w for w in CORPUS if w.name == "matmul")
+    ref = run_ast(parse(wl.source))
+    cp = compile_program(wl.source, schema="memory_elim")
+    res = simulate(cp, {}, MachineConfig(num_pes=pes))
+    assert res.memory == ref
+
+
+def test_memory_latency_does_not_change_results():
+    wl = next(w for w in CORPUS if w.name == "bubble_sort")
+    ref = run_ast(parse(wl.source))
+    for lat in (1, 5, 17):
+        cp = compile_program(wl.source, schema="schema2_opt")
+        res = simulate(cp, {}, MachineConfig(memory_latency=lat))
+        assert res.memory == ref

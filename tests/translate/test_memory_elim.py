@@ -1,0 +1,120 @@
+"""Tests for memory elimination (Section 6.1): values on tokens, merges as
+implicit phi-functions, SSA connection."""
+
+from repro.analysis import construct_ssa
+from repro.analysis.ssa import prune_dead_phis
+from repro.bench.programs import CORPUS, RUNNING_EXAMPLE
+from repro.cfg import build_cfg
+from repro.dfg import OpKind, graph_stats
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+
+def test_no_memory_ops_for_unaliased_scalars():
+    """"In the absence of aliasing, memory operations on scalars can be
+    eliminated completely and all values can be carried on tokens"."""
+    cp = compile_program(RUNNING_EXAMPLE.source, schema="memory_elim")
+    assert graph_stats(cp.graph).memory_ops == 0
+
+
+def test_all_streams_carry_values():
+    cp = compile_program(RUNNING_EXAMPLE.source, schema="memory_elim")
+    assert all(s.carries_value for s in cp.streams)
+    start = cp.graph.node(cp.graph.start)
+    assert all(seed.kind == "value" for seed in start.seeds)
+
+
+def test_final_values_arrive_on_tokens():
+    cp = compile_program(RUNNING_EXAMPLE.source, schema="memory_elim")
+    res = simulate(cp)
+    assert res.end_values == {"x": 5, "y": 5}
+
+
+def test_aliased_scalars_keep_memory():
+    src = "alias (p, q); p := 1; r := q + p;"
+    cp = compile_program(src, schema="memory_elim")
+    kinds = {s.name: s.carries_value for s in cp.streams}
+    assert kinds["p"] is False and kinds["q"] is False
+    assert kinds["r"] is True
+    st = graph_stats(cp.graph)
+    assert st.memory_ops > 0
+
+
+def test_arrays_keep_memory():
+    src = "array a[4]; a[0] := 1; x := a[0];"
+    cp = compile_program(src, schema="memory_elim")
+    a_stream = next(s for s in cp.streams if s.name == "a")
+    assert not a_stream.carries_value
+    st = graph_stats(cp.graph)
+    assert st.memory_ops == 2  # the array store and load only
+
+
+def test_every_pruned_ssa_phi_has_a_value_merge():
+    """The paper: joining of values "is implicit in the model" — dataflow
+    merges play the role of SSA phi-functions.  Every pruned-SSA phi at a
+    join corresponds to a value merge for that variable at that join.  (The
+    converse does not hold exactly: a variable merely *read* inside a
+    conditional has its token switched and re-merged even though its value
+    is unchanged, so merges >= phis.)"""
+    src = """
+    if c == 0 then { y := 1; } else { y := 2; }
+    if d == 0 then { z := y; } else { z := 3; }
+    r := y + z;
+    """
+    cp = compile_program(src, schema="memory_elim")
+    merge_tags = {
+        n.tag for n in cp.graph.of_kind(OpKind.MERGE)
+    }
+    ssa = prune_dead_phis(construct_ssa(build_cfg(parse(src))))
+    phi_sites = [
+        (nid, p.var) for nid, phis in ssa.phis.items() for p in phis
+    ]
+    assert len(phi_sites) == 2  # y at the first join, z at the second
+    for nid, var in phi_sites:
+        assert f"cfg{nid}:{var}" in merge_tags, (nid, var)
+    assert cp.graph.count(OpKind.MERGE) >= len(phi_sites)
+
+
+def test_memory_elim_dominates_schema2_parallelism():
+    """Dropping loads/stores shortens the critical path on every corpus
+    program."""
+    for wl in CORPUS:
+        inputs = wl.inputs[0]
+        if wl.has_aliasing():
+            continue
+        s2 = simulate(
+            compile_program(wl.source, schema="schema2_opt"), inputs
+        )
+        me = simulate(
+            compile_program(wl.source, schema="memory_elim"), inputs
+        )
+        assert me.memory == s2.memory, wl.name
+        assert me.metrics.cycles <= s2.metrics.cycles, wl.name
+
+
+def test_memory_latency_insensitive_for_scalar_programs():
+    """With no memory operations left, memory latency is irrelevant."""
+    cp1 = compile_program(RUNNING_EXAMPLE.source, schema="memory_elim")
+    cp2 = compile_program(RUNNING_EXAMPLE.source, schema="memory_elim")
+    r1 = simulate(cp1, {}, MachineConfig(memory_latency=1))
+    r2 = simulate(cp2, {}, MachineConfig(memory_latency=50))
+    assert r1.metrics.cycles == r2.metrics.cycles
+
+
+def test_loop_carried_value_token():
+    """x's value circulates through LOOP_ENTRY channels as a value token."""
+    cp = compile_program(RUNNING_EXAMPLE.source, schema="memory_elim")
+    les = cp.graph.of_kind(OpKind.LOOP_ENTRY)
+    assert len(les) == 1
+    assert set(les[0].channel_labels) == {"x", "y"}
+    # arcs into the loop entry are value arcs
+    for p in range(les[0].nchannels * 2):
+        arc = cp.graph.producer(les[0].id, p)
+        assert arc is not None and not arc.is_access
+
+
+def test_uninitialized_variable_reads_input_value():
+    cp = compile_program("y := x + 1;", schema="memory_elim")
+    res = simulate(cp, {"x": 41})
+    assert res.memory["y"] == 42

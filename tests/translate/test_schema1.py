@@ -1,0 +1,108 @@
+"""Structural tests for Schema 1 (Figures 3-5): sequential semantics via a
+single circulating access token."""
+
+from repro.bench.programs import RUNNING_EXAMPLE
+from repro.dfg import OpKind, graph_stats
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+
+
+def compile1(src):
+    return compile_program(src, schema="schema1")
+
+
+def test_single_access_stream():
+    cp = compile1(RUNNING_EXAMPLE.source)
+    assert len(cp.streams) == 1
+    (s,) = cp.streams
+    assert s.governs == {"x", "y"}
+    start = cp.graph.node(cp.graph.start)
+    assert len(start.seeds) == 1
+    assert start.seeds[0].kind == "access"
+
+
+def test_assignment_block_shape():
+    """Figure 3/4: x := e reads each referenced variable then stores;
+    loads chain sequentially on the one token."""
+    cp = compile1("z := x + y;")
+    g = cp.graph
+    loads = g.of_kind(OpKind.LOAD)
+    stores = g.of_kind(OpKind.STORE)
+    assert sorted(n.var for n in loads) == ["x", "y"]
+    assert [n.var for n in stores] == ["z"]
+    # sequential chaining: one load's access-out feeds the other's access-in
+    chained = [
+        ld
+        for ld in loads
+        if any(
+            g.node(a.dst).kind is OpKind.LOAD
+            for a in g.consumers(ld.id, 1)
+        )
+    ]
+    assert len(chained) == 1
+
+
+def test_one_switch_per_fork():
+    cp = compile1(RUNNING_EXAMPLE.source)
+    assert cp.graph.count(OpKind.SWITCH) == 1
+
+
+def test_one_merge_per_join():
+    cp = compile1(RUNNING_EXAMPLE.source)
+    assert cp.graph.count(OpKind.MERGE) == 1
+
+
+def test_no_loop_controls_in_schema1():
+    """Footnote 4: cycles are unproblematic under Schema 1, so no loop
+    control operators are inserted."""
+    cp = compile1(RUNNING_EXAMPLE.source)
+    assert cp.graph.count(OpKind.LOOP_ENTRY) == 0
+    assert cp.graph.count(OpKind.LOOP_EXIT) == 0
+    assert cp.loops == []
+
+
+def test_statements_execute_sequentially():
+    """Inter-statement parallelism is 1: memory operations never overlap."""
+    cp = compile1("a := 1; b := 2; c := 3; d := 4;")
+    res = simulate(cp, {}, MachineConfig(trace=True))
+    # collect firing cycles of stores; they must be strictly ordered
+    store_cycles = [
+        cyc
+        for (cyc, nid, desc, _) in res.trace
+        if desc.startswith("store")
+    ]
+    assert store_cycles == sorted(store_cycles)
+    assert len(set(store_cycles)) == 4
+
+
+def test_expression_parallelism_within_statement_allowed():
+    """Schema 1 allows parallelism *within* a statement's expression."""
+    cp = compile1("z := (a + b) * (c + d);")
+    res = simulate(cp, {"a": 1, "b": 2, "c": 3, "d": 4})
+    assert res.memory["z"] == 21
+    # the two additions can fire in the same cycle
+    assert res.metrics.peak_parallelism >= 2
+
+
+def test_loop_reuses_tags_safely():
+    """Schema 1 does not retag iterations, yet the strict sequencing means
+    tokens never clash (footnote 4)."""
+    cp = compile1(RUNNING_EXAMPLE.source)
+    res = simulate(cp)  # on_clash defaults to raise
+    assert res.memory["x"] == 5 and res.memory["y"] == 5
+    assert res.metrics.clashes == 0
+
+
+def test_graph_size_linear_in_statements():
+    src_small = "a := 1; b := 2;"
+    src_big = src_small * 8
+    small = graph_stats(compile1(src_small).graph).nodes
+    big = graph_stats(compile1(src_big).graph).nodes
+    assert big < small * 10
+
+
+def test_access_arcs_dominate():
+    """The dotted sequencing arcs exist alongside value arcs."""
+    cp = compile1(RUNNING_EXAMPLE.source)
+    st = graph_stats(cp.graph)
+    assert st.access_arcs > 0 and st.value_arcs > 0

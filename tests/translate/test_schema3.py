@@ -1,0 +1,150 @@
+"""Tests for Schema 3 (Section 5, Figures 12-13): aliasing-aware access
+collection parameterized by a cover."""
+
+from repro.bench.programs import FORTRAN_ALIAS
+from repro.dfg import OpKind, graph_stats
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.translate import compile_program, simulate
+
+import pytest
+
+SRC = FORTRAN_ALIAS.source
+
+
+def synch_arities(cp):
+    return sorted(
+        n.nports for n in cp.graph.nodes.values() if n.kind is OpKind.SYNCH
+    )
+
+
+def test_singleton_cover_synch_trees_match_access_sets():
+    """With one token per variable and [x]={x,z}, [y]={y,z}, [z]={x,y,z}:
+    ops on x or y collect 2 tokens, ops on z collect 3 — so synch trees of
+    arity 2 and 3 appear (Figures 12-13's read/write blocks)."""
+    cp = compile_program(SRC, schema="schema3", cover="singletons")
+    arities = synch_arities(cp)
+    assert 2 in arities and 3 in arities
+    assert all(a in (2, 3) for a in arities)
+
+
+def test_whole_cover_needs_no_synch():
+    """The single-element cover degenerates to one token: no collection."""
+    cp = compile_program(SRC, schema="schema3", cover="whole")
+    assert synch_arities(cp) == []
+    assert len(cp.streams) == 1
+
+
+def test_alias_classes_cover():
+    cp = compile_program(SRC, schema="schema3", cover="alias_classes")
+    # [x] and [y] are contained in [z], so the aliased cluster collapses to
+    # one element; unaliased w keeps its own token
+    assert sorted(s.name for s in cp.streams) == ["w", "x+y+z"]
+
+
+def test_all_covers_compute_the_same_result():
+    ref = run_ast(parse(SRC))
+    for cover in ("singletons", "whole", "alias_classes"):
+        for schema in ("schema3", "schema3_opt"):
+            cp = compile_program(SRC, schema=schema, cover=cover)
+            assert simulate(cp).memory == ref, (schema, cover)
+
+
+def test_aliased_read_write_ordering():
+    """Alias declarations are conservative MAY-alias facts used for
+    ordering; every name is still its own location at runtime (the alias
+    relation is not transitive, so names cannot simply share storage).
+    All covers must agree with the sequential reference."""
+    src = """
+    alias (p, q);
+    p := 10;
+    t := q;
+    q := t + 5;
+    r := p;
+    """
+    ref = run_ast(parse(src))
+    assert ref["t"] == 0 and ref["q"] == 5 and ref["r"] == 10
+    for cover in ("singletons", "whole", "alias_classes"):
+        cp = compile_program(src, schema="schema3", cover=cover)
+        assert simulate(cp).memory == ref, cover
+
+
+def test_completion_replicates_to_all_collected_streams():
+    """After an op on z collects x,y,z tokens, all three streams continue
+    from its completion: the store's access-out fans to at least the three
+    continuations."""
+    cp = compile_program(SRC, schema="schema3", cover="singletons")
+    g = cp.graph
+    z_store = next(
+        n for n in g.nodes.values() if n.kind is OpKind.STORE and n.var == "z"
+    )
+    assert len(g.consumers(z_store.id, 0)) >= 3
+
+
+def test_parallelism_cover_tradeoff():
+    """Section 5: covers trade parallelism against synchronization.  Ops on
+    an aliased cluster always serialize (they share tokens), but under a
+    fine cover the *unaliased* chains a and b run concurrently with each
+    other and with the cluster; the whole cover serializes everything and
+    needs no synchronization at all."""
+    src = """
+    alias (p, q);
+    p := 1;
+    a := a + 1; a := a * 2; a := a + 3; a := a * 4;
+    b := b + 5; b := b * 6; b := b + 7; b := b * 8;
+    q := p + 2;
+    """
+    from repro.machine import MachineConfig
+
+    config = MachineConfig(memory_latency=10)
+    ref = run_ast(parse(src))
+    fine = simulate(
+        compile_program(src, schema="schema3", cover="singletons"),
+        config=config,
+    )
+    coarse = simulate(
+        compile_program(src, schema="schema3", cover="whole"), config=config
+    )
+    assert fine.memory == ref and coarse.memory == ref
+    assert fine.metrics.cycles < coarse.metrics.cycles
+    # and the fine cover pays in synchronization operators (the p/q ops
+    # collect two tokens each)
+    assert fine.metrics.synch_ops > coarse.metrics.synch_ops
+
+
+def test_unaliased_program_schema3_equals_schema2_shape():
+    src = "a := 1; b := a + 2; c := b * 3;"
+    s2 = graph_stats(compile_program(src, schema="schema2").graph)
+    s3 = graph_stats(
+        compile_program(src, schema="schema3", cover="singletons").graph
+    )
+    assert s2.nodes == s3.nodes
+    assert s2.arcs == s3.arcs
+    assert s3.synchs == 0
+
+
+def test_schema3_opt_reduces_switches():
+    src = """
+    alias (x, z);
+    x := x + 1;
+    if w == 0 then { y := 1; } else { y := 2; }
+    z := 0;
+    """
+    base = compile_program(src, schema="schema3", cover="singletons")
+    opt = compile_program(src, schema="schema3_opt", cover="singletons")
+    assert opt.graph.count(OpKind.SWITCH) < base.graph.count(OpKind.SWITCH)
+    ref = run_ast(parse(src), {"w": 1})
+    assert simulate(opt, {"w": 1}).memory == ref
+
+
+def test_entry_and_exit_use_every_token():
+    """Section 5: 'The entry and exit points of the dataflow graph are
+    considered to be a use of every variable' — every stream is seeded and
+    every stream reaches END."""
+    cp = compile_program(SRC, schema="schema3", cover="singletons")
+    start = cp.graph.node(cp.graph.start)
+    end = cp.graph.node(cp.graph.end)
+    assert len(start.seeds) == len(cp.streams)
+    assert len(end.returns) == len(cp.streams)
+    for p in range(len(end.returns)):
+        assert cp.graph.producer(end.id, p) is not None

@@ -1,0 +1,122 @@
+"""Tests for the Section 6.2 transforms: parallel reads and store-to-load
+forwarding."""
+
+from repro.bench.programs import CORPUS
+from repro.dfg import OpKind, graph_stats
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import compile_program, simulate
+from repro.translate.transforms import forward_stores, parallelize_reads
+
+
+def test_parallel_reads_rewrites_schema1_chains():
+    """Schema 1 chains all loads of a statement on one token; the transform
+    replicates the access and collects with a synch."""
+    src = "z := a + b + c + d;"
+    base = compile_program(src, schema="schema1")
+    assert graph_stats(base.graph).synchs == 0
+    n = parallelize_reads(base.graph)
+    assert n == 1
+    st = graph_stats(base.graph)
+    assert st.synchs == 1
+    synch = base.graph.of_kind(OpKind.SYNCH)[0]
+    assert synch.nports == 4
+
+
+def test_parallel_reads_latency_win():
+    """Four loads at latency L cost ~4L serialized, ~L replicated."""
+    src = "z := a + b + c + d;"
+    config = MachineConfig(memory_latency=20)
+    base = simulate(compile_program(src, schema="schema1"), config=config)
+    fast = simulate(
+        compile_program(src, schema="schema1", parallel_reads=True),
+        config=config,
+    )
+    assert base.memory == fast.memory
+    assert fast.metrics.cycles < base.metrics.cycles - 30
+
+
+def test_parallel_reads_preserves_semantics_on_corpus():
+    for wl in CORPUS:
+        inputs = wl.inputs[0]
+        ref = run_ast(parse(wl.source), inputs)
+        cp = compile_program(wl.source, schema="schema1", parallel_reads=True)
+        assert simulate(cp, inputs).memory == ref, wl.name
+
+
+def test_parallel_reads_aliased_sequences():
+    """Section 6.2: "Parallel access to memory can be allowed among any set
+    of reads, even to potentially aliased variables"."""
+    src = "alias (p, q); z := p + q; w := p * q;"
+    ref = run_ast(parse(src), {"p": 3, "q": 4})
+    cp = compile_program(
+        src, schema="schema3", cover="whole", parallel_reads=True
+    )
+    assert cp.reads_parallelized >= 1
+    assert simulate(cp, {"p": 3, "q": 4}).memory == ref
+
+
+def test_no_chains_no_rewrites():
+    src = "x := 1;"
+    cp = compile_program(src, schema="schema2_opt")
+    assert parallelize_reads(cp.graph) == 0
+
+
+def test_forward_stores_removes_load():
+    """x := e; y := x — the load of x disappears; y's store reads e's value
+    directly."""
+    src = "x := 5; y := x;"
+    cp = compile_program(src, schema="schema2_opt")
+    before = graph_stats(cp.graph)
+    n = forward_stores(cp.graph)
+    after = graph_stats(cp.graph)
+    assert n == 1
+    assert after.loads == before.loads - 1
+    res = simulate(cp)
+    assert res.memory["y"] == 5 and res.memory["x"] == 5
+
+
+def test_forward_stores_chain_fixpoint():
+    """Forwarding exposes further pairs: x := 5; y reads x; z reads x."""
+    src = "x := 5; y := x; z := x;"
+    cp = compile_program(src, schema="schema1")
+    n = forward_stores(cp.graph)
+    assert n >= 1
+    res = simulate(cp)
+    assert res.memory == {"x": 5, "y": 5, "z": 5}
+
+
+def test_forward_stores_respects_intervening_aliased_store():
+    """alias(p,q): p := 1; q := 2; r := p — the read of p must NOT forward
+    from the store to p (q's store intervenes on the shared token chain)."""
+    src = "alias (p, q); p := 1; q := 2; r := p;"
+    ref = run_ast(parse(src))
+    cp = compile_program(
+        src, schema="schema3", cover="whole", forward_stores=True
+    )
+    # the direct STORE->LOAD pattern does not match across the q store
+    assert simulate(cp).memory == ref
+
+
+def test_forward_stores_preserves_semantics_on_corpus():
+    for wl in CORPUS:
+        inputs = wl.inputs[0]
+        ref = run_ast(parse(wl.source), inputs)
+        for schema in (
+            "schema1",
+            "schema3" if wl.has_aliasing() else "schema2_opt",
+        ):
+            cp = compile_program(
+                wl.source, schema=schema, forward_stores=True
+            )
+            assert simulate(cp, inputs).memory == ref, (wl.name, schema)
+
+
+def test_combined_transforms():
+    src = "x := a + b; y := x; z := y + c;"
+    ref = run_ast(parse(src), {"a": 1, "b": 2, "c": 3})
+    cp = compile_program(
+        src, schema="schema1", parallel_reads=True, forward_stores=True
+    )
+    assert simulate(cp, {"a": 1, "b": 2, "c": 3}).memory == ref
