@@ -10,6 +10,8 @@ Usage::
     python -m repro dot PROG.df [--stage cfg|dfg] [--schema ...]
     python -m repro trace PROG.df [--schema ...] [...run options]
     python -m repro schemas                            # list schemas
+    python -m repro bench [--jobs N] [--cache-dir DIR] [--repeat N]
+                          [--schemas s1,s2] [--programs p1,p2] [--verify]
 """
 
 from __future__ import annotations
@@ -104,6 +106,78 @@ def _inputs(args) -> dict[str, int]:
     return out
 
 
+def _bench(args) -> int:
+    import time
+
+    from .bench.harness import HEADER, corpus_jobs, format_table
+    from .engine import run_batch
+
+    schemas = args.schemas.split(",") if args.schemas else None
+    programs = args.programs.split(",") if args.programs else None
+    if schemas:
+        bad = [s for s in schemas if s not in SCHEMAS]
+        if bad:
+            raise SystemExit(f"unknown schemas {bad}; pick from {list(SCHEMAS)}")
+    jobs = corpus_jobs(programs=programs, schemas=schemas)
+    if not jobs:
+        raise SystemExit("no jobs selected (check --programs/--schemas)")
+
+    sweeps = []
+    for rep in range(max(1, args.repeat)):
+        t0 = time.perf_counter()
+        results = run_batch(
+            jobs, pool_size=args.jobs, cache_dir=args.cache_dir
+        )
+        sweeps.append((time.perf_counter() - t0, results))
+
+    if args.verify:
+        from .interp.ast_interp import run_ast
+        from .lang.parser import parse
+
+        for job, br in zip(jobs, sweeps[-1][1]):
+            ref = run_ast(parse(job.source), job.inputs)
+            if br.result.memory != ref:
+                raise SystemExit(
+                    f"{br.name}: dataflow result {br.result.memory} != "
+                    f"reference {ref}"
+                )
+
+    rows = []
+    for br in sweeps[-1][1]:
+        name, _, schema = br.name.partition("/")
+        st, m = br.stats, br.result.metrics
+        rows.append(
+            [
+                name,
+                schema,
+                st.nodes,
+                st.arcs,
+                st.switches,
+                st.merges,
+                st.synchs,
+                st.memory_ops,
+                m.cycles,
+                m.operations,
+                f"{m.avg_parallelism:.2f}",
+                m.peak_parallelism,
+            ]
+        )
+    print(format_table(HEADER, rows))
+    for rep, (wall, results) in enumerate(sweeps):
+        hits = sum(r.cache_hit for r in results)
+        compile_s = sum(r.compile_time for r in results)
+        sim_s = sum(r.sim_time for r in results)
+        print(
+            f"# sweep {rep}: {len(results)} jobs in {wall:.3f}s wall "
+            f"(jobs={args.jobs}); compile {compile_s:.3f}s, sim {sim_s:.3f}s, "
+            f"cache hits {hits}/{len(results)}",
+            file=sys.stderr,
+        )
+    if args.verify:
+        print("# all results match the reference interpreter", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,12 +203,44 @@ def main(argv: list[str] | None = None) -> int:
 
     subs.add_parser("schemas", help="list translation schemas")
 
+    p_bench = subs.add_parser(
+        "bench",
+        help="batch corpus sweep through the engine (cache + process pool)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    p_bench.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk compiled-graph cache shared across runs and workers",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="sweep repetitions (2+ shows warm-cache speedup)",
+    )
+    p_bench.add_argument(
+        "--schemas", default=None, metavar="S1,S2",
+        help="comma-separated schema subset (default: all legal per program)",
+    )
+    p_bench.add_argument(
+        "--programs", default=None, metavar="P1,P2",
+        help="comma-separated corpus program subset",
+    )
+    p_bench.add_argument(
+        "--verify", action="store_true",
+        help="check every result against the reference interpreter",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "schemas":
         for s in SCHEMAS:
             print(s)
         return 0
+
+    if args.command == "bench":
+        return _bench(args)
 
     cp = _compile(args)
 

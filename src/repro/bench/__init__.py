@@ -2,15 +2,23 @@
 
 from .programs import CORPUS, Workload, workload
 from .generators import random_program, random_structured_program
-from .harness import compare_schemas, format_table, SchemaRow
+from .harness import (
+    SchemaRow,
+    compare_schemas,
+    corpus_jobs,
+    format_table,
+    schemas_for,
+)
 
 __all__ = [
     "CORPUS",
     "SchemaRow",
     "Workload",
     "compare_schemas",
+    "corpus_jobs",
     "format_table",
     "random_program",
     "random_structured_program",
+    "schemas_for",
     "workload",
 ]

@@ -1,17 +1,23 @@
 """Bench harness helpers: run a workload under several schemas, collect
 structural and execution metrics, and format the comparison tables the
 benches print (the paper has no numeric tables, so these are the measured
-versions of its analytic claims)."""
+versions of its analytic claims).
+
+Compilation goes through the engine's compiled-graph cache, so sweeps
+that revisit the same (program, schema) pair — ablation benches, the
+differential suite, repeated ``compare_schemas`` calls — skip
+lexing→CFG→translation after the first encounter."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from ..dfg.stats import graph_stats
+from ..engine import BatchJob, GraphCache, default_cache
 from ..interp.ast_interp import run_ast
 from ..machine.config import MachineConfig
-from ..translate.pipeline import compile_program, simulate
-from .programs import Workload
+from ..translate.pipeline import SCHEMAS, CompileOptions, simulate
+from .programs import CORPUS, Workload
 
 
 @dataclass(frozen=True)
@@ -64,22 +70,69 @@ HEADER = [
 ]
 
 
+def schemas_for(wl: Workload) -> tuple[str, ...]:
+    """The schemas a workload can legally compile under: Schema 2 rejects
+    aliased programs (the paper assumes no aliasing until Section 5)."""
+    if wl.has_aliasing():
+        return ("schema1", "schema3", "schema3_opt", "memory_elim")
+    return SCHEMAS
+
+
+def corpus_jobs(
+    programs: list[str] | None = None,
+    schemas: list[str] | None = None,
+    config: MachineConfig | None = None,
+    all_inputs: bool = False,
+    **compile_kwargs,
+) -> list[BatchJob]:
+    """The full corpus sweep as engine batch jobs: every corpus program
+    (or the named subset) × every legal schema (or the given subset),
+    with the workload's first input set (or all of them)."""
+    wanted = set(programs) if programs is not None else None
+    jobs = []
+    for wl in CORPUS:
+        if wanted is not None and wl.name not in wanted:
+            continue
+        for schema in schemas_for(wl):
+            if schemas is not None and schema not in schemas:
+                continue
+            opts = CompileOptions(schema=schema, **compile_kwargs)
+            inputs = wl.inputs if all_inputs else wl.inputs[:1]
+            for k, ins in enumerate(inputs):
+                suffix = f"#{k}" if len(inputs) > 1 else ""
+                jobs.append(
+                    BatchJob(
+                        source=wl.source,
+                        options=opts,
+                        inputs=dict(ins),
+                        config=config,
+                        name=f"{wl.name}/{schema}{suffix}",
+                    )
+                )
+    return jobs
+
+
 def compare_schemas(
     wl: Workload,
     schemas: list[str],
     config: MachineConfig | None = None,
     inputs: dict | None = None,
+    cache: GraphCache | None = None,
     **compile_kwargs,
 ) -> list[SchemaRow]:
-    """Compile and run one workload under each schema, verifying every run
-    against the reference interpreter."""
+    """Compile (through the engine cache) and run one workload under each
+    schema, verifying every run against the reference interpreter."""
     from ..lang.parser import parse
 
+    if cache is None:
+        cache = default_cache
     ins = inputs if inputs is not None else wl.inputs[0]
     ref = run_ast(parse(wl.source), ins)
     rows = []
     for schema in schemas:
-        cp = compile_program(wl.source, schema=schema, **compile_kwargs)
+        cp = cache.get_or_compile(
+            wl.source, CompileOptions(schema=schema, **compile_kwargs)
+        )
         res = simulate(cp, ins, config)
         if res.memory != ref:
             raise AssertionError(

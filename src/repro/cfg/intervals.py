@@ -302,8 +302,20 @@ def split_irreducible(cfg: CFG, max_copies: int = 1000) -> CFG:
             loop_id=node.loop_id,
             carried_refs=node.carried_refs,
         )
-        for e in g.out_edges(victim):
-            g.add_edge(clone.id, e.dst, e.direction)
+        for e in list(g.out_edges(victim)):
+            # Successors inside the region may transiently merge control at
+            # a non-join: later rounds rotate the secondary entry onward and
+            # clone them too, restoring the invariant.  An edge *leaving*
+            # the region is never revisited by that rotation, so a shared
+            # successor there needs an explicit JOIN to merge at.
+            if e.dst in scc or g.node(e.dst).kind in (
+                NodeKind.JOIN,
+                NodeKind.END,
+            ):
+                g.add_edge(clone.id, e.dst, e.direction)
+            else:
+                j = g.split_edge(e, NodeKind.JOIN)
+                g.add_edge(clone.id, j.id, e.direction)
         for e in ext:
             g.redirect_edge(e, clone.id)
         copies += 1

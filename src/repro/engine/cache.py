@@ -1,0 +1,199 @@
+"""Content-addressed compiled-graph cache.
+
+Corpus sweeps (benches, differential suites, the CLI) compile the same
+(program, schema) pairs over and over; compilation — lexing, CFG
+construction, interval/loop decomposition, translation — is pure, so its
+results are cacheable by content.
+
+Keying rule: ``sha256(format-version \\0 source-text \\0 options
+fingerprint)``.  The fingerprint (:meth:`CompileOptions.fingerprint`)
+renders every option field, so any knob that can change the produced graph
+changes the key; the format version is bumped whenever the pickled
+:class:`CompiledProgram` layout changes, invalidating stale disk entries
+wholesale.  Only plain source *text* is cacheable — pre-parsed ``Program``
+objects bypass the cache (their identity is not content-addressed).
+
+Two tiers:
+
+* an in-memory LRU (per process, default 256 entries) serving repeated
+  compiles in one sweep;
+* an optional on-disk pickle store (``cache_dir``) shared across processes
+  and sessions — written atomically (temp file + rename) so concurrent
+  :func:`~repro.engine.batch.run_batch` workers can share one directory.
+
+Corrupt or unreadable disk entries are treated as misses and overwritten;
+a cache can therefore always be deleted safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..translate.pipeline import CompiledProgram, CompileOptions, compile_program
+
+#: bump when CompiledProgram's pickled layout changes incompatibly
+CACHE_FORMAT = "repro-graph-cache-v1"
+
+
+def graph_key(source: str, options: CompileOptions) -> str:
+    """The content address of one (source text, compile options) pair."""
+    h = hashlib.sha256()
+    h.update(CACHE_FORMAT.encode())
+    h.update(b"\0")
+    h.update(source.encode())
+    h.update(b"\0")
+    h.update(options.fingerprint().encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`GraphCache`."""
+
+    hits: int = 0  # in-memory LRU hits
+    disk_hits: int = 0  # missed memory, loaded from the disk store
+    misses: int = 0  # compiled from source
+    evictions: int = 0
+    disk_writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    def summary(self) -> str:
+        return (
+            f"{self.lookups} lookups: {self.hits} memory hits, "
+            f"{self.disk_hits} disk hits, {self.misses} compiles"
+        )
+
+
+class GraphCache:
+    """In-memory LRU + optional disk store of compiled programs.
+
+    Thread-safe for lookups/inserts; safe to share a ``cache_dir``
+    between processes (entries are written atomically and re-read
+    entries are self-contained pickles).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        cache_dir: str | os.PathLike | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = CacheStats()
+        self._mem: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(
+        self, source: str, options: CompileOptions | None = None, **kwargs
+    ) -> tuple[CompiledProgram, bool]:
+        """Fetch-or-compile.  Returns ``(compiled, was_cached)`` where
+        ``was_cached`` covers both the memory and disk tiers."""
+        if options is None:
+            options = CompileOptions(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either options= or keyword fields, not both")
+        key = graph_key(source, options)
+        with self._lock:
+            cp = self._mem.get(key)
+            if cp is not None:
+                self._mem.move_to_end(key)
+                self.stats.hits += 1
+                return cp, True
+        cp = self._disk_read(key)
+        if cp is not None:
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._remember(key, cp)
+            return cp, True
+        cp = compile_program(source, options=options)
+        with self._lock:
+            self.stats.misses += 1
+            self._remember(key, cp)
+        self._disk_write(key, cp)
+        return cp, False
+
+    def get_or_compile(
+        self, source: str, options: CompileOptions | None = None, **kwargs
+    ) -> CompiledProgram:
+        """:meth:`lookup` without the hit flag."""
+        return self.lookup(source, options, **kwargs)[0]
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _remember(self, key: str, cp: CompiledProgram) -> None:
+        # caller holds the lock
+        self._mem[key] = cp
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_read(self, key: str) -> CompiledProgram | None:
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as f:
+                cp = pickle.load(f)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, ValueError):
+            return None  # missing, corrupt, or stale-format: treat as miss
+        return cp if isinstance(cp, CompiledProgram) else None
+
+    def _disk_write(self, key: str, cp: CompiledProgram) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(cp, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic: concurrent readers are safe
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                finally:
+                    raise
+        except OSError:
+            return  # a read-only or full cache dir degrades to memory-only
+        self.stats.disk_writes += 1
+
+    # -- management ------------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier (and, with ``disk=True``, disk entries)."""
+        with self._lock:
+            self._mem.clear()
+        if disk and self.cache_dir is not None and self.cache_dir.exists():
+            for sub in self.cache_dir.iterdir():
+                if sub.is_dir() and len(sub.name) == 2:
+                    for entry in sub.glob("*.pkl"):
+                        try:
+                            entry.unlink()
+                        except OSError:
+                            pass
+
+    def __len__(self) -> int:
+        return len(self._mem)

@@ -49,6 +49,13 @@ class MachineConfig:
     #: good locality for graphs built in program order), or "random"
     #: (seeded by ``seed``).
     partition: str = "round_robin"
+    #: Scheduler loop selection.  ``"auto"`` uses the event-driven fast
+    #: loop whenever it is exact — unlimited PEs and no k-bounded
+    #: throttling — and the general per-cycle scheduler otherwise.
+    #: ``"step"`` forces the per-cycle scheduler (the differential-testing
+    #: baseline); ``"fast"`` demands the fast loop and is rejected when a
+    #: finite ``num_pes`` or a ``loop_bound`` makes arbitration stateful.
+    sim_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.on_clash not in ("raise", "record"):
@@ -67,4 +74,13 @@ class MachineConfig:
             raise ValueError(
                 "network_latency needs a finite num_pes (tokens must have "
                 "PEs to travel between)"
+            )
+        if self.sim_mode not in ("auto", "fast", "step"):
+            raise ValueError(f"bad sim_mode {self.sim_mode!r}")
+        if self.sim_mode == "fast" and (
+            self.num_pes is not None or self.loop_bound is not None
+        ):
+            raise ValueError(
+                "sim_mode='fast' requires num_pes=None and loop_bound=None "
+                "(PE arbitration and k-bounding need per-cycle stepping)"
             )

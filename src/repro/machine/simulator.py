@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -43,6 +44,13 @@ class SimResult:
     end_values: dict[str, int] = field(default_factory=dict)
     clashes: list[tuple[int, int, str]] = field(default_factory=list)
     trace: list[tuple[int, int, str, str]] = field(default_factory=list)
+    #: host seconds spent inside :meth:`Simulator.run` (wall clock, not
+    #: simulated cycles) — the denominator of engine speedup claims
+    wall_time: float = 0.0
+    #: True when the run used the event-driven fast loop
+    fast_path: bool = False
+    #: set by the engine layer: the compiled graph came from the cache
+    cache_hit: bool = False
 
 
 class _Frames:
@@ -135,6 +143,18 @@ class Simulator:
                 self._pe_of = dict(zip(ordered, assignment))
         self._end_arrivals: dict[int, object] = {}
         self._cycle = 0
+        # hot-path tables: per-node total latency and the graph's fan-out
+        # adjacency, resolved once so neither is recomputed per firing
+        self._lat: dict[int, int] = {
+            nid: (
+                cfgc.memory_latency
+                if n.kind in MEMORY_KINDS
+                else cfgc.alu_latency
+            )
+            + n.latency
+            for nid, n in graph.nodes.items()
+        }
+        self._out: dict[int, dict[int, list]] = graph._out
 
         self.metrics = Metrics()
         self.clashes: list[tuple[int, int, str]] = []
@@ -147,27 +167,32 @@ class Simulator:
         heapq.heappush(self._heap, (at, self._seq, token))
 
     def _emit(self, node: DFNode, port: int, value, ctx: Context, lat: int) -> None:
+        arcs = self._out[node.id].get(port)
+        if not arcs:
+            return
+        at = self._cycle + lat
         pe_of = self._pe_of
-        net = self.config.network_latency
-        src_pe = pe_of.get(node.id) if pe_of else None
-        for arc in self.graph.consumers(node.id, port):
-            hop = (
-                net
-                if src_pe is not None and pe_of.get(arc.dst) != src_pe
-                else 0
-            )
-            self._schedule(
-                Token(arc.dst, arc.dst_port, value, ctx),
-                self._cycle + lat + hop,
-            )
-
-    def _latency(self, node: DFNode) -> int:
-        base = (
-            self.config.memory_latency
-            if node.kind in MEMORY_KINDS
-            else self.config.alu_latency
-        )
-        return base + node.latency
+        if pe_of:
+            net = self.config.network_latency
+            src_pe = pe_of.get(node.id)
+            for arc in arcs:
+                hop = (
+                    net
+                    if src_pe is not None and pe_of.get(arc.dst) != src_pe
+                    else 0
+                )
+                self._schedule(
+                    Token(arc.dst, arc.dst_port, value, ctx), at + hop
+                )
+        else:
+            heap = self._heap
+            seq = self._seq
+            for arc in arcs:
+                seq += 1
+                heapq.heappush(
+                    heap, (at, seq, Token(arc.dst, arc.dst_port, value, ctx))
+                )
+            self._seq = seq
 
     # -- delivery ------------------------------------------------------------
 
@@ -211,7 +236,7 @@ class Simulator:
         nid, ctx, inputs = activity
         node = self.graph.node(nid)
         kind = node.kind
-        lat = self._latency(node)
+        lat = self._lat[nid]
         m = self.metrics
         m.operations += 1
         m.by_kind[kind.value] = m.by_kind.get(kind.value, 0) + 1
@@ -343,7 +368,7 @@ class Simulator:
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> SimResult:
-        cfg = self.config
+        t0 = time.perf_counter()
         start = self.graph.node(self.graph.start)
         for port, seed in enumerate(start.seeds):
             value = (
@@ -354,6 +379,105 @@ class Simulator:
             for arc in self.graph.consumers(start.id, port):
                 self._schedule(Token(arc.dst, arc.dst_port, value, ROOT), 0)
 
+        fast = self._use_fast_path()
+        if fast:
+            self._loop_fast()
+        else:
+            self._loop_step()
+
+        self.metrics.cycles = self._cycle
+        self._check_completion()
+
+        end = self.graph.node(self.graph.end)
+        end_values: dict[str, int] = {}
+        for port, var in enumerate(end.returns):
+            if var is not None:
+                end_values[var] = self._end_arrivals[port]  # type: ignore[assignment]
+
+        snapshot = self.memory.snapshot()
+        snapshot.update(self.istructs.snapshot())
+        snapshot.update(end_values)
+        return SimResult(
+            memory=snapshot,
+            metrics=self.metrics,
+            end_values=end_values,
+            clashes=self.clashes,
+            trace=self.trace,
+            wall_time=time.perf_counter() - t0,
+            fast_path=fast,
+        )
+
+    def _use_fast_path(self) -> bool:
+        mode = self.config.sim_mode
+        if mode == "step":
+            return False
+        if mode == "fast":
+            return True  # config validation guarantees compatibility
+        return self.config.num_pes is None and self.config.loop_bound is None
+
+    def _loop_fast(self) -> None:
+        """Event-driven scheduler for the idealized machine: no PE
+        arbitration state, so every enabled activity fires the cycle it
+        becomes enabled and the clock jumps straight between event times.
+        Produces cycle counts, operation counts, and final memory identical
+        to :meth:`_loop_step` (the differential suite holds it to that)."""
+        cfg = self.config
+        heap = self._heap
+        enabled = self._enabled
+        frame_slots = self._frames.slots
+        m = self.metrics
+        deliver = self._deliver
+        fire = self._fire
+        pop = heapq.heappop
+        max_cycles = cfg.max_cycles
+        max_ops = cfg.max_ops
+        while True:
+            if not heap:
+                # quiescent: deferred I-structure reads of elements no
+                # write can ever fill now read the default (0), matching
+                # zero-initialized updatable arrays
+                released = self.istructs.release_pending_with_default()
+                if not released:
+                    break
+                for (wnid, wctx), value in released:
+                    self._emit(
+                        self.graph.node(wnid), 0, value, wctx,
+                        cfg.memory_latency,
+                    )
+                continue
+            t = heap[0][0]
+            if t > self._cycle:
+                self._cycle = t
+            n = len(heap)
+            if n > m.peak_tokens_in_flight:
+                m.peak_tokens_in_flight = n
+            cyc = self._cycle
+            while heap and heap[0][0] <= cyc:
+                deliver(pop(heap)[2])
+            nf = len(frame_slots)
+            if nf > m.peak_waiting_frames:
+                m.peak_waiting_frames = nf
+            ne = len(enabled)
+            if ne > m.peak_enabled:
+                m.peak_enabled = ne
+            if not enabled:
+                continue
+            for act in enabled:
+                fire(act)
+            enabled.clear()
+            self._cycle += 1
+            if self._cycle > max_cycles:
+                raise SimulationLimitError(f"exceeded {max_cycles} cycles")
+            if m.operations > max_ops:
+                raise SimulationLimitError(f"exceeded {max_ops} operations")
+
+    def _loop_step(self) -> None:
+        """The general per-cycle scheduler: steps the clock a cycle at a
+        time whenever work is backlogged, which is what finite-PE
+        arbitration and k-bounded throttling need.  This is the seed
+        implementation's loop, unchanged — it doubles as the baseline the
+        fast loop is differentially tested against."""
+        cfg = self.config
         heap = self._heap
         enabled = self._enabled
         while True:
@@ -423,26 +547,6 @@ class Simulator:
                 )
             if self.metrics.operations > cfg.max_ops:
                 raise SimulationLimitError(f"exceeded {cfg.max_ops} operations")
-
-        self.metrics.cycles = self._cycle
-        self._check_completion()
-
-        end = self.graph.node(self.graph.end)
-        end_values: dict[str, int] = {}
-        for port, var in enumerate(end.returns):
-            if var is not None:
-                end_values[var] = self._end_arrivals[port]  # type: ignore[assignment]
-
-        snapshot = self.memory.snapshot()
-        snapshot.update(self.istructs.snapshot())
-        snapshot.update(end_values)
-        return SimResult(
-            memory=snapshot,
-            metrics=self.metrics,
-            end_values=end_values,
-            clashes=self.clashes,
-            trace=self.trace,
-        )
 
     def _check_completion(self) -> None:
         end = self.graph.node(self.graph.end)

@@ -1,5 +1,14 @@
-"""Top-level facade re-exporting the compile/simulate pipeline."""
+"""Top-level facade re-exporting the compile/simulate pipeline and the
+batch engine layer."""
 
+from .engine import (
+    BatchJob,
+    BatchResult,
+    GraphCache,
+    compile_cached,
+    default_cache,
+    run_batch,
+)
 from .translate.pipeline import (
     SCHEMAS,
     CompileOptions,
@@ -11,9 +20,15 @@ from .translate.pipeline import (
 
 __all__ = [
     "SCHEMAS",
+    "BatchJob",
+    "BatchResult",
     "CompileOptions",
     "CompiledProgram",
+    "GraphCache",
+    "compile_cached",
     "compile_program",
+    "default_cache",
+    "run_batch",
     "run_source",
     "simulate",
 ]

@@ -23,7 +23,7 @@ where legal and report what they skipped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..analysis.alias import AliasStructure, Cover
 from ..cfg.builder import build_cfg
@@ -74,6 +74,18 @@ class CompileOptions:
             raise ValueError(f"unknown schema {self.schema!r}; pick from {SCHEMAS}")
         if self.cover not in ("singletons", "whole", "alias_classes"):
             raise ValueError(f"unknown cover {self.cover!r}")
+
+    def fingerprint(self) -> str:
+        """Stable text rendering of every option, in declaration order.
+
+        Part of the engine's compiled-graph cache key: two option sets with
+        equal fingerprints must compile any source to equivalent graphs.
+        New fields extend the fingerprint automatically, so adding a knob
+        invalidates nothing but never aliases two distinct configurations.
+        """
+        return ";".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
 
 
 @dataclass
@@ -136,13 +148,27 @@ def _pick_cover(alias: AliasStructure, name: str) -> Cover:
 
 
 def compile_program(
-    source: str | Program, schema: str = "schema2_opt", **kwargs
+    source: str | Program,
+    schema: str = "schema2_opt",
+    *,
+    options: CompileOptions | None = None,
+    **kwargs,
 ) -> CompiledProgram:
     """Compile source text (or a parsed Program) under the given schema.
 
-    Keyword arguments are :class:`CompileOptions` fields.
+    Keyword arguments are :class:`CompileOptions` fields; alternatively
+    pass a prebuilt ``options`` object (then ``schema``/kwargs must be
+    left at their defaults).
     """
-    opts = CompileOptions(schema=schema, **kwargs)
+    if options is not None:
+        if kwargs or schema != "schema2_opt":
+            raise TypeError(
+                "pass either options= or schema/keyword fields, not both"
+            )
+        opts = options
+    else:
+        opts = CompileOptions(schema=schema, **kwargs)
+    schema = opts.schema
     if isinstance(source, Program):
         prog, text = source, ""
     else:

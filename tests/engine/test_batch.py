@@ -1,0 +1,110 @@
+"""Tests for the batch runner: ordering, pool/serial agreement, caching."""
+
+from repro.bench.harness import corpus_jobs
+from repro.bench.programs import workload
+from repro.engine import BatchJob, GraphCache, run_batch
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.translate import CompileOptions
+
+
+def _jobs():
+    gcd = workload("gcd")
+    fib = workload("fib")
+    out = []
+    for schema in ("schema1", "schema2_opt", "memory_elim"):
+        for ins in gcd.inputs:
+            out.append(
+                BatchJob(
+                    gcd.source,
+                    CompileOptions(schema=schema),
+                    inputs=dict(ins),
+                    name=f"gcd/{schema}/{sorted(ins.items())}",
+                )
+            )
+        out.append(
+            BatchJob(
+                fib.source,
+                CompileOptions(schema=schema),
+                inputs={"n": 9},
+                name=f"fib/{schema}",
+            )
+        )
+    return out
+
+
+def test_serial_results_are_ordered_and_correct():
+    jobs = _jobs()
+    results = run_batch(jobs, pool_size=1, cache=GraphCache())
+    assert [r.index for r in results] == list(range(len(jobs)))
+    assert [r.name for r in results] == [j.name for j in jobs]
+    for job, br in zip(jobs, results):
+        assert br.result.memory == run_ast(parse(job.source), job.inputs)
+
+
+def test_serial_cache_hits_on_repeated_options():
+    jobs = _jobs()
+    cache = GraphCache()
+    results = run_batch(jobs, pool_size=1, cache=cache)
+    # gcd has 3 input sets per schema: the 2nd and 3rd hit the cache
+    hits = [r.cache_hit for r in results]
+    assert hits.count(False) == 6  # 2 programs x 3 schemas compile once
+    assert hits.count(True) == len(jobs) - 6
+    again = run_batch(jobs, pool_size=1, cache=cache)
+    assert all(r.cache_hit for r in again)
+    assert all(r.result.cache_hit for r in again)
+
+
+def test_pool_matches_serial():
+    jobs = _jobs()
+    serial = run_batch(jobs, pool_size=1, cache=GraphCache())
+    pooled = run_batch(jobs, pool_size=2)
+    assert [r.name for r in pooled] == [r.name for r in serial]
+    for a, b in zip(serial, pooled):
+        assert a.result.memory == b.result.memory, a.name
+        assert a.result.metrics.cycles == b.result.metrics.cycles, a.name
+        assert a.result.metrics.operations == b.result.metrics.operations
+        assert a.stats == b.stats
+
+
+def test_pool_shares_disk_cache(tmp_path):
+    jobs = _jobs()
+    run_batch(jobs, pool_size=2, cache_dir=tmp_path)
+    warm = run_batch(jobs, pool_size=2, cache_dir=tmp_path)
+    assert all(r.cache_hit for r in warm)
+
+
+def test_job_config_is_respected():
+    gcd = workload("gcd")
+    job = BatchJob(
+        gcd.source,
+        CompileOptions(schema="schema2_opt"),
+        inputs=dict(gcd.inputs[0]),
+        config=MachineConfig(num_pes=1),
+    )
+    (one,) = run_batch([job], cache=GraphCache())
+    (wide,) = run_batch(
+        [
+            BatchJob(
+                gcd.source,
+                CompileOptions(schema="schema2_opt"),
+                inputs=dict(gcd.inputs[0]),
+            )
+        ],
+        cache=GraphCache(),
+    )
+    assert one.result.memory == wide.result.memory
+    assert one.result.metrics.cycles > wide.result.metrics.cycles
+    assert not one.result.fast_path and wide.result.fast_path
+
+
+def test_empty_batch():
+    assert run_batch([]) == []
+
+
+def test_corpus_jobs_filters():
+    jobs = corpus_jobs(programs=["gcd"], schemas=["schema1", "memory_elim"])
+    assert {j.name for j in jobs} == {"gcd/schema1", "gcd/memory_elim"}
+    aliased = corpus_jobs(programs=["fortran_alias"])
+    assert all("schema2" not in j.name for j in aliased)

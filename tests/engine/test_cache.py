@@ -1,0 +1,124 @@
+"""Tests for the content-addressed compiled-graph cache."""
+
+import pickle
+
+import pytest
+
+from repro.dfg.stats import graph_stats
+from repro.engine import GraphCache, graph_key
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.translate import CompileOptions, compile_program, simulate
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def test_key_is_stable_and_content_addressed():
+    o = CompileOptions(schema="schema2_opt")
+    assert graph_key(SRC, o) == graph_key(SRC, o)
+    assert graph_key(SRC, o) != graph_key(SRC + " ", o)
+    assert graph_key(SRC, o) != graph_key(SRC, CompileOptions(schema="schema1"))
+    # every option knob participates in the key
+    assert graph_key(SRC, o) != graph_key(
+        SRC, CompileOptions(schema="schema2_opt", parallel_reads=True)
+    )
+
+
+def test_fingerprint_covers_every_field():
+    import dataclasses
+
+    fp = CompileOptions().fingerprint()
+    for f in dataclasses.fields(CompileOptions):
+        assert f.name in fp
+
+
+def test_memory_hit_returns_same_object():
+    cache = GraphCache()
+    cp1, hit1 = cache.lookup(SRC, schema="schema1")
+    cp2, hit2 = cache.lookup(SRC, schema="schema1")
+    assert not hit1 and hit2
+    assert cp1 is cp2
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_cached_graph_is_reusable_across_simulations():
+    """Simulating must not mutate the cached CompiledProgram: repeated
+    runs from one cache entry stay identical to a fresh compile."""
+    cache = GraphCache()
+    cp = cache.get_or_compile(SRC, schema="schema2_opt")
+    a = simulate(cp)
+    b = simulate(cp)
+    fresh = simulate(compile_program(SRC, schema="schema2_opt"))
+    assert a.memory == b.memory == fresh.memory
+    assert a.metrics.cycles == b.metrics.cycles == fresh.metrics.cycles
+    assert a.metrics.operations == b.metrics.operations == fresh.metrics.operations
+
+
+def test_lru_eviction():
+    cache = GraphCache(capacity=2)
+    cache.get_or_compile(SRC, schema="schema1")
+    cache.get_or_compile(SRC, schema="schema2")
+    cache.get_or_compile(SRC, schema="schema1")  # refresh schema1
+    cache.get_or_compile(SRC, schema="schema3")  # evicts schema2
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    _, hit = cache.lookup(SRC, schema="schema1")
+    assert hit
+    _, hit = cache.lookup(SRC, schema="schema2")
+    assert not hit  # was evicted
+
+
+def test_disk_store_round_trip(tmp_path):
+    c1 = GraphCache(cache_dir=tmp_path)
+    cp1, hit = c1.lookup(SRC, schema="memory_elim")
+    assert not hit and c1.stats.disk_writes == 1
+    # a different cache instance (fresh memory tier) hits the disk tier
+    c2 = GraphCache(cache_dir=tmp_path)
+    cp2, hit = c2.lookup(SRC, schema="memory_elim")
+    assert hit and c2.stats.disk_hits == 1
+    s1, s2 = graph_stats(cp1.graph), graph_stats(cp2.graph)
+    assert s1 == s2
+    assert simulate(cp1).memory == simulate(cp2).memory == run_ast(parse(SRC))
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    c1 = GraphCache(cache_dir=tmp_path)
+    c1.get_or_compile(SRC, schema="schema1")
+    key = graph_key(SRC, CompileOptions(schema="schema1"))
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    assert path.exists()
+    path.write_bytes(b"not a pickle")
+    c2 = GraphCache(cache_dir=tmp_path)
+    cp, hit = c2.lookup(SRC, schema="schema1")
+    assert not hit  # corrupt entry ignored and recompiled
+    assert pickle.loads(path.read_bytes())  # and overwritten with a good one
+    assert simulate(cp).memory == run_ast(parse(SRC))
+
+
+def test_clear_disk(tmp_path):
+    c = GraphCache(cache_dir=tmp_path)
+    c.get_or_compile(SRC, schema="schema1")
+    c.clear(disk=True)
+    assert len(c) == 0
+    c2 = GraphCache(cache_dir=tmp_path)
+    _, hit = c2.lookup(SRC, schema="schema1")
+    assert not hit
+
+
+def test_options_and_kwargs_are_exclusive():
+    cache = GraphCache()
+    with pytest.raises(TypeError):
+        cache.lookup(SRC, CompileOptions(), schema="schema1")
+    with pytest.raises(TypeError):
+        compile_program(SRC, options=CompileOptions(), parallel_reads=True)
+
+
+def test_compile_program_options_object_matches_kwargs():
+    a = compile_program(SRC, options=CompileOptions(schema="schema1"))
+    b = compile_program(SRC, schema="schema1")
+    assert graph_stats(a.graph) == graph_stats(b.graph)

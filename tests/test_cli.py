@@ -111,3 +111,42 @@ def test_transforms_flags(tmp_path, capsys):
     )
     out = capsys.readouterr().out
     assert "i = 10" in out
+
+
+def test_bench_sweep_table(capsys, tmp_path):
+    assert (
+        main(
+            [
+                "bench",
+                "--programs",
+                "gcd,fib",
+                "--schemas",
+                "schema1,memory_elim",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(tmp_path),
+                "--repeat",
+                "2",
+                "--verify",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    out = captured.out
+    assert "gcd" in out and "fib" in out
+    assert "schema1" in out and "memory_elim" in out
+    # the second sweep reuses every graph from the shared disk cache
+    assert "cache hits 4/4" in captured.err
+
+
+def test_bench_rejects_unknown_schema():
+    with pytest.raises(SystemExit):
+        main(["bench", "--schemas", "nope"])
+
+
+def test_bench_rejects_empty_selection():
+    # an aliased program cannot compile under schema2: zero legal jobs
+    with pytest.raises(SystemExit):
+        main(["bench", "--programs", "fortran_alias", "--schemas", "schema2"])

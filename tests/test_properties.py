@@ -21,10 +21,11 @@ from repro.analysis import (
 from repro.analysis.dominance import dominator_tree, postdominator_tree
 from repro.bench.generators import random_program, random_structured_program
 from repro.cfg import NodeKind, build_cfg, decompose, find_loops
+from repro.engine import GraphCache
 from repro.interp import run_ast, run_cfg
 from repro.lang import parse, pretty
 from repro.machine import MachineConfig
-from repro.translate import compile_program, simulate
+from repro.translate import CompileOptions, SCHEMAS, compile_program, simulate
 
 SLOW = settings(
     max_examples=25,
@@ -44,6 +45,46 @@ def gen(seed: int, unstructured: bool, arrays: bool):
     if unstructured:
         return random_program(seed, arrays=arrays)
     return random_structured_program(seed, arrays=arrays)
+
+
+# joint randomization of the compile-option and machine-config spaces:
+# the equivalence property must hold at every point of the cross product,
+# not just at the defaults
+
+
+compile_options = st.builds(
+    CompileOptions,
+    schema=st.sampled_from(SCHEMAS),
+    cover=st.sampled_from(("singletons", "whole", "alias_classes")),
+    optimize=st.booleans(),
+    parallel_reads=st.booleans(),
+    forward_stores=st.booleans(),
+    parallelize_arrays=st.booleans(),
+    use_istructures=st.booleans(),
+)
+
+
+@st.composite
+def machine_configs(draw):
+    """A random valid MachineConfig: PE count, latencies, k-bound,
+    locality model, and scheduler mode drawn jointly (respecting the
+    config's own validity rules: network latency needs finite PEs, the
+    forced fast path excludes arbitration state)."""
+    num_pes = draw(st.one_of(st.none(), st.integers(1, 4)))
+    loop_bound = draw(st.one_of(st.none(), st.integers(1, 3)))
+    modes = ["auto", "step"]
+    if num_pes is None and loop_bound is None:
+        modes.append("fast")
+    return MachineConfig(
+        num_pes=num_pes,
+        alu_latency=draw(st.integers(1, 3)),
+        memory_latency=draw(st.integers(1, 6)),
+        loop_bound=loop_bound,
+        seed=draw(st.one_of(st.none(), st.integers(0, 10**6))),
+        network_latency=draw(st.integers(0, 4)) if num_pes is not None else 0,
+        partition=draw(st.sampled_from(("round_robin", "block", "random"))),
+        sim_mode=draw(st.sampled_from(modes)),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -315,6 +356,50 @@ def test_optimize_composes_with_transforms(seed, unstructured):
         use_istructures=True,
     )
     assert simulate(cp).memory == ref
+
+
+@SLOW
+@given(seeds, st.booleans(), compile_options, machine_configs())
+def test_equivalence_across_joint_config_space(seed, unstructured, opts, config):
+    """The central equivalence holds at random points of the
+    CompileOptions × MachineConfig cross product, not just at the
+    defaults: any schema + any transform stack + any machine shape
+    (PE count, latencies, k-bound, locality, scheduler mode) reproduces
+    the reference interpreter."""
+    prog = gen(seed, unstructured, True)
+    ref = run_ast(prog)
+    cp = compile_program(prog, options=opts)
+    res = simulate(cp, None, config)
+    assert res.memory == ref, (opts, config)
+
+
+@SLOW
+@given(seeds, compile_options, machine_configs())
+def test_engine_cache_equivalence_across_joint_config_space(seed, opts, config):
+    """Differential fuzzing of the engine layer: a cache-served graph
+    simulated under a random machine config matches both the reference
+    interpreter and a fresh compile's per-cycle run."""
+    prog = gen(seed, False, False)
+    source = pretty(prog)
+    ref = run_ast(prog)
+    cache = GraphCache()
+    cp = cache.get_or_compile(source, opts)
+    cp2, hit = cache.lookup(source, opts)
+    assert hit and cp2 is cp
+    res = simulate(cp, None, config)
+    assert res.memory == ref, (opts, config)
+    # step-mode twin of the same machine on a fresh compile: the cache and
+    # the fast path must not change work, makespan, or final memory
+    import dataclasses
+
+    step = simulate(
+        compile_program(source, options=opts),
+        None,
+        dataclasses.replace(config, sim_mode="step"),
+    )
+    assert res.memory == step.memory
+    assert res.metrics.operations == step.metrics.operations
+    assert res.metrics.cycles == step.metrics.cycles
 
 
 @SLOW

@@ -1,15 +1,25 @@
 """Cross-schema equivalence over the whole corpus: every schema (and every
 transform combination) must produce the reference interpreter's final
 memory.  This is the central correctness claim of the paper's translation.
+
+Compilation goes through the engine's graph cache (each (program, schema)
+pair compiles once for all its input sets), and the corpus sweep itself
+also runs through the engine's ``run_batch`` pool.
 """
 
 import pytest
 
+from repro.bench.harness import corpus_jobs, schemas_for
 from repro.bench.programs import CORPUS
+from repro.engine import GraphCache, run_batch
 from repro.interp import run_ast
 from repro.lang import parse
 from repro.machine import MachineConfig
 from repro.translate import compile_program, simulate
+
+#: shared across this module's parametrized cases: one compile per
+#: (source, options) pair instead of one per (source, options, input)
+_CACHE = GraphCache()
 
 ALL_SCHEMAS = (
     "schema1",
@@ -19,14 +29,6 @@ ALL_SCHEMAS = (
     "schema3_opt",
     "memory_elim",
 )
-
-
-def schemas_for(wl):
-    """Schema 2 rejects aliased programs (the paper assumes no aliasing
-    until Section 5)."""
-    if wl.has_aliasing():
-        return ("schema1", "schema3", "schema3_opt", "memory_elim")
-    return ALL_SCHEMAS
 
 
 CASES = [
@@ -44,9 +46,20 @@ CASES = [
 )
 def test_schema_matches_reference(wl, schema, inputs):
     ref = run_ast(parse(wl.source), inputs)
-    cp = compile_program(wl.source, schema=schema)
+    cp = _CACHE.get_or_compile(wl.source, schema=schema)
     res = simulate(cp, inputs)
     assert res.memory == ref
+
+
+def test_batch_sweep_matches_reference():
+    """The engine's pooled batch sweep reproduces the reference
+    interpreter on the whole corpus, with results in job order."""
+    jobs = corpus_jobs()
+    results = run_batch(jobs, pool_size=2)
+    assert [r.name for r in results] == [j.name for j in jobs]
+    for job, br in zip(jobs, results):
+        ref = run_ast(parse(job.source), job.inputs)
+        assert br.result.memory == ref, br.name
 
 
 @pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
