@@ -12,11 +12,21 @@ Usage::
     python -m repro schemas                            # list schemas
     python -m repro bench [--jobs N] [--cache-dir DIR] [--repeat N]
                           [--schemas s1,s2] [--programs p1,p2] [--verify]
+
+Service mode (always-on compile/simulate server, JSON-lines protocol)::
+
+    python -m repro serve --socket /tmp/repro.sock [--max-queue N]
+                          [--max-batch N] [--max-wait-ms F] [--jobs N]
+                          [--cache-dir DIR]
+    python -m repro submit PROG.df --socket /tmp/repro.sock [...run options]
+    python -m repro stats --socket /tmp/repro.sock     # live server stats
+    python -m repro shutdown --socket /tmp/repro.sock  # graceful drain
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .cfg.dot import cfg_to_dot
@@ -26,8 +36,14 @@ from .machine.config import MachineConfig
 from .translate.pipeline import SCHEMAS, compile_program, simulate
 
 
-def _add_compile_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("file", help="source file (use - for stdin)")
+def _add_compile_args(
+    p: argparse.ArgumentParser, optional_file: bool = False
+) -> None:
+    if optional_file:
+        p.add_argument("file", nargs="?", default=None,
+                       help="source file (use - for stdin)")
+    else:
+        p.add_argument("file", help="source file (use - for stdin)")
     p.add_argument("--schema", default="schema2_opt", choices=SCHEMAS)
     p.add_argument(
         "--cover",
@@ -71,9 +87,10 @@ def _read_source(path: str) -> str:
         return f.read()
 
 
-def _compile(args) -> object:
-    return compile_program(
-        _read_source(args.file),
+def _options(args):
+    from .translate.pipeline import CompileOptions
+
+    return CompileOptions(
         schema=args.schema,
         cover=args.cover,
         optimize=args.optimize,
@@ -82,6 +99,10 @@ def _compile(args) -> object:
         parallelize_arrays=args.parallelize_arrays,
         use_istructures=args.istructures,
     )
+
+
+def _compile(args) -> object:
+    return compile_program(_read_source(args.file), options=_options(args))
 
 
 def _config(args, trace: bool = False) -> MachineConfig:
@@ -109,7 +130,12 @@ def _inputs(args) -> dict[str, int]:
 def _bench(args) -> int:
     import time
 
-    from .bench.harness import HEADER, corpus_jobs, format_table
+    from .bench.harness import (
+        HEADER,
+        corpus_jobs,
+        format_table,
+        sweep_latency_line,
+    )
     from .engine import run_batch
 
     schemas = args.schemas.split(",") if args.schemas else None
@@ -130,11 +156,17 @@ def _bench(args) -> int:
         )
         sweeps.append((time.perf_counter() - t0, results))
 
+    failures = [br for br in sweeps[-1][1] if not br.ok]
+    for br in failures:
+        print(f"# FAILED {br.name}: {br.error}", file=sys.stderr)
+
     if args.verify:
         from .interp.ast_interp import run_ast
         from .lang.parser import parse
 
         for job, br in zip(jobs, sweeps[-1][1]):
+            if not br.ok:
+                continue
             ref = run_ast(parse(job.source), job.inputs)
             if br.result.memory != ref:
                 raise SystemExit(
@@ -144,6 +176,8 @@ def _bench(args) -> int:
 
     rows = []
     for br in sweeps[-1][1]:
+        if not br.ok:
+            continue
         name, _, schema = br.name.partition("/")
         st, m = br.stats, br.result.metrics
         rows.append(
@@ -173,8 +207,159 @@ def _bench(args) -> int:
             f"cache hits {hits}/{len(results)}",
             file=sys.stderr,
         )
+        print(f"# sweep {rep}: {sweep_latency_line(results)}", file=sys.stderr)
     if args.verify:
         print("# all results match the reference interpreter", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- service front ends -----------------------------------------------------
+
+
+def _add_endpoint_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="UNIX socket path of the service")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP host (with --port)")
+    p.add_argument("--port", type=int, default=None, help="TCP port")
+
+
+def _require_endpoint(args) -> None:
+    if args.socket is None and args.port is None:
+        raise SystemExit(
+            f"{args.command}: need --socket PATH or --port N "
+            "(optionally --host)"
+        )
+
+
+def _client(args):
+    from .service import ServiceClient
+
+    _require_endpoint(args)
+    return ServiceClient(
+        path=args.socket, host=args.host, port=args.port,
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+def _serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .service import ServiceConfig, ServiceServer
+
+    _require_endpoint(args)
+    config = ServiceConfig(
+        path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        pool_size=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+
+    async def run() -> None:
+        server = ServiceServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.begin_shutdown)
+        print(
+            f"# repro service listening on {server.endpoint} "
+            f"(max_queue={config.max_queue} max_batch={config.max_batch} "
+            f"max_wait_ms={config.max_wait_ms} jobs={config.pool_size})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_forever()
+        print("# repro service drained and stopped", file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
+def _submit(args) -> int:
+    from .engine import BatchJob
+    from .service import JobRejected
+
+    job = BatchJob(
+        source=_read_source(args.file),
+        options=_options(args),
+        inputs=_inputs(args),
+        config=_config(args),
+        name=args.file,
+    )
+    with _client(args) as client:
+        try:
+            br = client.submit(job, deadline_ms=args.deadline_ms)
+        except JobRejected as exc:
+            print(f"# rejected: {exc}", file=sys.stderr)
+            return 2
+    if not br.ok:
+        if br.traceback:
+            print(br.traceback, file=sys.stderr, end="")
+        print(f"# job failed: {br.error}", file=sys.stderr)
+        return 1
+    for var, value in sorted(br.result.memory.items()):
+        print(f"{var} = {value}")
+    print(f"# {br.result.metrics.summary()}", file=sys.stderr)
+    print(
+        f"# cache_hit={br.cache_hit} compile={br.compile_time * 1e3:.1f}ms "
+        f"sim={br.sim_time * 1e3:.1f}ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _service_stats(args) -> int:
+    with _client(args) as client:
+        st = client.stats()
+    if args.json:
+        import json
+
+        print(json.dumps(st, indent=2, sort_keys=True))
+        return 0
+    pool = "serial" if st["pool_size"] <= 1 else f"{st['pool_size']} workers"
+    print(
+        f"uptime {st['uptime_s']:.1f}s  queue {st['queue_depth']}"
+        f"/{st['max_queue']}  in-flight {st['in_flight']}  pool {pool}  "
+        f"draining {'yes' if st['draining'] else 'no'}"
+    )
+    print(
+        f"jobs: {st['submitted']} submitted, {st['completed']} completed, "
+        f"{st['failed']} failed, {st['rejected']} rejected, "
+        f"{st['expired']} expired, {st['cancelled']} cancelled "
+        f"({st['jobs_per_s']:.1f} jobs/s over {st['batches']} batches)"
+    )
+    cache = st["cache"]
+    line = (
+        f"cache: {cache['hit_rate'] * 100:.1f}% job hit rate "
+        f"({cache['jobs_hit']}/{cache['jobs_done']})"
+    )
+    if "engine" in cache:
+        e = cache["engine"]
+        line += (
+            f"; memory {e['memory_hits']} hits, {e['disk_hits']} disk, "
+            f"{e['compiles']} compiles, {e['entries']} entries"
+        )
+    print(line)
+    for stage in ("queue", "compile", "sim", "total"):
+        s = st["latency_ms"][stage]
+        print(
+            f"latency {stage:8s} n={s['count']:<6d} "
+            f"p50={s['p50']:.2f}ms p95={s['p95']:.2f}ms "
+            f"p99={s['p99']:.2f}ms max={s['max']:.2f}ms"
+        )
+    return 0
+
+
+def _shutdown(args) -> int:
+    with _client(args) as client:
+        draining = client.shutdown()
+    print(f"# shutdown acknowledged, {draining} jobs draining",
+          file=sys.stderr)
     return 0
 
 
@@ -190,8 +375,17 @@ def main(argv: list[str] | None = None) -> int:
     _add_compile_args(p_run)
     _add_run_args(p_run)
 
-    p_stats = subs.add_parser("stats", help="print graph inventory")
-    _add_compile_args(p_stats)
+    p_stats = subs.add_parser(
+        "stats",
+        help="graph inventory for a source file, or live service stats "
+        "with --socket/--port",
+    )
+    _add_compile_args(p_stats, optional_file=True)
+    _add_endpoint_args(p_stats)
+    p_stats.add_argument("--json", action="store_true",
+                         help="service stats as raw JSON")
+    p_stats.add_argument("--timeout", type=float, default=10.0,
+                         help="service RPC timeout (seconds)")
 
     p_dot = subs.add_parser("dot", help="emit graphviz")
     _add_compile_args(p_dot)
@@ -232,6 +426,53 @@ def main(argv: list[str] | None = None) -> int:
         help="check every result against the reference interpreter",
     )
 
+    p_serve = subs.add_parser(
+        "serve",
+        help="run the always-on compile/simulate service "
+        "(UNIX socket or TCP, JSON-lines protocol)",
+    )
+    _add_endpoint_args(p_serve)
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="waiting-job bound; beyond it submits get queue_full",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="flush a micro-batch at this many jobs",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="flush a partial micro-batch after this long",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="persistent engine workers (1 = serial in-process)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk compiled-graph cache shared with other runs",
+    )
+
+    p_submit = subs.add_parser(
+        "submit", help="compile and run one program on a running service"
+    )
+    _add_compile_args(p_submit)
+    _add_run_args(p_submit)
+    _add_endpoint_args(p_submit)
+    p_submit.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="submit-to-result deadline; expiry returns an error",
+    )
+    p_submit.add_argument("--timeout", type=float, default=60.0,
+                          help="socket timeout (seconds)")
+
+    p_shutdown = subs.add_parser(
+        "shutdown", help="gracefully drain and stop a running service"
+    )
+    _add_endpoint_args(p_shutdown)
+    p_shutdown.add_argument("--timeout", type=float, default=10.0,
+                            help="socket timeout (seconds)")
+
     args = parser.parse_args(argv)
 
     if args.command == "schemas":
@@ -241,6 +482,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _bench(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
+    if args.command == "shutdown":
+        return _shutdown(args)
+    if args.command == "stats" and (args.socket or args.port):
+        return _service_stats(args)
+    if args.command == "stats" and args.file is None:
+        raise SystemExit(
+            "stats: give a source file for a graph inventory, or "
+            "--socket/--port for live service stats"
+        )
 
     cp = _compile(args)
 
@@ -273,4 +527,11 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved filter (devnull swallows the flush at shutdown)
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

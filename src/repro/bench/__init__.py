@@ -2,16 +2,19 @@
 
 from .programs import CORPUS, Workload, workload
 from .generators import random_program, random_structured_program
+from .loadgen import LoadReport, run_load
 from .harness import (
     SchemaRow,
     compare_schemas,
     corpus_jobs,
     format_table,
     schemas_for,
+    sweep_latency_line,
 )
 
 __all__ = [
     "CORPUS",
+    "LoadReport",
     "SchemaRow",
     "Workload",
     "compare_schemas",
@@ -19,6 +22,8 @@ __all__ = [
     "format_table",
     "random_program",
     "random_structured_program",
+    "run_load",
     "schemas_for",
+    "sweep_latency_line",
     "workload",
 ]

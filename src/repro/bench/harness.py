@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dfg.stats import graph_stats
-from ..engine import BatchJob, GraphCache, default_cache
+from ..engine import BatchJob, GraphCache, LatencySummary, default_cache
 from ..interp.ast_interp import run_ast
 from ..machine.config import MachineConfig
 from ..translate.pipeline import SCHEMAS, CompileOptions, simulate
@@ -157,6 +157,16 @@ def compare_schemas(
             )
         )
     return rows
+
+
+def sweep_latency_line(results) -> str:
+    """One-line per-job compile/sim latency percentiles for one
+    :func:`~repro.engine.batch.run_batch` sweep (milliseconds; failed
+    jobs excluded — their timings measure the error path, not the work)."""
+    ok = [r for r in results if r.ok]
+    comp = LatencySummary.from_samples([r.compile_time * 1e3 for r in ok])
+    sim = LatencySummary.from_samples([r.sim_time * 1e3 for r in ok])
+    return f"compile [{comp.brief('ms')}]  sim [{sim.brief('ms')}]"
 
 
 def format_table(header: list, rows: list[list]) -> str:

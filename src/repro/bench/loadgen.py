@@ -1,0 +1,130 @@
+"""Load generator for the compile/simulate service.
+
+Closed-loop clients on real sockets: ``clients`` threads each own a
+:class:`~repro.service.client.ServiceClient` connection, walk their
+round-robin share of the job list ``rounds`` times, and measure each
+job's submit-to-result latency from the caller's side of the wire.
+``burst > 1`` pipelines that many submits per connection before
+collecting — the open-loop shape that drives a small ``--max-queue``
+into visible ``queue_full`` backpressure.
+
+This is the measurement harness behind
+``benchmarks/results/service_throughput.txt``; it lives in the package
+(not under ``benchmarks/``) so experiments and notebooks can reuse it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..engine.batch import BatchJob
+from ..engine.latency import LatencySummary
+from ..service.client import JobRejected, ServiceClient
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    clients: int
+    offered: int  # jobs submitted (or attempted) across all clients
+    completed: int  # results received with ok == True
+    job_errors: int  # results received with a captured job error
+    rejected: int  # transport rejections (queue_full, deadline, ...)
+    cache_hits: int
+    wall_s: float
+    latency_ms: LatencySummary  # submit->result, completed jobs only
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second of wall time."""
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.clients} clients: {self.completed}/{self.offered} "
+            f"completed, {self.rejected} rejected, {self.job_errors} job "
+            f"errors in {self.wall_s:.2f}s ({self.throughput:.1f} jobs/s); "
+            f"latency {self.latency_ms.brief('ms')}"
+        )
+
+
+def run_load(
+    endpoint: dict,
+    jobs: list[BatchJob],
+    clients: int = 8,
+    rounds: int = 1,
+    burst: int = 1,
+    deadline_ms: float | None = None,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive a running service from ``clients`` concurrent connections.
+
+    ``endpoint`` is the kwargs dict a :class:`ServiceClient` takes
+    (``{"path": ...}`` or ``{"host": ..., "port": ...}``), e.g. straight
+    from :meth:`~repro.service.server.ServiceServer.endpoint`.
+    """
+    if clients < 1 or rounds < 1 or burst < 1:
+        raise ValueError("clients, rounds, and burst must all be >= 1")
+    per_thread: list[dict | None] = [None] * clients
+    errors: list[BaseException] = []
+
+    def worker(idx: int) -> None:
+        mine = [job for job in jobs[idx::clients]] * rounds
+        acc = {"offered": len(mine), "completed": 0, "job_errors": 0,
+               "rejected": 0, "cache_hits": 0, "lat": []}
+        try:
+            with ServiceClient(**endpoint, timeout=timeout) as client:
+                for k in range(0, len(mine), burst):
+                    chunk = mine[k:k + burst]
+                    started = []
+                    for job in chunk:
+                        started.append(
+                            (time.perf_counter(),
+                             client.start(job, deadline_ms))
+                        )
+                    for t0, req_id in started:
+                        try:
+                            br = client.result(req_id)
+                        except JobRejected:
+                            acc["rejected"] += 1
+                            continue
+                        if br.ok:
+                            acc["completed"] += 1
+                            acc["cache_hits"] += bool(br.cache_hit)
+                            acc["lat"].append(
+                                (time.perf_counter() - t0) * 1e3
+                            )
+                        else:
+                            acc["job_errors"] += 1
+        except BaseException as exc:  # surface thread failures to caller
+            errors.append(exc)
+            return
+        per_thread[idx] = acc
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    done = [acc for acc in per_thread if acc is not None]
+    all_lat = [ms for acc in done for ms in acc["lat"]]
+    return LoadReport(
+        clients=clients,
+        offered=sum(acc["offered"] for acc in done),
+        completed=sum(acc["completed"] for acc in done),
+        job_errors=sum(acc["job_errors"] for acc in done),
+        rejected=sum(acc["rejected"] for acc in done),
+        cache_hits=sum(acc["cache_hits"] for acc in done),
+        wall_s=wall,
+        latency_ms=LatencySummary.from_samples(all_lat),
+    )

@@ -13,8 +13,9 @@ event-driven fast path is bypassed.
 from __future__ import annotations
 
 from ..translate.pipeline import CompiledProgram, CompileOptions
-from .batch import BatchJob, BatchResult, run_batch
+from .batch import BatchJob, BatchResult, make_pool, run_batch
 from .cache import CacheStats, GraphCache, graph_key
+from .latency import LatencySummary, percentile
 
 #: process-wide cache used by default for serial engine compiles
 default_cache = GraphCache()
@@ -32,8 +33,11 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "GraphCache",
+    "LatencySummary",
     "compile_cached",
     "default_cache",
     "graph_key",
+    "make_pool",
+    "percentile",
     "run_batch",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 
 from ..dfg.stats import GraphStats, graph_stats
@@ -37,15 +38,28 @@ class BatchJob:
 
 @dataclass
 class BatchResult:
-    """Outcome of one job: the simulation result plus engine accounting."""
+    """Outcome of one job: the simulation result plus engine accounting.
+
+    A job that raises during compile or simulate does **not** poison its
+    batch: the exception is captured here (``error`` holds the one-line
+    ``Type: message`` form, ``traceback`` the full text) and ``result`` /
+    ``stats`` are ``None``.  Only :class:`Exception` subclasses are
+    captured — ``KeyboardInterrupt`` and friends still abort the batch.
+    """
 
     name: str
     index: int
-    result: SimResult
-    stats: GraphStats
+    result: SimResult | None
+    stats: GraphStats | None
     compile_time: float  # seconds in lookup-or-compile
     sim_time: float  # seconds in Simulator.run
     cache_hit: bool
+    error: str | None = None
+    traceback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 # -- worker state -----------------------------------------------------------
@@ -59,14 +73,30 @@ def _worker_init(cache_dir, capacity: int) -> None:
 
 
 def _run_one(cache: GraphCache, index: int, job: BatchJob) -> BatchResult:
+    name = job.name or f"job{index}"
     t0 = time.perf_counter()
-    cp, hit = cache.lookup(job.source, job.options)
-    t1 = time.perf_counter()
-    res = simulate(cp, job.inputs, job.config)
-    t2 = time.perf_counter()
+    hit = False
+    try:
+        cp, hit = cache.lookup(job.source, job.options)
+        t1 = time.perf_counter()
+        res = simulate(cp, job.inputs, job.config)
+        t2 = time.perf_counter()
+    except Exception as exc:
+        t_fail = time.perf_counter()
+        return BatchResult(
+            name=name,
+            index=index,
+            result=None,
+            stats=None,
+            compile_time=t_fail - t0,
+            sim_time=0.0,
+            cache_hit=hit,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=_traceback.format_exc(),
+        )
     res.cache_hit = hit
     return BatchResult(
-        name=job.name or f"job{index}",
+        name=name,
         index=index,
         result=res,
         stats=graph_stats(cp.graph),
@@ -85,12 +115,33 @@ def _worker_run(item: tuple[int, BatchJob]) -> BatchResult:
 # -- driver -----------------------------------------------------------------
 
 
+def make_pool(
+    pool_size: int, cache_dir=None, capacity: int = 256
+) -> multiprocessing.pool.Pool:
+    """A persistent worker pool for repeated :func:`run_batch` calls.
+
+    ``run_batch(jobs, pool=p)`` re-enters this pool without paying the
+    per-call spawn cost — the shape a long-running server wants.  Workers
+    keep their in-memory cache tier between batches (and share the disk
+    tier when ``cache_dir`` is given).  Close with ``p.terminate()`` /
+    ``p.close(); p.join()`` when done.
+    """
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+    return multiprocessing.Pool(
+        processes=pool_size,
+        initializer=_worker_init,
+        initargs=(cache_dir, capacity),
+    )
+
+
 def run_batch(
     jobs: list[BatchJob],
     pool_size: int | None = None,
     cache: GraphCache | None = None,
     cache_dir=None,
     capacity: int = 256,
+    pool: multiprocessing.pool.Pool | None = None,
 ) -> list[BatchResult]:
     """Run every job; results are returned in job order.
 
@@ -99,11 +150,16 @@ def run_batch(
       process-wide :data:`~repro.engine.default_cache`, or a fresh cache
       bound to ``cache_dir`` when one is given).
     * ``cache_dir`` — disk tier shared by all workers (and future runs).
+    * ``pool`` — a persistent pool from :func:`make_pool`; overrides
+      ``pool_size`` and is left open for the caller to reuse.
+
+    Per-job exceptions are captured on :class:`BatchResult` (``error`` /
+    ``traceback``), so one bad program never kills its batch siblings.
     """
     jobs = list(jobs)
     if not jobs:
         return []
-    if pool_size is None or pool_size <= 1:
+    if pool is None and (pool_size is None or pool_size <= 1):
         if cache is None:
             if cache_dir is not None:
                 cache = GraphCache(capacity=capacity, cache_dir=cache_dir)
@@ -113,12 +169,15 @@ def run_batch(
                 cache = default_cache
         return [_run_one(cache, i, job) for i, job in enumerate(jobs)]
 
-    with multiprocessing.Pool(
-        processes=pool_size,
-        initializer=_worker_init,
-        initargs=(cache_dir, capacity),
-    ) as pool:
+    if pool is not None:
         results = pool.map(_worker_run, list(enumerate(jobs)), chunksize=1)
+    else:
+        with multiprocessing.Pool(
+            processes=pool_size,
+            initializer=_worker_init,
+            initargs=(cache_dir, capacity),
+        ) as owned:
+            results = owned.map(_worker_run, list(enumerate(jobs)), chunksize=1)
     # Pool.map preserves submission order; assert rather than trust.
     for i, r in enumerate(results):
         assert r.index == i, "batch results arrived out of order"

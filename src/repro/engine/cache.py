@@ -153,10 +153,26 @@ class GraphCache:
         try:
             with open(path, "rb") as f:
                 cp = pickle.load(f)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, ValueError):
-            return None  # missing, corrupt, or stale-format: treat as miss
-        return cp if isinstance(cp, CompiledProgram) else None
+                ImportError, IndexError, ValueError):
+            # Truncated, corrupt, or stale-format entry: a miss, never an
+            # error.  Unlink it so the recompile's fresh write replaces it
+            # even if that write later fails (read-only dirs aside).
+            self._discard_corrupt(path)
+            return None
+        if not isinstance(cp, CompiledProgram):
+            self._discard_corrupt(path)
+            return None
+        return cp
+
+    @staticmethod
+    def _discard_corrupt(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def _disk_write(self, key: str, cp: CompiledProgram) -> None:
         if self.cache_dir is None:

@@ -1,0 +1,85 @@
+"""Shared latency math: percentiles and per-stage summaries.
+
+One implementation used everywhere a latency distribution is reported —
+the service's ``stats`` RPC (queue/compile/sim percentiles), the bench
+harness's per-sweep lines, and the load-generator report — so every
+surface quotes the same p50/p95/p99 for the same samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation between
+    closest ranks (the numpy/Excel "inclusive" definition).
+
+    Raises ``ValueError`` on an empty sample list — callers that want a
+    zero-filled report for "no data yet" go through
+    :meth:`LatencySummary.from_samples`, which handles that case.
+    """
+    if not samples:
+        raise ValueError("percentile() of empty sample list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return float(xs[0])
+    rank = (len(xs) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(xs[lo])
+    frac = rank - lo
+    return float(xs[lo]) + (float(xs[hi]) - float(xs[lo])) * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """count + mean/p50/p95/p99/max of one latency distribution.
+
+    Values carry whatever unit the samples were in; :meth:`brief` and
+    :meth:`to_json` scale nothing.  An empty distribution is a valid
+    summary (all zeros, ``count == 0``) so "no traffic yet" needs no
+    special-casing downstream.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> LatencySummary:
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            max=float(max(samples)),
+        )
+
+    def brief(self, unit: str = "") -> str:
+        if not self.count:
+            return "n=0"
+        return (
+            f"n={self.count} p50={self.p50:.3f}{unit} "
+            f"p95={self.p95:.3f}{unit} p99={self.p99:.3f}{unit}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }

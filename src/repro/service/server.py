@@ -1,0 +1,497 @@
+"""The always-on compile/simulate server.
+
+Architecture (DESIGN.md §7): asyncio connection handlers parse JSON-lines
+frames and feed a bounded :class:`~repro.service.batcher.MicroBatcher`;
+its flush loop hands coalesced batches to the persistent engine — a
+long-lived :class:`~repro.engine.cache.GraphCache` (serial mode) or a
+:func:`~repro.engine.batch.make_pool` worker pool — via a single-thread
+executor so the event loop never blocks on compilation or simulation.
+
+Contracts:
+
+* **Backpressure** — at most ``max_queue`` jobs wait; a submit beyond
+  that is rejected *immediately* with ``queue_full`` (never buffered,
+  never dropped silently) and counted in stats.  The server stays live.
+* **Deadlines** — ``deadline_ms`` is submit→result: a job still queued
+  when it expires is removed and rejected; one already running has its
+  result discarded and the client gets ``deadline_expired`` on time.
+* **Cancellation** — a queued job can be cancelled by request id; a
+  running one cannot (the engine is mid-flight) and reports as such.
+* **Graceful shutdown** — new submits are rejected (``shutting_down``),
+  every accepted job is drained and its result delivered, then
+  connections close.  Zero accepted results are lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..engine import GraphCache, LatencySummary, make_pool, run_batch
+from ..engine.batch import BatchJob
+from .batcher import MicroBatcher
+from .protocol import (
+    MAX_LINE,
+    PROTOCOL_VERSION,
+    decode,
+    encode,
+    job_from_wire,
+    result_to_wire,
+)
+
+# entry lifecycle
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
+
+#: ring-buffer size for per-stage latency samples
+LATENCY_WINDOW = 2048
+
+
+@dataclass
+class ServiceConfig:
+    """Listen address + queueing/engine knobs for one server."""
+
+    path: str | None = None  # UNIX socket path (wins over host/port)
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, see ServiceServer.endpoint
+    max_queue: int = 64
+    max_batch: int = 8
+    max_wait_ms: float = 5.0
+    pool_size: int = 1  # 1 = serial in-process engine
+    cache_dir: str | None = None
+    capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.path is None and self.host is None:
+            raise ValueError("need a UNIX socket path or a TCP host")
+
+
+class _Conn:
+    """Per-connection state: serialized writes + live submit entries."""
+
+    __slots__ = ("writer", "lock", "entries", "alive")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.entries: dict[str, _Entry] = {}
+        self.alive = True
+
+    async def send(self, frame: dict) -> None:
+        if not self.alive:
+            return
+        try:
+            async with self.lock:
+                self.writer.write(encode(frame))
+                await self.writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            self.alive = False
+
+
+class _Entry:
+    """One accepted submit: the job plus routing and lifecycle state."""
+
+    __slots__ = (
+        "conn", "req_id", "job", "state", "deadline_handle", "t_submit"
+    )
+
+    def __init__(self, conn: _Conn, req_id: str, job: BatchJob):
+        self.conn = conn
+        self.req_id = req_id
+        self.job = job
+        self.state = PENDING
+        self.deadline_handle: asyncio.TimerHandle | None = None
+        self.t_submit = time.monotonic()
+
+    def settle(self) -> None:
+        """Leave the lifecycle: drop the deadline timer and the conn's
+        id->entry routing slot."""
+        if self.deadline_handle is not None:
+            self.deadline_handle.cancel()
+            self.deadline_handle = None
+        if self.conn.entries.get(self.req_id) is self:
+            del self.conn.entries[self.req_id]
+
+
+class ServiceServer:
+    """One server instance; see the module docstring for the contracts."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.batcher = MicroBatcher(
+            self._run_entries,
+            max_batch=config.max_batch,
+            max_wait_ms=config.max_wait_ms,
+            max_queue=config.max_queue,
+        )
+        # persistent engine state — this is the point of the service
+        self.cache: GraphCache | None = None
+        self.pool = None
+        if config.pool_size <= 1:
+            self.cache = GraphCache(
+                capacity=config.capacity, cache_dir=config.cache_dir
+            )
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._conns: set[_Conn] = set()
+        self._replies: set[asyncio.Task] = set()
+        self._draining = False
+        self._t0 = time.monotonic()
+        # counters + per-stage latency rings (milliseconds)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.cancelled = 0
+        self.jobs_cache_hit = 0
+        self._lat = {
+            stage: deque(maxlen=LATENCY_WINDOW)
+            for stage in ("queue", "compile", "sim", "total")
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        cfg = self.config
+        if cfg.pool_size > 1:
+            self.pool = make_pool(
+                cfg.pool_size, cache_dir=cfg.cache_dir, capacity=cfg.capacity
+            )
+        if cfg.path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=cfg.path, limit=MAX_LINE
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=cfg.host, port=cfg.port,
+                limit=MAX_LINE,
+            )
+        self._t0 = time.monotonic()
+        self._batcher_task = asyncio.create_task(self.batcher.run())
+
+    @property
+    def endpoint(self) -> dict:
+        """Where the server actually listens (resolves ephemeral ports)."""
+        if self.config.path is not None:
+            return {"path": self.config.path}
+        assert self._server is not None and self._server.sockets
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return {"host": host, "port": port}
+
+    def begin_shutdown(self) -> None:
+        """Start the graceful drain; idempotent, safe from signal handlers
+        running on the event loop."""
+        if self._draining:
+            return
+        self._draining = True
+        self.batcher.close()
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`begin_shutdown` (or a client ``shutdown``
+        op), then drain all accepted jobs and tear down."""
+        assert self._batcher_task is not None, "call start() first"
+        await self._batcher_task  # returns once closed AND drained
+        # every accepted job has a reply task by now; deliver them all
+        # before tearing connections down (the zero-lost-results contract)
+        while self._replies:
+            await asyncio.gather(*list(self._replies),
+                                 return_exceptions=True)
+        await self._teardown()
+
+    async def _teardown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._conns):
+            conn.alive = False
+            with contextlib.suppress(Exception):
+                conn.writer.close()
+        if self.config.path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.path)
+        if self.pool is not None:
+            self.pool.terminate()
+            self.pool.join()
+        self._executor.shutdown(wait=False)
+
+    def _post(self, conn: _Conn, frame: dict) -> None:
+        """Deliver ``frame`` without awaiting the socket: result frames
+        can exceed the transport's high-water mark, and a client that is
+        slow to read must stall only its own connection (``conn.lock``
+        serializes its frames), never the flush loop.  Tasks are tracked
+        so a graceful drain can flush them all before teardown."""
+        task = asyncio.get_running_loop().create_task(conn.send(frame))
+        self._replies.add(task)
+        task.add_done_callback(self._replies.discard)
+
+    # -- engine bridge ----------------------------------------------------
+
+    def _run_jobs(self, jobs: list[BatchJob]):
+        """Blocking engine call; runs on the executor thread."""
+        if self.pool is not None:
+            return run_batch(jobs, pool=self.pool)
+        return run_batch(jobs, pool_size=1, cache=self.cache)
+
+    async def _run_entries(self, entries: list[_Entry]) -> None:
+        """MicroBatcher runner: execute one coalesced batch, reply per
+        entry.  Entries that expired or were cancelled while queued never
+        reach here (the batcher discards them)."""
+        loop = asyncio.get_running_loop()
+        now = time.monotonic()
+        live = []
+        for e in entries:
+            if e.state != PENDING:
+                continue  # expired in the popleft window
+            e.state = RUNNING
+            self._lat["queue"].append((now - e.t_submit) * 1e3)
+            live.append(e)
+        if not live:
+            return
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._run_jobs, [e.job for e in live]
+            )
+        except Exception as exc:  # engine-level failure (e.g. pool died)
+            for e in live:
+                if e.state is RUNNING:
+                    e.settle()
+                    e.state = DONE
+                    self.failed += 1
+                    self._post(e.conn, _submit_error(
+                        e.req_id, "internal_error", f"{type(exc).__name__}: {exc}"
+                    ))
+            return
+        t_done = time.monotonic()
+        for e, br in zip(live, results):
+            if e.state is not RUNNING:  # deadline fired mid-run
+                continue
+            e.settle()
+            e.state = DONE
+            self._lat["compile"].append(br.compile_time * 1e3)
+            self._lat["sim"].append(br.sim_time * 1e3)
+            self._lat["total"].append((t_done - e.t_submit) * 1e3)
+            if br.ok:
+                self.completed += 1
+                if br.cache_hit:
+                    self.jobs_cache_hit += 1
+            else:
+                self.failed += 1
+            self._post(e.conn, {
+                "ok": True,
+                "op": "submit",
+                "id": e.req_id,
+                "result": result_to_wire(br),
+            })
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long line or torn connection
+                except asyncio.CancelledError:
+                    break  # server teardown with the connection open
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = decode(line)
+                except ValueError as exc:
+                    await conn.send(_error_frame(
+                        None, None, "bad_request", f"unparseable frame: {exc}"
+                    ))
+                    continue
+                await self._dispatch(conn, msg)
+        finally:
+            conn.alive = False
+            self._conns.discard(conn)
+            # orphaned queued jobs: nobody is left to read the results
+            for entry in list(conn.entries.values()):
+                if entry.state == PENDING and self.batcher.discard(entry):
+                    entry.settle()
+                    entry.state = CANCELLED
+                    self.cancelled += 1
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _dispatch(self, conn: _Conn, msg: dict) -> None:
+        op = msg.get("op")
+        if op == "submit":
+            await self._op_submit(conn, msg)
+        elif op == "cancel":
+            await self._op_cancel(conn, msg)
+        elif op == "stats":
+            await conn.send({"ok": True, "op": "stats",
+                             "stats": self.stats_snapshot()})
+        elif op == "ping":
+            await conn.send({"ok": True, "op": "ping",
+                             "version": PROTOCOL_VERSION})
+        elif op == "shutdown":
+            await conn.send({
+                "ok": True,
+                "op": "shutdown",
+                "draining": self.batcher.depth + self.batcher.in_flight,
+            })
+            self.begin_shutdown()
+        else:
+            await conn.send(_error_frame(
+                op, msg.get("id"), "bad_request", f"unknown op {op!r}"
+            ))
+
+    async def _op_submit(self, conn: _Conn, msg: dict) -> None:
+        req_id = msg.get("id")
+        if not isinstance(req_id, str) or "job" not in msg:
+            await conn.send(_error_frame(
+                "submit", req_id, "bad_request",
+                "submit needs a string id and a job object",
+            ))
+            return
+        if req_id in conn.entries:
+            await conn.send(_submit_error(
+                req_id, "bad_request", "duplicate in-flight request id"
+            ))
+            return
+        try:
+            job = job_from_wire(msg["job"])
+        except Exception as exc:
+            await conn.send(_submit_error(
+                req_id, "bad_request", f"malformed job: {exc}"
+            ))
+            return
+        if self._draining:
+            await conn.send(_submit_error(
+                req_id, "shutting_down", "server is draining"
+            ))
+            return
+        entry = _Entry(conn, req_id, job)
+        if not self.batcher.offer(entry):
+            self.rejected += 1
+            await conn.send(_submit_error(
+                req_id, "queue_full",
+                f"queue at max_queue={self.config.max_queue}",
+                queue_depth=self.batcher.depth,
+            ))
+            return
+        self.submitted += 1
+        conn.entries[req_id] = entry
+        deadline_ms = msg.get("deadline_ms")
+        if deadline_ms is not None:
+            loop = asyncio.get_running_loop()
+            entry.deadline_handle = loop.call_later(
+                max(0.0, float(deadline_ms)) / 1000.0, self._expire, entry
+            )
+
+    def _expire(self, entry: _Entry) -> None:
+        if entry.state == PENDING:
+            self.batcher.discard(entry)
+        elif entry.state != RUNNING:
+            return
+        entry.settle()
+        entry.state = EXPIRED
+        self.expired += 1
+        self._post(entry.conn, _submit_error(
+            entry.req_id, "deadline_expired",
+            "deadline passed before a result was ready",
+        ))
+
+    async def _op_cancel(self, conn: _Conn, msg: dict) -> None:
+        req_id = msg.get("id")
+        entry = conn.entries.get(req_id) if isinstance(req_id, str) else None
+        found = entry is not None and entry.state == PENDING \
+            and self.batcher.discard(entry)
+        if found:
+            entry.settle()
+            entry.state = CANCELLED
+            self.cancelled += 1
+            await conn.send(_submit_error(
+                req_id, "cancelled", "cancelled by client"
+            ))
+        await conn.send({
+            "ok": True, "op": "cancel", "id": req_id, "found": bool(found),
+        })
+
+    # -- stats ------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        uptime = time.monotonic() - self._t0
+        done = self.completed + self.failed
+        cache: dict = {
+            "jobs_hit": self.jobs_cache_hit,
+            "jobs_done": done,
+            "hit_rate": self.jobs_cache_hit / done if done else 0.0,
+        }
+        if self.cache is not None:
+            cs = self.cache.stats
+            cache["engine"] = {
+                "memory_hits": cs.hits,
+                "disk_hits": cs.disk_hits,
+                "compiles": cs.misses,
+                "entries": len(self.cache),
+            }
+        return {
+            "uptime_s": uptime,
+            "draining": self._draining,
+            "queue_depth": self.batcher.depth,
+            "in_flight": self.batcher.in_flight,
+            "max_queue": self.config.max_queue,
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "pool_size": self.config.pool_size,
+            "batches": self.batcher.batches,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "jobs_per_s": done / uptime if uptime > 0 else 0.0,
+            "cache": cache,
+            "latency_ms": {
+                stage: LatencySummary.from_samples(list(dq)).to_json()
+                for stage, dq in self._lat.items()
+            },
+        }
+
+
+# -- frame helpers ----------------------------------------------------------
+
+
+def _error_frame(op, req_id, code: str, detail: str) -> dict:
+    frame = {"ok": False, "op": op, "error": code, "detail": detail}
+    if req_id is not None:
+        frame["id"] = req_id
+    return frame
+
+
+def _submit_error(req_id, code: str, detail: str, **extra) -> dict:
+    frame = _error_frame("submit", req_id, code, detail)
+    frame.update(extra)
+    return frame
+
+
+async def serve(config: ServiceConfig) -> ServiceServer:
+    """Start a server on the current event loop; caller awaits
+    :meth:`ServiceServer.serve_forever`."""
+    server = ServiceServer(config)
+    await server.start()
+    return server

@@ -1,0 +1,83 @@
+"""Host a ServiceServer on a background thread — the harness tests, the
+throughput bench, and interactive experiments all use this instead of
+spawning a subprocess: same-process servers are fast to start, share
+coverage/tracebacks, and still exercise the real socket transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+
+from .server import ServiceConfig, ServiceServer
+
+
+class ServerThread:
+    """Run one server on a dedicated event-loop thread.
+
+    ``start()`` blocks until the socket is listening and returns the
+    endpoint kwargs for a client (``{"path": ...}`` or ``{"host": ...,
+    "port": ...}``); ``stop()`` triggers the graceful drain and joins.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.server: ServiceServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self) -> None:
+        async def body():
+            self.server = ServiceServer(self.config)
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.server.serve_forever()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    def start(self, timeout: float = 10.0) -> dict:
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service did not start listening in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error!r}"
+            )
+        return self.server.endpoint
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.begin_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("service did not drain and exit in time")
+
+
+@contextlib.contextmanager
+def running_server(config: ServiceConfig | None = None, **kwargs):
+    """``with running_server(max_queue=4) as (endpoint, server): ...`` —
+    endpoint kwargs feed straight into a ServiceClient."""
+    if config is None:
+        config = ServiceConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a config or keyword fields, not both")
+    host = ServerThread(config)
+    endpoint = host.start()
+    try:
+        yield endpoint, host.server
+    finally:
+        host.stop()

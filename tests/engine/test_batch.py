@@ -99,6 +99,59 @@ def test_job_config_is_respected():
     assert not one.result.fast_path and wide.result.fast_path
 
 
+def test_bad_job_does_not_poison_batch():
+    """A job that fails to compile (or simulate) reports its error on its
+    own BatchResult; every sibling still completes normally."""
+    gcd = workload("gcd")
+    jobs = [
+        BatchJob(gcd.source, inputs=dict(gcd.inputs[0]), name="good0"),
+        BatchJob("x := ;;;; not a program", name="syntax_error"),
+        BatchJob(gcd.source, inputs=dict(gcd.inputs[0]), name="good1"),
+    ]
+    results = run_batch(jobs, pool_size=1, cache=GraphCache())
+    assert [r.name for r in results] == ["good0", "syntax_error", "good1"]
+    good0, bad, good1 = results
+    assert good0.ok and good1.ok
+    assert good0.result.memory == run_ast(parse(gcd.source), jobs[0].inputs)
+    assert not bad.ok
+    assert bad.result is None and bad.stats is None
+    assert bad.error and "Error" in bad.error
+    assert bad.traceback and "Traceback" in bad.traceback
+
+
+def test_bad_job_does_not_poison_pool_batch():
+    gcd = workload("gcd")
+    jobs = [
+        BatchJob("x := ;;;; not a program", name="bad"),
+        BatchJob(gcd.source, inputs=dict(gcd.inputs[0]), name="good"),
+    ]
+    bad, good = run_batch(jobs, pool_size=2)
+    assert not bad.ok and bad.error
+    assert good.ok
+    assert good.result.memory == run_ast(parse(gcd.source), jobs[1].inputs)
+
+
+def test_persistent_pool_reuse(tmp_path):
+    """make_pool() + run_batch(pool=...) re-enters one pool across calls;
+    workers persist between batches and share the disk cache tier, so a
+    repeated batch is all cache hits without respawning anything."""
+    from repro.engine import make_pool
+
+    jobs = _jobs()
+    pool = make_pool(2, cache_dir=tmp_path)
+    try:
+        first = run_batch(jobs, pool=pool)
+        second = run_batch(jobs, pool=pool)
+    finally:
+        pool.terminate()
+        pool.join()
+    assert [r.name for r in first] == [j.name for j in jobs]
+    for a, b in zip(first, second):
+        assert a.result.memory == b.result.memory
+        assert a.result.metrics.cycles == b.result.metrics.cycles
+    assert all(r.cache_hit for r in second)
+
+
 def test_empty_batch():
     assert run_batch([]) == []
 

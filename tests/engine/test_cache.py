@@ -100,6 +100,37 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
     assert simulate(cp).memory == run_ast(parse(SRC))
 
 
+def test_truncated_disk_entry_is_unlinked_then_rewritten(tmp_path):
+    """A partially-written pickle (e.g. a crash mid-copy) must read as a
+    miss, be unlinked, and be replaced by the recompile's fresh write."""
+    c1 = GraphCache(cache_dir=tmp_path)
+    c1.get_or_compile(SRC, schema="schema2_opt")
+    key = graph_key(SRC, CompileOptions(schema="schema2_opt"))
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    good = path.read_bytes()
+    path.write_bytes(good[: len(good) // 2])  # truncate
+
+    c2 = GraphCache(cache_dir=tmp_path)
+    # the raw read drops the bad file entirely (no exception, no entry)
+    assert c2._disk_read(key) is None
+    assert not path.exists()
+    # ... and a full lookup recompiles and restores a loadable entry
+    cp, hit = c2.lookup(SRC, schema="schema2_opt")
+    assert not hit
+    assert pickle.loads(path.read_bytes())
+    assert simulate(cp).memory == run_ast(parse(SRC))
+
+
+def test_wrong_type_disk_entry_is_unlinked(tmp_path):
+    c = GraphCache(cache_dir=tmp_path)
+    key = graph_key(SRC, CompileOptions(schema="schema1"))
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"not": "a CompiledProgram"}))
+    assert c._disk_read(key) is None
+    assert not path.exists()
+
+
 def test_clear_disk(tmp_path):
     c = GraphCache(cache_dir=tmp_path)
     c.get_or_compile(SRC, schema="schema1")

@@ -1,0 +1,58 @@
+"""Tests for the shared percentile / latency-summary helper."""
+
+import pytest
+
+from repro.engine import LatencySummary, percentile
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 0) == 7.0
+    assert percentile([7.0], 50) == 7.0
+    assert percentile([7.0], 100) == 7.0
+
+
+def test_percentile_endpoints_and_median():
+    xs = [4.0, 1.0, 3.0, 2.0]  # order must not matter
+    assert percentile(xs, 0) == 1.0
+    assert percentile(xs, 100) == 4.0
+    assert percentile(xs, 50) == 2.5  # interpolated between 2 and 3
+
+
+def test_percentile_linear_interpolation():
+    xs = list(range(0, 101))  # 0..100, rank == value
+    for q in (0, 25, 50, 90, 95, 99, 100):
+        assert percentile([float(x) for x in xs], q) == pytest.approx(q)
+    # a fractional rank interpolates: p95 of [0,10] is 9.5
+    assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_bad_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_summary_empty_is_all_zero():
+    s = LatencySummary.from_samples([])
+    assert s.count == 0
+    assert s.mean == s.p50 == s.p95 == s.p99 == s.max == 0.0
+    assert s.brief() == "n=0"
+    assert s.to_json()["count"] == 0
+
+
+def test_summary_from_samples():
+    s = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.p50 == pytest.approx(2.5)
+    assert s.max == 4.0
+    assert s.p95 <= s.p99 <= s.max
+    j = s.to_json()
+    assert set(j) == {"count", "mean", "p50", "p95", "p99", "max"}
+    assert "p50=" in s.brief("ms")

@@ -1,0 +1,81 @@
+"""Wire-codec round trips: everything the differential guarantee covers
+must survive encode -> JSON text -> decode unchanged."""
+
+import json
+
+import pytest
+
+from repro.engine import BatchJob, GraphCache, run_batch
+from repro.machine import MachineConfig
+from repro.service import job_from_wire, job_to_wire, result_from_wire, result_to_wire
+from repro.service.protocol import decode, encode
+from repro.translate import CompileOptions
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def _json_round(d: dict) -> dict:
+    return json.loads(json.dumps(d))
+
+
+def test_job_round_trip_full():
+    job = BatchJob(
+        source=SRC,
+        options=CompileOptions(schema="schema1", parallel_reads=True),
+        inputs={"x": 3},
+        config=MachineConfig(num_pes=2, seed=7, memory_latency=4),
+        name="full",
+    )
+    assert job_from_wire(_json_round(job_to_wire(job))) == job
+
+
+def test_job_round_trip_defaults():
+    job = BatchJob(source=SRC)
+    back = job_from_wire(_json_round(job_to_wire(job)))
+    assert back == job
+    assert back.inputs is None and back.config is None
+
+
+def test_result_round_trip_is_bit_identical():
+    (br,) = run_batch([BatchJob(SRC, name="rt")], cache=GraphCache())
+    back = result_from_wire(_json_round(result_to_wire(br)))
+    # dataclass equality covers memory, metrics (incl. integer-keyed
+    # profile), graph stats, timings, and flags — all of it must survive
+    assert back == br
+    assert back.result.metrics.profile == br.result.metrics.profile
+    assert all(
+        isinstance(k, int) for k in back.result.metrics.profile
+    ), "profile keys must decode back to ints"
+
+
+def test_result_round_trip_with_trace_and_finite_pes():
+    job = BatchJob(
+        SRC, config=MachineConfig(num_pes=1, seed=3, trace=True), name="tr"
+    )
+    (br,) = run_batch([job], cache=GraphCache())
+    assert br.result.trace  # trace entries are (cycle, node, desc, ctx)
+    back = result_from_wire(_json_round(result_to_wire(br)))
+    assert back == br
+    assert isinstance(back.result.trace[0], tuple)
+
+
+def test_error_result_round_trip():
+    (br,) = run_batch([BatchJob("x := ;;;;", name="bad")], cache=GraphCache())
+    assert not br.ok
+    back = result_from_wire(_json_round(result_to_wire(br)))
+    assert back == br
+    assert not back.ok and back.result is None and back.stats is None
+    assert back.error == br.error and back.traceback == br.traceback
+
+
+def test_frame_codec():
+    assert decode(encode({"op": "ping"})) == {"op": "ping"}
+    with pytest.raises(ValueError):
+        decode(b"[1, 2, 3]\n")  # frames must be objects
+    with pytest.raises(ValueError):
+        decode(b"not json\n")

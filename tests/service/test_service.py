@@ -1,0 +1,308 @@
+"""Service lifecycle suite: round trips, backpressure, deadlines,
+cancellation, graceful drain, stats, and the differential guarantee that
+the service is bit-identical to a direct ``engine.run_batch()``."""
+
+import socket
+import time
+
+import pytest
+
+from repro.bench.harness import corpus_jobs
+from repro.engine import BatchJob, GraphCache, run_batch
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.machine import MachineConfig
+from repro.service import (
+    JobRejected,
+    ServiceClient,
+    ServiceConfig,
+    running_server,
+)
+from repro.translate import CompileOptions
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def _slow_src(n: int = 3000) -> str:
+    """~0.13ms per iteration on the fast path: n=3000 is ~0.4s."""
+    return f"i := 0;\nl: i := i + 1;\n   if i < {n} then goto l;\n"
+
+
+def _sock(tmp_path) -> str:
+    return str(tmp_path / "s.sock")
+
+
+def _wait(cond, timeout=10.0, interval=0.01):
+    t0 = time.monotonic()
+    while not cond():
+        if time.monotonic() - t0 > timeout:
+            raise TimeoutError("condition not reached")
+        time.sleep(interval)
+
+
+def test_submit_result_round_trip(tmp_path):
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            br = client.submit(BatchJob(SRC, name="rt"))
+            assert br.ok
+            assert br.result.memory == run_ast(parse(SRC))
+            again = client.submit(BatchJob(SRC, name="rt2"))
+            assert again.cache_hit  # the server-resident cache persists
+            assert again.result.memory == br.result.memory
+
+
+def test_tcp_endpoint(tmp_path):
+    with running_server(host="127.0.0.1", port=0) as (ep, _server):
+        assert ep["port"] > 0
+        with ServiceClient(**ep) as client:
+            assert client.ping()["ok"]
+            assert client.submit(BatchJob(SRC)).ok
+
+
+@pytest.mark.parametrize(
+    "max_batch,max_wait_ms", [(1, 0.0), (4, 25.0), (32, 5.0)]
+)
+def test_differential_bit_identical(tmp_path, max_batch, max_wait_ms):
+    """For any batcher setting, service results equal a direct
+    run_batch() of the same jobs: memory, op counts, cycles, profiles."""
+    jobs = corpus_jobs(programs=["gcd", "fib"])
+    jobs.append(BatchJob(SRC, config=MachineConfig(num_pes=2, seed=11),
+                         name="finite_pes"))
+    direct = run_batch(jobs, cache=GraphCache())
+    with running_server(
+        path=_sock(tmp_path), max_batch=max_batch, max_wait_ms=max_wait_ms
+    ) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            via_service = client.submit_many(jobs)
+    assert len(via_service) == len(direct)
+    for d, s in zip(direct, via_service):
+        assert s.ok, s.error
+        assert s.name == d.name
+        assert s.result.memory == d.result.memory
+        assert s.result.end_values == d.result.end_values
+        assert s.result.metrics == d.result.metrics  # ops/cycles/profile
+        assert s.result.fast_path == d.result.fast_path
+        assert s.stats == d.stats
+
+
+def test_queue_full_backpressure(tmp_path):
+    with running_server(
+        path=_sock(tmp_path), max_queue=1, max_batch=1, max_wait_ms=0.0
+    ) as (ep, server):
+        with ServiceClient(**ep) as client:
+            slow = client.start(BatchJob(_slow_src(), name="slow"))
+            # wait until the slow job is in flight and the queue is empty
+            _wait(lambda: server.batcher.in_flight == 1
+                  and server.batcher.depth == 0)
+            queued = client.start(BatchJob(SRC, name="queued"))
+            overflow = client.start(BatchJob(SRC, name="overflow"))
+            with pytest.raises(JobRejected) as exc:
+                client.result(overflow)
+            assert exc.value.code == "queue_full"
+            # the server stays live: accepted jobs still complete
+            assert client.result(slow).ok
+            assert client.result(queued).ok
+            st = client.stats()
+            assert st["rejected"] == 1
+            assert st["completed"] == 2
+
+
+def test_deadline_expires_in_queue(tmp_path):
+    with running_server(
+        path=_sock(tmp_path), max_batch=1, max_wait_ms=0.0
+    ) as (ep, server):
+        with ServiceClient(**ep) as client:
+            slow = client.start(BatchJob(_slow_src(), name="slow"))
+            _wait(lambda: server.batcher.in_flight == 1)
+            doomed = client.start(BatchJob(SRC, name="doomed"),
+                                  deadline_ms=80.0)
+            with pytest.raises(JobRejected) as exc:
+                client.result(doomed)
+            assert exc.value.code == "deadline_expired"
+            assert client.result(slow).ok
+            assert client.stats()["expired"] == 1
+
+
+def test_deadline_expires_mid_run(tmp_path):
+    with running_server(path=_sock(tmp_path), max_batch=1) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            req = client.start(BatchJob(_slow_src(), name="slow"),
+                               deadline_ms=80.0)
+            t0 = time.monotonic()
+            with pytest.raises(JobRejected) as exc:
+                client.result(req)
+            assert exc.value.code == "deadline_expired"
+            # the rejection arrives at the deadline, not after the job
+            assert time.monotonic() - t0 < 0.3
+
+
+def test_client_cancellation(tmp_path):
+    with running_server(
+        path=_sock(tmp_path), max_batch=1, max_wait_ms=0.0
+    ) as (ep, server):
+        with ServiceClient(**ep) as client:
+            slow = client.start(BatchJob(_slow_src(), name="slow"))
+            _wait(lambda: server.batcher.in_flight == 1)
+            victim = client.start(BatchJob(SRC, name="victim"))
+            assert client.cancel(victim) is True
+            with pytest.raises(JobRejected) as exc:
+                client.result(victim)
+            assert exc.value.code == "cancelled"
+            # a running job cannot be cancelled; an unknown id is not found
+            assert client.cancel(slow) is False
+            assert client.cancel("no-such-id") is False
+            assert client.result(slow).ok
+            assert client.stats()["cancelled"] == 1
+
+
+def test_graceful_shutdown_drains_everything(tmp_path):
+    """Shutdown mid-stream: every accepted job still gets its result
+    (zero lost), new submits are refused, then the listener goes away."""
+    path = _sock(tmp_path)
+    jobs = [BatchJob(SRC, name=f"j{i}") for i in range(6)]
+    with running_server(path=path, max_batch=2, max_wait_ms=50.0) as (
+        ep, _server,
+    ):
+        with ServiceClient(**ep) as client:
+            anchor = client.start(BatchJob(_slow_src(), name="anchor"))
+            ids = [client.start(j) for j in jobs]
+            client.shutdown()
+            with pytest.raises(JobRejected) as exc:
+                client.submit(BatchJob(SRC, name="late"))
+            assert exc.value.code == "shutting_down"
+            assert client.result(anchor).ok
+            results = [client.result(i) for i in ids]
+            assert [r.name for r in results] == [j.name for j in jobs]
+            assert all(r.ok for r in results)
+            for r in results:
+                assert r.result.memory == run_ast(parse(SRC))
+    # after the drain the socket is gone
+    with pytest.raises((ConnectionRefusedError, FileNotFoundError)):
+        socket.socket(socket.AF_UNIX, socket.SOCK_STREAM).connect(path)
+
+
+def test_job_error_is_isolated(tmp_path):
+    with running_server(path=_sock(tmp_path), max_batch=8) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            results = client.submit_many([
+                BatchJob(SRC, name="good0"),
+                BatchJob("x := ;;;; nope", name="bad"),
+                BatchJob(SRC, name="good1"),
+            ])
+            good0, bad, good1 = results
+            assert good0.ok and good1.ok
+            assert not bad.ok
+            assert "Error" in bad.error and "Traceback" in bad.traceback
+            st = client.stats()
+            assert st["completed"] == 2 and st["failed"] == 1
+
+
+def test_stats_reports_live_state(tmp_path):
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            client.submit_many([BatchJob(SRC, name=f"s{i}")
+                                for i in range(4)])
+            st = client.stats()
+            assert st["queue_depth"] == 0 and st["in_flight"] == 0
+            assert st["submitted"] == st["completed"] == 4
+            assert 0.0 <= st["cache"]["hit_rate"] <= 1.0
+            assert st["cache"]["jobs_hit"] == 3  # same source, warm cache
+            assert st["jobs_per_s"] > 0
+            for stage in ("queue", "compile", "sim", "total"):
+                lat = st["latency_ms"][stage]
+                assert lat["count"] == 4
+                assert 0 <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+
+def test_malformed_frames_do_not_kill_connection(tmp_path):
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            client.connect()
+            client._sock.sendall(b"this is not json\n")
+            frame = client._read_frame()
+            assert frame["ok"] is False and frame["error"] == "bad_request"
+            client._sock.sendall(b'{"op": "frobnicate"}\n')
+            frame = client._read_frame()
+            assert frame["ok"] is False and frame["error"] == "bad_request"
+            client._sock.sendall(b'{"op": "submit"}\n')  # missing id/job
+            frame = client._read_frame()
+            assert frame["ok"] is False and frame["error"] == "bad_request"
+            # the connection is still perfectly usable
+            assert client.ping()["ok"]
+            assert client.submit(BatchJob(SRC)).ok
+
+
+def test_duplicate_request_id_rejected(tmp_path):
+    with running_server(
+        path=_sock(tmp_path), max_batch=1, max_wait_ms=0.0
+    ) as (ep, server):
+        with ServiceClient(**ep) as client:
+            slow = client.start(BatchJob(_slow_src(), name="slow"))
+            _wait(lambda: server.batcher.in_flight == 1)
+            queued = client.start(BatchJob(SRC, name="q"))
+            from repro.service.protocol import encode, job_to_wire
+
+            client._sock.sendall(encode({
+                "op": "submit", "id": queued,
+                "job": job_to_wire(BatchJob(SRC)),
+            }))
+            frame = client._read_frame()
+            assert frame["error"] == "bad_request"
+            assert client.result(slow).ok and client.result(queued).ok
+
+
+def test_pool_mode_matches_direct(tmp_path):
+    jobs = corpus_jobs(programs=["gcd"], schemas=["schema1", "schema2_opt"])
+    direct = run_batch(jobs, cache=GraphCache())
+    with running_server(
+        path=_sock(tmp_path), pool_size=2, cache_dir=str(tmp_path / "cache")
+    ) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            via_service = client.submit_many(jobs)
+    for d, s in zip(direct, via_service):
+        assert s.ok
+        assert s.result.memory == d.result.memory
+        assert s.result.metrics == d.result.metrics
+        assert s.stats == d.stats
+
+
+def test_async_client(tmp_path):
+    import asyncio
+
+    from repro.service import AsyncServiceClient
+
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        async def body():
+            async with AsyncServiceClient(**ep) as client:
+                results = await asyncio.gather(*[
+                    client.submit(BatchJob(SRC, name=f"a{i}"))
+                    for i in range(5)
+                ])
+                st = await client.stats()
+                assert (await client.ping())["ok"]
+                assert await client.cancel("nope") is False
+                return results, st
+
+        results, st = asyncio.run(body())
+    assert all(r.ok for r in results)
+    assert {r.name for r in results} == {f"a{i}" for i in range(5)}
+    assert st["completed"] >= 1
+
+
+def test_per_job_options_and_inputs_respected(tmp_path):
+    gcd = corpus_jobs(programs=["gcd"], schemas=["schema1"])[0]
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            br = client.submit(gcd)
+            assert br.ok
+            assert br.result.memory == run_ast(parse(gcd.source), gcd.inputs)
+            narrow = client.submit(BatchJob(
+                SRC, options=CompileOptions(schema="memory_elim"),
+                config=MachineConfig(num_pes=1, seed=1), name="narrow",
+            ))
+            assert narrow.ok and not narrow.result.fast_path
