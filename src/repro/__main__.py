@@ -9,6 +9,7 @@ Usage::
     python -m repro stats PROG.df [--schema ...]       # graph inventory
     python -m repro dot PROG.df [--stage cfg|dfg] [--schema ...]
     python -m repro trace PROG.df [--schema ...] [...run options]
+    python -m repro trace PROG.df --spans              # pipeline span tree
     python -m repro schemas                            # list schemas
     python -m repro bench [--jobs N] [--cache-dir DIR] [--repeat N]
                           [--schemas s1,s2] [--programs p1,p2] [--verify]
@@ -20,6 +21,9 @@ Service mode (always-on compile/simulate server, JSON-lines protocol)::
                           [--cache-dir DIR]
     python -m repro submit PROG.df --socket /tmp/repro.sock [...run options]
     python -m repro stats --socket /tmp/repro.sock     # live server stats
+    python -m repro metrics --socket /tmp/repro.sock [--json]
+    python -m repro trace PROG.df --socket /tmp/repro.sock  # traced submit
+    python -m repro trace --trace-id ID --socket ...   # server-held spans
     python -m repro shutdown --socket /tmp/repro.sock  # graceful drain
 """
 
@@ -355,6 +359,94 @@ def _service_stats(args) -> int:
     return 0
 
 
+def _trace_spans(args) -> int:
+    """Span-tree tracing: locally (--spans) or through a service."""
+    from .obs.trace import render_tree
+
+    if args.socket or args.port:
+        if args.trace_id:
+            with _client(args) as client:
+                spans = client.trace(args.trace_id)
+            if not spans:
+                print(f"# no spans held for trace {args.trace_id}",
+                      file=sys.stderr)
+                return 1
+            print(render_tree(spans))
+            return 0
+        if args.file is None:
+            raise SystemExit(
+                "trace: give a source file to submit, or --trace-id for "
+                "a past trace"
+            )
+        from .engine import BatchJob
+        from .obs.trace import new_trace_id
+        from .service import JobRejected
+
+        tid = new_trace_id()
+        job = BatchJob(
+            source=_read_source(args.file),
+            options=_options(args),
+            inputs=_inputs(args),
+            config=_config(args),
+            name=args.file,
+            trace_id=tid,
+        )
+        with _client(args) as client:
+            try:
+                br = client.submit(job)
+            except JobRejected as exc:
+                print(f"# rejected: {exc}", file=sys.stderr)
+                return 2
+        if not br.ok:
+            print(f"# job failed: {br.error}", file=sys.stderr)
+            return 1
+        print(render_tree(br.spans))
+        print(f"# trace {tid}: {len(br.spans)} spans", file=sys.stderr)
+        return 0
+
+    # local: activate a fresh trace around compile + simulate so every
+    # pipeline stage span lands in one renderable tree
+    from .obs.trace import activate, deactivate, new_trace_id, tracer
+
+    if args.file is None:
+        raise SystemExit("trace: need a source file")
+    tid = new_trace_id()
+    token = activate(tid)
+    try:
+        with tracer.span("cli.compile"):
+            cp = _compile(args)
+        with tracer.span("cli.simulate"):
+            res = simulate(cp, _inputs(args), _config(args))
+    finally:
+        deactivate(token)
+    print(render_tree(tracer.take(tid)))
+    for var, value in sorted(res.memory.items()):
+        print(f"# {var} = {value}", file=sys.stderr)
+    print(f"# {res.metrics.summary()}", file=sys.stderr)
+    return 0
+
+
+def _service_metrics(args) -> int:
+    with _client(args) as client:
+        m = client.metrics()
+    if args.json:
+        import json
+
+        print(json.dumps(m, indent=2, sort_keys=True))
+        return 0
+    for name, value in sorted(m["counters"].items()):
+        print(f"counter    {name:32s} {value}")
+    for name, value in sorted(m["gauges"].items()):
+        print(f"gauge      {name:32s} {value:g}")
+    for name, h in sorted(m["histograms"].items()):
+        mean = h["sum"] / h["count"] if h["count"] else 0.0
+        print(
+            f"histogram  {name:32s} count={h['count']} "
+            f"mean={mean:.3f} sum={h['sum']:.3f}"
+        )
+    return 0
+
+
 def _shutdown(args) -> int:
     with _client(args) as client:
         draining = client.shutdown()
@@ -391,9 +483,20 @@ def main(argv: list[str] | None = None) -> int:
     _add_compile_args(p_dot)
     p_dot.add_argument("--stage", default="dfg", choices=("cfg", "dfg"))
 
-    p_trace = subs.add_parser("trace", help="execute and dump firings")
-    _add_compile_args(p_trace)
+    p_trace = subs.add_parser(
+        "trace",
+        help="execute and dump firings; --spans renders the pipeline "
+        "span tree instead, --socket/--port traces through a service",
+    )
+    _add_compile_args(p_trace, optional_file=True)
     _add_run_args(p_trace)
+    _add_endpoint_args(p_trace)
+    p_trace.add_argument("--spans", action="store_true",
+                         help="render compile/simulate spans as a tree")
+    p_trace.add_argument("--trace-id", default=None, metavar="ID",
+                         help="fetch a past trace from the service")
+    p_trace.add_argument("--timeout", type=float, default=60.0,
+                         help="socket timeout (seconds)")
 
     subs.add_parser("schemas", help="list translation schemas")
 
@@ -466,6 +569,17 @@ def main(argv: list[str] | None = None) -> int:
     p_submit.add_argument("--timeout", type=float, default=60.0,
                           help="socket timeout (seconds)")
 
+    p_metrics = subs.add_parser(
+        "metrics",
+        help="metrics-registry snapshot from a running service "
+        "(counters, gauges, histograms)",
+    )
+    _add_endpoint_args(p_metrics)
+    p_metrics.add_argument("--json", action="store_true",
+                           help="raw JSON snapshot")
+    p_metrics.add_argument("--timeout", type=float, default=10.0,
+                           help="socket timeout (seconds)")
+
     p_shutdown = subs.add_parser(
         "shutdown", help="gracefully drain and stop a running service"
     )
@@ -488,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
         return _submit(args)
     if args.command == "shutdown":
         return _shutdown(args)
+    if args.command == "metrics":
+        return _service_metrics(args)
     if args.command == "stats" and (args.socket or args.port):
         return _service_stats(args)
     if args.command == "stats" and args.file is None:
@@ -495,6 +611,12 @@ def main(argv: list[str] | None = None) -> int:
             "stats: give a source file for a graph inventory, or "
             "--socket/--port for live service stats"
         )
+    if args.command == "trace" and (
+        args.spans or args.socket or args.port
+    ):
+        return _trace_spans(args)
+    if args.command == "trace" and args.file is None:
+        raise SystemExit("trace: need a source file")
 
     cp = _compile(args)
 

@@ -36,6 +36,10 @@ class LoadReport:
     cache_hits: int
     wall_s: float
     latency_ms: LatencySummary  # submit->result, completed jobs only
+    #: server-side metrics-registry snapshot taken after the run (with
+    #: ``fetch_metrics=True``); pairs the client-observed latencies
+    #: above with the server's own queue/compile/sim histograms
+    server_metrics: dict | None = None
 
     @property
     def throughput(self) -> float:
@@ -59,6 +63,7 @@ def run_load(
     burst: int = 1,
     deadline_ms: float | None = None,
     timeout: float = 120.0,
+    fetch_metrics: bool = False,
 ) -> LoadReport:
     """Drive a running service from ``clients`` concurrent connections.
 
@@ -118,6 +123,10 @@ def run_load(
         raise errors[0]
     done = [acc for acc in per_thread if acc is not None]
     all_lat = [ms for acc in done for ms in acc["lat"]]
+    server_metrics = None
+    if fetch_metrics:
+        with ServiceClient(**endpoint, timeout=timeout) as client:
+            server_metrics = client.metrics()
     return LoadReport(
         clients=clients,
         offered=sum(acc["offered"] for acc in done),
@@ -127,4 +136,5 @@ def run_load(
         cache_hits=sum(acc["cache_hits"] for acc in done),
         wall_s=wall,
         latency_ms=LatencySummary.from_samples(all_lat),
+        server_metrics=server_metrics,
     )

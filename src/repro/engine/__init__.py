@@ -13,7 +13,7 @@ event-driven fast path is bypassed.
 from __future__ import annotations
 
 from ..translate.pipeline import CompiledProgram, CompileOptions
-from .batch import BatchJob, BatchResult, make_pool, run_batch
+from .batch import BatchJob, BatchResult, make_pool, run_batch, shared_cache
 from .cache import CacheStats, GraphCache, graph_key
 from .latency import LatencySummary, percentile
 
@@ -40,4 +40,5 @@ __all__ = [
     "make_pool",
     "percentile",
     "run_batch",
+    "shared_cache",
 ]

@@ -14,26 +14,37 @@ no pool — which is what tests use when they only want the caching.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import threading
 import time
 import traceback as _traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..dfg.stats import GraphStats, graph_stats
 from ..machine.config import MachineConfig
 from ..machine.simulator import SimResult
+from ..obs.trace import activate, deactivate, new_trace_id, tracer
 from ..translate.pipeline import CompileOptions, simulate
 from .cache import GraphCache
 
 
 @dataclass(frozen=True)
 class BatchJob:
-    """One (program, options, inputs, machine config) work item."""
+    """One (program, options, inputs, machine config) work item.
+
+    ``trace_id`` makes the job followable end to end: the worker that
+    runs it activates the id, records compile/cache/simulate spans, and
+    ships them back on the :class:`BatchResult` (the service propagates
+    the same id from client frame → queue → batch → reply).  Empty means
+    untraced — the zero-overhead default.
+    """
 
     source: str
     options: CompileOptions = field(default_factory=CompileOptions)
     inputs: dict | None = None
     config: MachineConfig | None = None
     name: str = ""
+    trace_id: str = ""
 
 
 @dataclass
@@ -56,6 +67,10 @@ class BatchResult:
     cache_hit: bool
     error: str | None = None
     traceback: str | None = None
+    #: the job's trace id ("" when untraced) and its recorded spans in
+    #: wire form — spans survive the pickle back from pool workers
+    trace_id: str = ""
+    spans: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -73,26 +88,56 @@ def _worker_init(cache_dir, capacity: int) -> None:
 
 
 def _run_one(cache: GraphCache, index: int, job: BatchJob) -> BatchResult:
+    # a traced job activates its id so every span below lands in its
+    # trace, even with the global tracer switch off
+    token = activate(job.trace_id) if job.trace_id else None
+    try:
+        return _run_one_inner(cache, index, job)
+    finally:
+        if token is not None:
+            deactivate(token)
+
+
+def _take_spans(job: BatchJob) -> list:
+    """Pop the job's recorded spans as wire dicts (picklable, and the
+    worker-side buffer never accumulates)."""
+    if not job.trace_id:
+        return []
+    return [s.to_wire() for s in tracer.take(job.trace_id)]
+
+
+def _run_one_inner(cache: GraphCache, index: int, job: BatchJob) -> BatchResult:
     name = job.name or f"job{index}"
     t0 = time.perf_counter()
     hit = False
-    try:
-        cp, hit = cache.lookup(job.source, job.options)
-        t1 = time.perf_counter()
-        res = simulate(cp, job.inputs, job.config)
-        t2 = time.perf_counter()
-    except Exception as exc:
-        t_fail = time.perf_counter()
+    err = tb = None
+    with tracer.span("engine.job", job=name):
+        try:
+            with tracer.span("engine.compile") as sp:
+                cp, hit = cache.lookup(job.source, job.options)
+                if sp is not None:
+                    sp.attrs["cache_hit"] = hit
+            t1 = time.perf_counter()
+            with tracer.span("engine.simulate"):
+                res = simulate(cp, job.inputs, job.config)
+            t2 = time.perf_counter()
+        except Exception as exc:
+            t1 = time.perf_counter()
+            err = f"{type(exc).__name__}: {exc}"
+            tb = _traceback.format_exc()
+    if err is not None:
         return BatchResult(
             name=name,
             index=index,
             result=None,
             stats=None,
-            compile_time=t_fail - t0,
+            compile_time=t1 - t0,
             sim_time=0.0,
             cache_hit=hit,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=_traceback.format_exc(),
+            error=err,
+            traceback=tb,
+            trace_id=job.trace_id,
+            spans=_take_spans(job),
         )
     res.cache_hit = hit
     return BatchResult(
@@ -103,6 +148,8 @@ def _run_one(cache: GraphCache, index: int, job: BatchJob) -> BatchResult:
         compile_time=t1 - t0,
         sim_time=t2 - t1,
         cache_hit=hit,
+        trace_id=job.trace_id,
+        spans=_take_spans(job),
     )
 
 
@@ -113,6 +160,26 @@ def _worker_run(item: tuple[int, BatchJob]) -> BatchResult:
 
 
 # -- driver -----------------------------------------------------------------
+
+# serial runs that name a cache_dir share one cache per (dir, capacity):
+# building a fresh GraphCache per run_batch call would discard the memory
+# LRU and hit/miss stats between back-to-back batches
+_SHARED_CACHES: dict[tuple[str, int], GraphCache] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_cache(cache_dir, capacity: int = 256) -> GraphCache:
+    """The process-wide :class:`GraphCache` for ``(cache_dir, capacity)``
+    — repeated serial ``run_batch(..., cache_dir=...)`` calls reuse its
+    memory tier and keep one coherent set of stats."""
+    key = (os.fspath(cache_dir), capacity)
+    with _SHARED_LOCK:
+        cache = _SHARED_CACHES.get(key)
+        if cache is None:
+            cache = _SHARED_CACHES[key] = GraphCache(
+                capacity=capacity, cache_dir=cache_dir
+            )
+        return cache
 
 
 def make_pool(
@@ -147,8 +214,10 @@ def run_batch(
 
     * ``pool_size`` — worker processes; ``None``/``0``/``1`` = serial.
     * ``cache`` — the serial path's graph cache (defaults to the engine's
-      process-wide :data:`~repro.engine.default_cache`, or a fresh cache
-      bound to ``cache_dir`` when one is given).
+      process-wide :data:`~repro.engine.default_cache`, or the shared
+      per-``(cache_dir, capacity)`` cache from :func:`shared_cache` when a
+      ``cache_dir`` is given, so back-to-back serial batches keep their
+      memory tier and stats).
     * ``cache_dir`` — disk tier shared by all workers (and future runs).
     * ``pool`` — a persistent pool from :func:`make_pool`; overrides
       ``pool_size`` and is left open for the caller to reuse.
@@ -159,10 +228,16 @@ def run_batch(
     jobs = list(jobs)
     if not jobs:
         return []
+    if tracer.enabled:
+        # stamp untraced jobs so every result carries a followable trace
+        jobs = [
+            job if job.trace_id else replace(job, trace_id=new_trace_id())
+            for job in jobs
+        ]
     if pool is None and (pool_size is None or pool_size <= 1):
         if cache is None:
             if cache_dir is not None:
-                cache = GraphCache(capacity=capacity, cache_dir=cache_dir)
+                cache = shared_cache(cache_dir, capacity)
             else:
                 from . import default_cache
 

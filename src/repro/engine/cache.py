@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs.trace import tracer
 from ..translate.pipeline import CompiledProgram, CompileOptions, compile_program
 
 #: bump when CompiledProgram's pickled layout changes incompatibly
@@ -80,6 +81,10 @@ class GraphCache:
     Thread-safe for lookups/inserts; safe to share a ``cache_dir``
     between processes (entries are written atomically and re-read
     entries are self-contained pickles).
+
+    Lookups are *single-flight* per key: when several threads miss on
+    the same key concurrently, one compiles and the rest wait for its
+    result, so contention never multiplies compile work or disk writes.
     """
 
     def __init__(
@@ -94,6 +99,8 @@ class GraphCache:
         self.stats = CacheStats()
         self._mem: OrderedDict[str, CompiledProgram] = OrderedDict()
         self._lock = threading.Lock()
+        # single-flight: key -> event set when the leading lookup settles
+        self._inflight: dict[str, threading.Event] = {}
 
     # -- lookup ----------------------------------------------------------
 
@@ -107,24 +114,40 @@ class GraphCache:
         elif kwargs:
             raise TypeError("pass either options= or keyword fields, not both")
         key = graph_key(source, options)
-        with self._lock:
-            cp = self._mem.get(key)
-            if cp is not None:
-                self._mem.move_to_end(key)
-                self.stats.hits += 1
-                return cp, True
-        cp = self._disk_read(key)
-        if cp is not None:
+        while True:
             with self._lock:
-                self.stats.disk_hits += 1
+                cp = self._mem.get(key)
+                if cp is not None:
+                    self._mem.move_to_end(key)
+                    self.stats.hits += 1
+                    return cp, True
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    waiter = self._inflight[key] = threading.Event()
+                    break
+            # another thread is resolving this key: wait for it, then
+            # re-check the memory tier (single-flight coalescing); if the
+            # leader failed, the re-check misses and we become the leader
+            with tracer.span("cache.coalesced_wait"):
+                waiter.wait()
+        try:
+            cp = self._disk_read(key)
+            if cp is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._remember(key, cp)
+                return cp, True
+            with tracer.span("cache.compile", schema=options.schema):
+                cp = compile_program(source, options=options)
+            with self._lock:
+                self.stats.misses += 1
                 self._remember(key, cp)
-            return cp, True
-        cp = compile_program(source, options=options)
-        with self._lock:
-            self.stats.misses += 1
-            self._remember(key, cp)
-        self._disk_write(key, cp)
-        return cp, False
+            self._disk_write(key, cp)
+            return cp, False
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            waiter.set()
 
     def get_or_compile(
         self, source: str, options: CompileOptions | None = None, **kwargs
@@ -194,22 +217,25 @@ class GraphCache:
                     raise
         except OSError:
             return  # a read-only or full cache dir degrades to memory-only
-        self.stats.disk_writes += 1
+        with self._lock:  # all CacheStats mutations are lock-protected
+            self.stats.disk_writes += 1
 
     # -- management ------------------------------------------------------
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the in-memory tier (and, with ``disk=True``, disk entries)."""
+        """Drop the in-memory tier (and, with ``disk=True``, disk entries
+        plus any ``*.tmp`` orphans an interrupted atomic write left)."""
         with self._lock:
             self._mem.clear()
         if disk and self.cache_dir is not None and self.cache_dir.exists():
             for sub in self.cache_dir.iterdir():
                 if sub.is_dir() and len(sub.name) == 2:
-                    for entry in sub.glob("*.pkl"):
-                        try:
-                            entry.unlink()
-                        except OSError:
-                            pass
+                    for pattern in ("*.pkl", "*.tmp"):
+                        for entry in sub.glob(pattern):
+                            try:
+                                entry.unlink()
+                            except OSError:
+                                pass
 
     def __len__(self) -> int:
         return len(self._mem)

@@ -509,4 +509,9 @@ def parse(source: str) -> Program:
 
     Raises :class:`~repro.lang.errors.CompileError` subclasses on bad input.
     """
-    return _Parser(tokenize(source)).program()
+    from ..obs.trace import tracer
+
+    with tracer.span("compile.lex"):
+        tokens = tokenize(source)
+    with tracer.span("compile.parse"):
+        return _Parser(tokens).program()

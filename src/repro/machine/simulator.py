@@ -51,6 +51,12 @@ class SimResult:
     fast_path: bool = False
     #: set by the engine layer: the compiled graph came from the cache
     cache_hit: bool = False
+    #: token-occupancy high-water samples: one ``[cycle, tokens_in_flight,
+    #: waiting_frames, enabled]`` row each time tokens-in-flight reaches a
+    #: new peak.  Bounded (peaks are monotone) and loop-dependent: the
+    #: sampling points of the fast and step loops may differ even when
+    #: their metrics are identical.
+    occupancy: list = field(default_factory=list)
 
 
 class _Frames:
@@ -159,6 +165,17 @@ class Simulator:
         self.metrics = Metrics()
         self.clashes: list[tuple[int, int, str]] = []
         self.trace: list[tuple[int, int, str, str]] = []
+        # profiling: occupancy rows sampled at token high-water marks,
+        # folded into SimResult; profile_hook (if set) is called with the
+        # same (cycle, tokens, frames, enabled) at each sample — the
+        # observability layer's window into a live run
+        self._occupancy: list = []
+        self.profile_hook = None
+
+    def _sample_occupancy(self, tokens: int, frames: int, enabled: int) -> None:
+        self._occupancy.append([self._cycle, tokens, frames, enabled])
+        if self.profile_hook is not None:
+            self.profile_hook(self._cycle, tokens, frames, enabled)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -405,6 +422,7 @@ class Simulator:
             trace=self.trace,
             wall_time=time.perf_counter() - t0,
             fast_path=fast,
+            occupancy=self._occupancy,
         )
 
     def _use_fast_path(self) -> bool:
@@ -451,6 +469,7 @@ class Simulator:
             n = len(heap)
             if n > m.peak_tokens_in_flight:
                 m.peak_tokens_in_flight = n
+                self._sample_occupancy(n, len(frame_slots), len(enabled))
             cyc = self._cycle
             while heap and heap[0][0] <= cyc:
                 deliver(pop(heap)[2])
@@ -498,6 +517,9 @@ class Simulator:
                 self._cycle = max(self._cycle, heap[0][0])
             if len(heap) > self.metrics.peak_tokens_in_flight:
                 self.metrics.peak_tokens_in_flight = len(heap)
+                self._sample_occupancy(
+                    len(heap), len(self._frames.slots), len(enabled)
+                )
             while heap and heap[0][0] <= self._cycle:
                 _, _, token = heapq.heappop(heap)
                 self._deliver(token)

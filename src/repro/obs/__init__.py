@@ -1,0 +1,50 @@
+"""repro.obs — end-to-end tracing and metrics (DESIGN.md §8).
+
+Two stdlib-only pieces every layer above shares:
+
+* :mod:`repro.obs.trace` — a span tracer with contextvar propagation.
+  The engine stamps jobs with trace ids, workers record
+  compile/cache/simulate spans, the service carries the id from client
+  frame → queue → batch → reply; ``repro trace`` renders the tree.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms backing the service's ``stats`` and ``metrics`` RPCs.
+
+Tracing is off by default and designed to be unmeasurable when off;
+see the module docstrings for the activation rules.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import (
+    Span,
+    Tracer,
+    activate,
+    current_trace_id,
+    deactivate,
+    new_span_id,
+    new_trace_id,
+    render_tree,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_trace_id",
+    "deactivate",
+    "new_span_id",
+    "new_trace_id",
+    "render_tree",
+    "tracer",
+]

@@ -1,0 +1,175 @@
+"""In-process metrics registry: counters, gauges, histogram buckets.
+
+The one set of numbers every surface quotes — the service's ``stats``
+and ``metrics`` RPCs, the CLI, and the bench harness all read the same
+:class:`MetricsRegistry` snapshot, so no two surfaces can disagree.
+
+Instruments are thread-safe (the engine executor thread and the asyncio
+loop both write them) and dependency-free.  Histograms keep both fixed
+bucket counts (cheap, unbounded history) and a bounded ring of recent
+raw samples so percentile summaries (p50/p95/p99 via
+:class:`~repro.engine.latency.LatencySummary`) can be computed without
+this module importing anything above it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: default latency buckets, in milliseconds (upper bounds; +Inf implied)
+DEFAULT_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: raw samples a histogram retains for percentile summaries
+SAMPLE_WINDOW = 2048
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, cache entries)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bucketed distribution plus a bounded ring of raw samples.
+
+    ``observe`` files a sample into the first bucket whose upper bound
+    is >= the value (the last, implicit bucket is +Inf).  ``samples()``
+    returns the retained ring for percentile math.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_sum", "_count", "_window",
+                 "_lock")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS_MS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.bounds = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._window: deque[float] = deque(maxlen=SAMPLE_WINDOW)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def samples(self) -> list[float]:
+        """The retained raw samples (most recent SAMPLE_WINDOW)."""
+        with self._lock:
+            return list(self._window)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = [
+                [bound, count]
+                for bound, count in zip(self.bounds, self._counts)
+            ]
+            buckets.append(["+Inf", self._counts[-1]])
+            return {"count": self._count, "sum": self._sum,
+                    "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create; one per server/process scope."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS_MS) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name, buckets)
+            return h
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument — the ``metrics`` RPC
+        body."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(histograms.items())
+            },
+        }

@@ -1,0 +1,264 @@
+"""Zero-dependency span tracing with context propagation.
+
+One *span* is a named, timed region of work; spans nest via a
+``contextvars`` context, so a span opened while another is current
+becomes its child.  All spans opened under one *trace id* form a tree
+that can be rendered (:func:`render_tree`) or shipped across process
+boundaries as plain dicts (:meth:`Span.to_wire`) — the batch engine
+stamps jobs with a trace id, workers record compile/cache/simulate
+spans, and the service propagates the id from client frame → queue →
+batch → reply, so one request is followable end to end.
+
+Tracing is **off by default** and costs one attribute read plus one
+contextvar read per ``span()`` call when off (the ≤2 %% overhead budget
+of the engine benchmarks).  Spans are recorded when either:
+
+* the global :data:`tracer` is enabled (``tracer.enabled = True`` or the
+  ``REPRO_TRACE`` environment variable), or
+* a trace context is *active* — entered with :func:`activate`, which is
+  what per-job tracing uses: the engine activates ``job.trace_id``
+  around one job and collects exactly that job's spans, with the global
+  switch still off.
+
+Timestamps are ``time.perf_counter()`` seconds and therefore only
+comparable within one process; durations are always meaningful, and
+:func:`render_tree` tolerates spans from several processes in one tree
+(unknown parents become roots).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+#: (trace id, parent span id) of the innermost open span, or None
+_CTX: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_trace_ctx", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(4).hex()
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, if a trace context or span is open."""
+    ctx = _CTX.get()
+    return ctx[0] if ctx is not None else None
+
+
+def activate(trace_id: str, parent_id: str = ""):
+    """Enter a trace context: subsequent spans on this thread/task are
+    recorded under ``trace_id``.  Returns a token for :func:`deactivate`.
+    """
+    return _CTX.set((trace_id, parent_id))
+
+
+def deactivate(token) -> None:
+    """Leave a context entered with :func:`activate`."""
+    _CTX.reset(token)
+
+
+@dataclass
+class Span:
+    """One timed region.  ``start``/``end`` are perf_counter seconds."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    start: float
+    end: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end - self.start) * 1e3
+
+    def to_wire(self) -> dict:
+        d = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    @classmethod
+    def from_wire(cls, d: dict) -> Span:
+        return cls(
+            trace_id=d["trace_id"],
+            span_id=d["span_id"],
+            parent_id=d.get("parent_id", ""),
+            name=d["name"],
+            start=d.get("start", 0.0),
+            end=d.get("end", 0.0),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+class _NoopSpan:
+    """Returned by ``tracer.span()`` when tracing is off: a reusable,
+    allocation-free context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager for one recorded span."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span", "_token")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        ctx = _CTX.get()
+        if ctx is None:
+            trace_id, parent = new_trace_id(), ""
+        else:
+            trace_id, parent = ctx
+        self._span = Span(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent,
+            name=self._name,
+            start=time.perf_counter(),
+            attrs=self._attrs,
+        )
+        self._token = _CTX.set((trace_id, self._span.span_id))
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        _CTX.reset(self._token)
+        self._span.end = time.perf_counter()
+        if exc_type is not None:
+            self._span.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer.record(self._span)
+        return False
+
+
+class Tracer:
+    """Bounded, thread-safe collector of finished spans, keyed by trace.
+
+    Storage is an LRU of traces (``max_traces``) with a per-trace span
+    cap (``max_spans``), so a long-running server cannot leak memory no
+    matter how many requests it traces.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_traces: int = 256,
+        max_spans: int = 512,
+    ):
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, list[Span]] = OrderedDict()
+
+    # -- producing spans -------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a span named ``name``.  A no-op (yielding ``None``) unless
+        the tracer is enabled or a trace context is active."""
+        if not self.enabled and _CTX.get() is None:
+            return _NOOP
+        return _LiveSpan(self, name, attrs)
+
+    def record(self, span: Span) -> None:
+        """File one finished span (also the ingest point for spans built
+        by hand with explicit timestamps)."""
+        with self._lock:
+            bucket = self._traces.get(span.trace_id)
+            if bucket is None:
+                bucket = self._traces[span.trace_id] = []
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+            if len(bucket) < self.max_spans:
+                bucket.append(span)
+
+    def ingest(self, spans) -> None:
+        """File spans that crossed a process boundary (wire dicts or
+        Span objects)."""
+        for s in spans:
+            self.record(Span.from_wire(s) if isinstance(s, dict) else s)
+
+    # -- reading spans ---------------------------------------------------
+
+    def spans(self, trace_id: str) -> list[Span]:
+        """All recorded spans of one trace (copy; arrival order)."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def take(self, trace_id: str) -> list[Span]:
+        """Pop one trace's spans — what the engine ships back per job so
+        worker-side buffers never accumulate."""
+        with self._lock:
+            return self._traces.pop(trace_id, [])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+
+#: the process-wide tracer every instrumented layer records into
+tracer = Tracer(enabled=os.environ.get("REPRO_TRACE", "") not in ("", "0"))
+
+
+def render_tree(spans) -> str:
+    """Render spans (Span objects or wire dicts) as an indented tree.
+
+    Spans whose parent is absent (e.g. recorded in another process)
+    become roots; siblings sort by start time.  Durations are printed in
+    milliseconds with the span's attributes trailing.
+    """
+    sp = [Span.from_wire(s) if isinstance(s, dict) else s for s in spans]
+    ids = {s.span_id for s in sp}
+    children: dict[str, list[Span]] = {}
+    roots: list[Span] = []
+    for s in sp:
+        if s.parent_id and s.parent_id in ids:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    lines: list[str] = []
+
+    def walk(s: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(s.attrs.items()))
+        pad = "  " * depth
+        line = f"{pad}{s.name:<{max(1, 28 - len(pad))}s} {s.duration_ms:9.3f}ms"
+        lines.append(line + (f"  {attrs}" if attrs else ""))
+        for child in sorted(
+            children.get(s.span_id, ()), key=lambda c: (c.start, c.span_id)
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: (s.start, s.span_id)):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -196,6 +196,26 @@ class ServiceClient:
                                frame.get("detail", ""))
         return frame["stats"]
 
+    def metrics(self) -> dict:
+        """The server's full metrics-registry snapshot (counters,
+        gauges, histograms)."""
+        self._send({"op": "metrics"})
+        frame = self._wait_control("metrics")
+        if not frame.get("ok"):
+            raise ServiceError(frame.get("error", "unknown"),
+                               frame.get("detail", ""))
+        return frame["metrics"]
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Spans the server holds for one trace id, as wire dicts
+        (render with :func:`repro.obs.trace.render_tree`)."""
+        self._send({"op": "trace", "trace_id": trace_id})
+        frame = self._wait_control("trace")
+        if not frame.get("ok"):
+            raise ServiceError(frame.get("error", "unknown"),
+                               frame.get("detail", ""))
+        return frame["spans"]
+
     def ping(self) -> dict:
         self._send({"op": "ping"})
         return self._wait_control("ping")
@@ -349,6 +369,20 @@ class AsyncServiceClient:
             raise ServiceError(frame.get("error", "unknown"),
                                frame.get("detail", ""))
         return frame["stats"]
+
+    async def metrics(self) -> dict:
+        frame = await self._control("metrics")
+        if not frame.get("ok"):
+            raise ServiceError(frame.get("error", "unknown"),
+                               frame.get("detail", ""))
+        return frame["metrics"]
+
+    async def trace(self, trace_id: str) -> list[dict]:
+        frame = await self._control("trace", trace_id=trace_id)
+        if not frame.get("ok"):
+            raise ServiceError(frame.get("error", "unknown"),
+                               frame.get("detail", ""))
+        return frame["spans"]
 
     async def ping(self) -> dict:
         return await self._control("ping")

@@ -9,6 +9,8 @@ Requests::
     {"op": "submit", "id": "c1-0", "job": {...}, "deadline_ms": 250.0}
     {"op": "cancel", "id": "c1-0"}
     {"op": "stats"}
+    {"op": "metrics"}
+    {"op": "trace", "trace_id": "deadbeef01020304"}
     {"op": "ping"}
     {"op": "shutdown"}
 
@@ -82,6 +84,7 @@ def job_to_wire(job: BatchJob) -> dict:
         "inputs": dict(job.inputs) if job.inputs is not None else None,
         "config": asdict(job.config) if job.config is not None else None,
         "name": job.name,
+        "trace_id": job.trace_id,
     }
 
 
@@ -94,6 +97,7 @@ def job_from_wire(d: dict) -> BatchJob:
         inputs=d.get("inputs"),
         config=MachineConfig(**config) if config is not None else None,
         name=d.get("name", ""),
+        trace_id=d.get("trace_id", ""),
     )
 
 
@@ -123,6 +127,7 @@ def _sim_result_to_wire(r: SimResult) -> dict:
         "wall_time": r.wall_time,
         "fast_path": r.fast_path,
         "cache_hit": r.cache_hit,
+        "occupancy": [list(row) for row in r.occupancy],
     }
 
 
@@ -136,6 +141,7 @@ def _sim_result_from_wire(d: dict) -> SimResult:
         wall_time=d.get("wall_time", 0.0),
         fast_path=d.get("fast_path", False),
         cache_hit=d.get("cache_hit", False),
+        occupancy=[list(row) for row in d.get("occupancy", [])],
     )
 
 
@@ -150,6 +156,8 @@ def result_to_wire(br: BatchResult) -> dict:
         "cache_hit": br.cache_hit,
         "error": br.error,
         "traceback": br.traceback,
+        "trace_id": br.trace_id,
+        "spans": br.spans,
     }
 
 
@@ -166,4 +174,6 @@ def result_from_wire(d: dict) -> BatchResult:
         cache_hit=d.get("cache_hit", False),
         error=d.get("error"),
         traceback=d.get("traceback"),
+        trace_id=d.get("trace_id", ""),
+        spans=list(d.get("spans", [])),
     )

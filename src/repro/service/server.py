@@ -28,12 +28,13 @@ import asyncio
 import contextlib
 import os
 import time
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..engine import GraphCache, LatencySummary, make_pool, run_batch
 from ..engine.batch import BatchJob
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, new_span_id, new_trace_id, tracer
 from .batcher import MicroBatcher
 from .protocol import (
     MAX_LINE,
@@ -51,8 +52,13 @@ DONE = "done"
 EXPIRED = "expired"
 CANCELLED = "cancelled"
 
-#: ring-buffer size for per-stage latency samples
-LATENCY_WINDOW = 2048
+#: per-stage latency histograms exposed by the ``metrics`` op (and
+#: summarized by ``stats``); the job-outcome counters next to them
+JOB_COUNTERS = (
+    "submitted", "completed", "failed", "rejected", "expired",
+    "cancelled", "cache_hit",
+)
+LATENCY_STAGES = ("queue", "compile", "sim", "total")
 
 
 @dataclass
@@ -148,18 +154,47 @@ class ServiceServer:
         self._replies: set[asyncio.Task] = set()
         self._draining = False
         self._t0 = time.monotonic()
-        # counters + per-stage latency rings (milliseconds)
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.rejected = 0
-        self.expired = 0
-        self.cancelled = 0
-        self.jobs_cache_hit = 0
-        self._lat = {
-            stage: deque(maxlen=LATENCY_WINDOW)
-            for stage in ("queue", "compile", "sim", "total")
+        # every counter and latency sample lives in one registry so the
+        # metrics op, the stats op, and in-process readers agree by
+        # construction (no parallel bookkeeping to drift)
+        self.registry = MetricsRegistry()
+        self._c = {
+            name: self.registry.counter(f"service.jobs.{name}")
+            for name in JOB_COUNTERS
         }
+        self._h = {
+            stage: self.registry.histogram(f"service.latency_ms.{stage}")
+            for stage in LATENCY_STAGES
+        }
+
+    # read-only views of the job-outcome counters (handy in tests/tools)
+    @property
+    def submitted(self) -> int:
+        return self._c["submitted"].value
+
+    @property
+    def completed(self) -> int:
+        return self._c["completed"].value
+
+    @property
+    def failed(self) -> int:
+        return self._c["failed"].value
+
+    @property
+    def rejected(self) -> int:
+        return self._c["rejected"].value
+
+    @property
+    def expired(self) -> int:
+        return self._c["expired"].value
+
+    @property
+    def cancelled(self) -> int:
+        return self._c["cancelled"].value
+
+    @property
+    def jobs_cache_hit(self) -> int:
+        return self._c["cache_hit"].value
 
     # -- lifecycle --------------------------------------------------------
 
@@ -255,7 +290,7 @@ class ServiceServer:
             if e.state != PENDING:
                 continue  # expired in the popleft window
             e.state = RUNNING
-            self._lat["queue"].append((now - e.t_submit) * 1e3)
+            self._h["queue"].observe((now - e.t_submit) * 1e3)
             live.append(e)
         if not live:
             return
@@ -268,7 +303,7 @@ class ServiceServer:
                 if e.state is RUNNING:
                     e.settle()
                     e.state = DONE
-                    self.failed += 1
+                    self._c["failed"].inc()
                     self._post(e.conn, _submit_error(
                         e.req_id, "internal_error", f"{type(exc).__name__}: {exc}"
                     ))
@@ -279,21 +314,35 @@ class ServiceServer:
                 continue
             e.settle()
             e.state = DONE
-            self._lat["compile"].append(br.compile_time * 1e3)
-            self._lat["sim"].append(br.sim_time * 1e3)
-            self._lat["total"].append((t_done - e.t_submit) * 1e3)
+            self._h["compile"].observe(br.compile_time * 1e3)
+            self._h["sim"].observe(br.sim_time * 1e3)
+            self._h["total"].observe((t_done - e.t_submit) * 1e3)
             if br.ok:
-                self.completed += 1
+                self._c["completed"].inc()
                 if br.cache_hit:
-                    self.jobs_cache_hit += 1
+                    self._c["cache_hit"].inc()
             else:
-                self.failed += 1
-            self._post(e.conn, {
+                self._c["failed"].inc()
+            if br.trace_id:
+                # service-side spans bracket the worker's: time queued
+                # before the batch, then the batch the job rode in
+                br.spans = br.spans + [
+                    Span(br.trace_id, new_span_id(), "", "service.queue",
+                         e.t_submit, now).to_wire(),
+                    Span(br.trace_id, new_span_id(), "", "service.batch",
+                         now, t_done,
+                         attrs={"batch_size": len(live)}).to_wire(),
+                ]
+                tracer.ingest(br.spans)
+            frame = {
                 "ok": True,
                 "op": "submit",
                 "id": e.req_id,
                 "result": result_to_wire(br),
-            })
+            }
+            if br.trace_id:
+                frame["trace_id"] = br.trace_id
+            self._post(e.conn, frame)
 
     # -- connection handling ----------------------------------------------
 
@@ -330,7 +379,7 @@ class ServiceServer:
                 if entry.state == PENDING and self.batcher.discard(entry):
                     entry.settle()
                     entry.state = CANCELLED
-                    self.cancelled += 1
+                    self._c["cancelled"].inc()
             with contextlib.suppress(Exception):
                 writer.close()
 
@@ -343,6 +392,23 @@ class ServiceServer:
         elif op == "stats":
             await conn.send({"ok": True, "op": "stats",
                              "stats": self.stats_snapshot()})
+        elif op == "metrics":
+            await conn.send({"ok": True, "op": "metrics",
+                             "metrics": self.metrics_snapshot()})
+        elif op == "trace":
+            tid = msg.get("trace_id")
+            if not isinstance(tid, str) or not tid:
+                await conn.send(_error_frame(
+                    "trace", msg.get("id"), "bad_request",
+                    "trace needs a trace_id string",
+                ))
+                return
+            await conn.send({
+                "ok": True,
+                "op": "trace",
+                "trace_id": tid,
+                "spans": [s.to_wire() for s in tracer.spans(tid)],
+            })
         elif op == "ping":
             await conn.send({"ok": True, "op": "ping",
                              "version": PROTOCOL_VERSION})
@@ -383,16 +449,22 @@ class ServiceServer:
                 req_id, "shutting_down", "server is draining"
             ))
             return
+        # every accepted job gets a trace id: frame-level wins (lets a
+        # client correlate across services), then the job's own, else a
+        # fresh one — the reply frame echoes whichever was used
+        trace_id = msg.get("trace_id") or job.trace_id or new_trace_id()
+        if job.trace_id != trace_id:
+            job = replace(job, trace_id=trace_id)
         entry = _Entry(conn, req_id, job)
         if not self.batcher.offer(entry):
-            self.rejected += 1
+            self._c["rejected"].inc()
             await conn.send(_submit_error(
                 req_id, "queue_full",
                 f"queue at max_queue={self.config.max_queue}",
                 queue_depth=self.batcher.depth,
             ))
             return
-        self.submitted += 1
+        self._c["submitted"].inc()
         conn.entries[req_id] = entry
         deadline_ms = msg.get("deadline_ms")
         if deadline_ms is not None:
@@ -408,7 +480,7 @@ class ServiceServer:
             return
         entry.settle()
         entry.state = EXPIRED
-        self.expired += 1
+        self._c["expired"].inc()
         self._post(entry.conn, _submit_error(
             entry.req_id, "deadline_expired",
             "deadline passed before a result was ready",
@@ -422,7 +494,7 @@ class ServiceServer:
         if found:
             entry.settle()
             entry.state = CANCELLED
-            self.cancelled += 1
+            self._c["cancelled"].inc()
             await conn.send(_submit_error(
                 req_id, "cancelled", "cancelled by client"
             ))
@@ -430,7 +502,7 @@ class ServiceServer:
             "ok": True, "op": "cancel", "id": req_id, "found": bool(found),
         })
 
-    # -- stats ------------------------------------------------------------
+    # -- stats / metrics ---------------------------------------------------
 
     def stats_snapshot(self) -> dict:
         uptime = time.monotonic() - self._t0
@@ -467,10 +539,31 @@ class ServiceServer:
             "jobs_per_s": done / uptime if uptime > 0 else 0.0,
             "cache": cache,
             "latency_ms": {
-                stage: LatencySummary.from_samples(list(dq)).to_json()
-                for stage, dq in self._lat.items()
+                stage: LatencySummary.from_samples(h.samples()).to_json()
+                for stage, h in self._h.items()
             },
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Full registry dump for the ``metrics`` op.  Point-in-time
+        gauges (queue depth, engine cache state) are refreshed here so
+        the snapshot is self-consistent."""
+        self.registry.gauge("service.queue_depth").set(self.batcher.depth)
+        self.registry.gauge("service.in_flight").set(self.batcher.in_flight)
+        self.registry.gauge("service.batches").set(self.batcher.batches)
+        self.registry.gauge("service.uptime_s").set(
+            time.monotonic() - self._t0
+        )
+        if self.cache is not None:
+            cs = self.cache.stats
+            self.registry.gauge("engine.cache.memory_hits").set(cs.hits)
+            self.registry.gauge("engine.cache.disk_hits").set(cs.disk_hits)
+            self.registry.gauge("engine.cache.compiles").set(cs.misses)
+            self.registry.gauge("engine.cache.disk_writes").set(
+                cs.disk_writes
+            )
+            self.registry.gauge("engine.cache.entries").set(len(self.cache))
+        return self.registry.snapshot()
 
 
 # -- frame helpers ----------------------------------------------------------

@@ -85,10 +85,14 @@ def translate_optimized(
 ) -> Translation:
     """Build the no-redundant-switch dataflow graph (Section 4.2's four-step
     recipe; step 1 is assumed done — pass a loop-augmented CFG)."""
+    from ..obs.trace import tracer
+
     if placement is None:
-        cfg, placement = close_carried_streams(cfg, streams, loops)
+        with tracer.span("compile.switch_placement"):
+            cfg, placement = close_carried_streams(cfg, streams, loops)
     pdom = postdominator_tree(cfg)
-    svs = compute_source_vectors(cfg, streams, placement, loops, pdom)
+    with tracer.span("compile.source_vectors"):
+        svs = compute_source_vectors(cfg, streams, placement, loops, pdom)
 
     g = DFGraph()
     t = Translation(graph=g, streams=streams)

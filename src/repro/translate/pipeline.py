@@ -36,6 +36,7 @@ from ..machine.config import MachineConfig
 from ..machine.istructure import IStructureMemory
 from ..machine.memory import DataMemory
 from ..machine.simulator import SimResult, Simulator
+from ..obs.trace import tracer
 from .allpaths import Translation, translate_allpaths
 from .array_parallel import (
     ArrayParallelReport,
@@ -173,13 +174,14 @@ def compile_program(
         prog, text = source, ""
     else:
         text = source
-        prog = parse(source)
+        prog = parse(source)  # emits compile.lex / compile.parse spans
 
     expansion = None
     if prog.subs:
         from ..lang.subroutines import expand_subroutines
 
-        prog, expansion = expand_subroutines(prog)
+        with tracer.span("compile.expand_subs"):
+            prog, expansion = expand_subroutines(prog)
 
     arrays = set(prog.arrays)
     for group in prog.alias_groups:
@@ -190,28 +192,33 @@ def compile_program(
             )
     alias = AliasStructure.from_program(prog)
 
-    cfg = build_cfg(prog)
+    with tracer.span("compile.cfg"):
+        cfg = build_cfg(prog)
     opt_report = None
     if opts.optimize:
         from ..cfg.optimize import optimize_cfg
 
-        cfg, opt_report = optimize_cfg(cfg)
+        with tracer.span("compile.cfg_opt"):
+            cfg, opt_report = optimize_cfg(cfg)
     loops: list[Loop] = []
     use_loops = opts.insert_loops and schema != "schema1"
     if use_loops:
         # decompose() applies the paper's code-copying transform first if
         # the graph has irreducible cyclic regions
-        cfg, loops = decompose(cfg)
+        with tracer.span("compile.intervals"):
+            cfg, loops = decompose(cfg)
 
-    if schema in ("schema3", "schema3_opt"):
-        streams = cover_streams(_pick_cover(alias, opts.cover))
-    else:
-        streams = streams_for(prog, "schema2" if schema == "schema2_opt" else schema, alias=alias)
+    with tracer.span("compile.streams"):
+        if schema in ("schema3", "schema3_opt"):
+            streams = cover_streams(_pick_cover(alias, opts.cover))
+        else:
+            streams = streams_for(prog, "schema2" if schema == "schema2_opt" else schema, alias=alias)
 
-    if schema in ("schema2_opt", "schema3_opt", "memory_elim"):
-        translation = translate_optimized(cfg, streams, loops)
-    else:
-        translation = translate_allpaths(cfg, streams, loops)
+    with tracer.span("compile.translate", schema=schema):
+        if schema in ("schema2_opt", "schema3_opt", "memory_elim"):
+            translation = translate_optimized(cfg, streams, loops)
+        else:
+            translation = translate_allpaths(cfg, streams, loops)
 
     cp = CompiledProgram(
         source=text,
@@ -227,15 +234,19 @@ def compile_program(
     )
 
     if opts.parallelize_arrays:
-        cp.array_report = parallelize_array_stores(translation, cfg, loops)
+        with tracer.span("compile.array_parallel"):
+            cp.array_report = parallelize_array_stores(translation, cfg, loops)
     if opts.use_istructures:
-        cp.istructure_arrays = promote_write_once_arrays(
-            translation, cfg, loops, sorted(prog.arrays)
-        )
+        with tracer.span("compile.istructures"):
+            cp.istructure_arrays = promote_write_once_arrays(
+                translation, cfg, loops, sorted(prog.arrays)
+            )
     if opts.forward_stores:
-        cp.stores_forwarded = forward_stores(translation.graph)
+        with tracer.span("compile.forward_stores"):
+            cp.stores_forwarded = forward_stores(translation.graph)
     if opts.parallel_reads:
-        cp.reads_parallelized = parallelize_reads(translation.graph)
+        with tracer.span("compile.parallel_reads"):
+            cp.reads_parallelized = parallelize_reads(translation.graph)
     return cp
 
 

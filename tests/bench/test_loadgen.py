@@ -1,0 +1,26 @@
+"""Load-generator tests: the closed-loop report and the optional
+server-side metrics fetch."""
+
+import uuid
+
+from repro.bench.loadgen import run_load
+from repro.engine import BatchJob
+from repro.service import running_server
+
+
+def _sock():
+    return f"/tmp/repro-load-{uuid.uuid4().hex[:8]}.sock"
+
+
+def test_run_load_reports_and_fetches_server_metrics():
+    jobs = [BatchJob("x := 1 + 2;", name=f"j{i}") for i in range(4)]
+    with running_server(path=_sock()) as (ep, _server):
+        plain = run_load(ep, jobs, clients=2)
+        report = run_load(ep, jobs, clients=2, fetch_metrics=True)
+    assert plain.server_metrics is None  # opt-in only
+    assert plain.completed == 4 and report.completed == 4
+    m = report.server_metrics
+    assert m["counters"]["service.jobs.completed"] == 8  # both runs
+    assert m["histograms"]["service.latency_ms.total"]["count"] == 8
+    assert report.latency_ms.count == 4
+    assert report.throughput > 0

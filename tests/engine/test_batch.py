@@ -161,3 +161,54 @@ def test_corpus_jobs_filters():
     assert {j.name for j in jobs} == {"gcd/schema1", "gcd/memory_elim"}
     aliased = corpus_jobs(programs=["fortran_alias"])
     assert all("schema2" not in j.name for j in aliased)
+
+
+def test_serial_cache_dir_is_reused_across_batches(tmp_path):
+    """Back-to-back serial run_batch calls naming the same cache_dir
+    must share one process-wide cache: the second batch takes *memory*
+    hits, not disk reads, and the stats accumulate across calls."""
+    from repro.engine import shared_cache
+
+    d = tmp_path / "graphs"
+    gcd = workload("gcd")
+    jobs = [
+        BatchJob(gcd.source, CompileOptions(schema=schema),
+                 inputs=dict(gcd.inputs[0]), name=f"gcd/{schema}")
+        for schema in ("schema1", "schema2", "schema2_opt", "memory_elim")
+    ]
+    cold = run_batch(jobs, cache_dir=d)
+    assert not any(r.cache_hit for r in cold)
+    warm = run_batch(jobs, cache_dir=d)
+    assert all(r.cache_hit for r in warm)
+    cache = shared_cache(d)
+    assert cache is shared_cache(d)  # stable identity per (dir, capacity)
+    assert cache.stats.hits >= len(jobs)  # memory tier, not disk
+    assert cache.stats.disk_hits == 0
+    assert cache.stats.misses == len({  # one compile per distinct graph
+        (j.source, j.options.fingerprint()) for j in jobs
+    })
+
+
+def test_traced_job_ships_spans_with_result():
+    """A job stamped with a trace id comes back with worker-side spans
+    carrying that id — the engine half of end-to-end tracing."""
+    from repro.obs.trace import new_trace_id, render_tree
+
+    tid = new_trace_id()
+    job = BatchJob("x := 1 + 2;", name="traced", trace_id=tid)
+    (br,) = run_batch([job], cache=GraphCache())
+    assert br.ok and br.trace_id == tid
+    names = [s["name"] for s in br.spans]
+    assert "engine.job" in names
+    assert "engine.compile" in names
+    assert "engine.simulate" in names
+    assert "compile.parse" in names  # pipeline stage spans nest inside
+    assert all(s["trace_id"] == tid for s in br.spans)
+    tree = render_tree(br.spans)
+    assert "engine.simulate" in tree and "ms" in tree
+
+
+def test_untraced_job_records_no_spans():
+    job = BatchJob("x := 1;", name="untraced")
+    (br,) = run_batch([job], cache=GraphCache())
+    assert br.trace_id == "" and br.spans == []

@@ -1,6 +1,8 @@
 """Tests for the content-addressed compiled-graph cache."""
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -139,6 +141,101 @@ def test_clear_disk(tmp_path):
     c2 = GraphCache(cache_dir=tmp_path)
     _, hit = c2.lookup(SRC, schema="schema1")
     assert not hit
+
+
+def test_clear_disk_sweeps_orphaned_tmp_files(tmp_path):
+    """An interrupted atomic write leaves a ``*.tmp`` alongside the
+    entries; ``clear(disk=True)`` must sweep those orphans too."""
+    c = GraphCache(cache_dir=tmp_path)
+    c.get_or_compile(SRC, schema="schema1")
+    key = graph_key(SRC, CompileOptions(schema="schema1"))
+    orphan = tmp_path / key[:2] / f"{key}.pklstale123.tmp"
+    orphan.write_bytes(b"half-written entry")
+    c.clear(disk=True)
+    leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+    assert leftovers == []  # no pickles, no tmp orphans
+
+
+def test_single_flight_coalesces_concurrent_misses(monkeypatch):
+    """8 threads missing on the same key must trigger exactly one
+    compile — the others wait for the leader and take memory hits."""
+    from repro.engine import cache as cache_mod
+
+    real_compile = cache_mod.compile_program
+    calls = []
+    call_lock = threading.Lock()
+
+    def slow_compile(source, options=None, **kwargs):
+        with call_lock:
+            calls.append(threading.get_ident())
+        time.sleep(0.05)  # hold the miss window open for every thread
+        return real_compile(source, options=options, **kwargs)
+
+    monkeypatch.setattr(cache_mod, "compile_program", slow_compile)
+    cache = GraphCache()
+    barrier = threading.Barrier(8)
+    results = []
+    errors = []
+
+    def work():
+        try:
+            barrier.wait()
+            results.append(cache.lookup(SRC, schema="schema2_opt"))
+        except BaseException as exc:  # pragma: no cover - debug aid
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(calls) == 1, f"expected one compile, got {len(calls)}"
+    assert cache.stats.misses == 1 and cache.stats.hits == 7
+    assert cache.stats.lookups == 8
+    compiled = {id(cp) for cp, _ in results}
+    assert len(compiled) == 1  # everyone got the leader's object
+
+
+def test_single_flight_leader_failure_releases_waiters(monkeypatch):
+    """If the leading compile raises, waiters must not hang — one of
+    them retries (and the retry can succeed)."""
+    from repro.engine import cache as cache_mod
+
+    real_compile = cache_mod.compile_program
+    attempts = []
+    lock = threading.Lock()
+
+    def flaky_compile(source, options=None, **kwargs):
+        with lock:
+            attempts.append(None)
+            first = len(attempts) == 1
+        time.sleep(0.02)
+        if first:
+            raise RuntimeError("transient leader failure")
+        return real_compile(source, options=options, **kwargs)
+
+    monkeypatch.setattr(cache_mod, "compile_program", flaky_compile)
+    cache = GraphCache()
+    barrier = threading.Barrier(3)
+    outcomes = []
+
+    def work():
+        barrier.wait()
+        try:
+            outcomes.append(cache.lookup(SRC, schema="schema1"))
+        except RuntimeError:
+            outcomes.append(None)
+
+    threads = [threading.Thread(target=work) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not any(t.is_alive() for t in threads), "waiter hung"
+    good = [o for o in outcomes if o is not None]
+    assert good, "no lookup recovered after the leader failed"
+    assert all(cp.graph is good[0][0].graph for cp, _ in good)
 
 
 def test_options_and_kwargs_are_exclusive():

@@ -321,3 +321,26 @@ def test_value_token_on_value_port_required():
     g.connect((u.id, 0), end.id, 0)
     with pytest.raises(MachineError):
         run(g)
+
+
+def test_occupancy_samples_and_profile_hook():
+    """The simulator records token-occupancy rows at high-water marks and
+    forwards each sample to profile_hook when one is installed."""
+    g = _loop_graph(5)
+    mem = DataMemory(scalars={"x": 0})
+    res = run(g, mem)
+    assert res.occupancy, "at least the first token is a high-water mark"
+    peaks = [row[1] for row in res.occupancy]
+    assert peaks == sorted(peaks)  # strictly rising high-water marks
+    assert max(peaks) == res.metrics.peak_tokens_in_flight
+    for row in res.occupancy:
+        cycle, tokens, frames, enabled = row
+        assert isinstance(row, list) and len(row) == 4
+        assert 0 <= cycle <= res.metrics.cycles
+        assert tokens >= 1 and frames >= 0 and enabled >= 0
+
+    seen = []
+    sim = Simulator(g, DataMemory(scalars={"x": 0}))
+    sim.profile_hook = lambda *row: seen.append(list(row))
+    res2 = sim.run()
+    assert seen == res2.occupancy

@@ -1,0 +1,78 @@
+"""Metrics registry unit suite: instrument semantics, thread safety,
+and snapshot shape."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("jobs")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    g = reg.gauge("depth")
+    g.set(7)
+    g.inc(-2)
+    assert g.value == 5
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert reg.gauge("g") is reg.gauge("g")
+
+
+def test_histogram_buckets_and_samples():
+    h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0, 0.2):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(555.7)
+    assert snap["buckets"] == [[1.0, 2], [10.0, 1], [100.0, 1], ["+Inf", 1]]
+    assert h.samples() == [0.5, 5.0, 50.0, 500.0, 0.2]
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(10.0, 1.0))
+
+
+def test_threaded_counter_increments_are_not_lost():
+    reg = MetricsRegistry()
+    c = reg.counter("contended")
+    h = reg.histogram("obs", buckets=(1.0,))
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+    assert h.count == 8000
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h", buckets=(1.0,)).observe(0.3)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 1.5}
+    assert snap["histograms"]["h"]["count"] == 1
+    import json
+
+    json.dumps(snap)  # must be JSON-serializable as-is (RPC body)

@@ -1,0 +1,140 @@
+"""Span tracer unit suite: activation rules, nesting, propagation,
+bounded storage, wire round trips, and tree rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate,
+    current_trace_id,
+    deactivate,
+    new_trace_id,
+    render_tree,
+)
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    with t.span("work") as sp:
+        assert sp is None  # the no-op context manager
+    assert current_trace_id() is None
+
+
+def test_enabled_tracer_records_root_span():
+    t = Tracer(enabled=True)
+    with t.span("work", kind="unit") as sp:
+        assert sp is not None
+        tid = sp.trace_id
+    spans = t.spans(tid)
+    assert [s.name for s in spans] == ["work"]
+    assert spans[0].parent_id == ""
+    assert spans[0].attrs["kind"] == "unit"
+    assert spans[0].end >= spans[0].start
+
+
+def test_activation_enables_recording_without_global_switch():
+    t = Tracer(enabled=False)
+    tid = new_trace_id()
+    token = activate(tid)
+    try:
+        assert current_trace_id() == tid
+        with t.span("job"):
+            with t.span("inner"):
+                pass
+    finally:
+        deactivate(token)
+    assert current_trace_id() is None
+    names = {s.name for s in t.spans(tid)}
+    assert names == {"job", "inner"}
+
+
+def test_nesting_sets_parent_ids():
+    t = Tracer(enabled=True)
+    with t.span("outer") as outer:
+        with t.span("mid") as mid:
+            with t.span("leaf") as leaf:
+                pass
+    assert mid.parent_id == outer.span_id
+    assert leaf.parent_id == mid.span_id
+    assert outer.trace_id == mid.trace_id == leaf.trace_id
+
+
+def test_exception_recorded_and_context_restored():
+    t = Tracer(enabled=True)
+    with pytest.raises(RuntimeError):
+        with t.span("boom") as sp:
+            raise RuntimeError("nope")
+    assert current_trace_id() is None
+    (recorded,) = t.spans(sp.trace_id)
+    assert recorded.attrs["error"] == "RuntimeError: nope"
+
+
+def test_threads_carry_independent_contexts():
+    t = Tracer(enabled=False)
+    tids = [new_trace_id() for _ in range(4)]
+
+    def work(tid):
+        token = activate(tid)
+        try:
+            with t.span("threaded"):
+                pass
+        finally:
+            deactivate(token)
+
+    threads = [threading.Thread(target=work, args=(tid,)) for tid in tids]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    for tid in tids:
+        spans = t.spans(tid)
+        assert len(spans) == 1 and spans[0].trace_id == tid
+
+
+def test_take_pops_and_storage_is_bounded():
+    t = Tracer(enabled=False, max_traces=2, max_spans=3)
+    tids = [new_trace_id() for _ in range(3)]
+    for tid in tids:
+        token = activate(tid)
+        try:
+            for _ in range(5):
+                with t.span("s"):
+                    pass
+        finally:
+            deactivate(token)
+    assert t.spans(tids[0]) == []  # evicted: only 2 traces retained
+    assert len(t.spans(tids[1])) == 3  # per-trace span cap
+    taken = t.take(tids[2])
+    assert len(taken) == 3
+    assert t.spans(tids[2]) == []
+
+
+def test_wire_round_trip_and_ingest():
+    t = Tracer(enabled=True)
+    with t.span("ship", stage="x") as sp:
+        pass
+    wire = sp.to_wire()
+    back = Span.from_wire(wire)
+    assert back == sp
+    other = Tracer()
+    other.ingest([wire])
+    assert other.spans(sp.trace_id)[0].name == "ship"
+
+
+def test_render_tree_indents_children_and_orphans_are_roots():
+    t = Tracer(enabled=True)
+    with t.span("root") as root:
+        with t.span("child"):
+            pass
+    spans = t.spans(root.trace_id)
+    orphan = Span(root.trace_id, "beef0000", "missing-parent", "orphan",
+                  0.0, 0.001)
+    tree = render_tree(spans + [orphan])
+    lines = tree.splitlines()
+    assert any(line.startswith("root") for line in lines)
+    assert any(line.startswith("  child") for line in lines)
+    assert any(line.startswith("orphan") for line in lines)
+    assert "ms" in tree

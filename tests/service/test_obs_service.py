@@ -1,0 +1,119 @@
+"""Observability through the service: trace-id propagation client →
+queue → batch → reply, the ``metrics``/``trace`` ops, and the stats op
+sitting on the same registry."""
+
+import asyncio
+import uuid
+
+from repro.engine import BatchJob
+from repro.obs.trace import new_trace_id, render_tree
+from repro.service import ServiceClient, running_server
+from repro.service.protocol import MAX_LINE, decode, encode, job_to_wire
+
+SRC = "x := 1 + 2; y := x * 3;"
+
+
+def _sock(tmp_path):
+    # keep UNIX socket paths short (sun_path limit)
+    return f"/tmp/repro-obs-{uuid.uuid4().hex[:8]}.sock"
+
+
+def test_trace_id_propagates_end_to_end(tmp_path):
+    """A client-supplied trace id survives the whole pipeline: the raw
+    reply frame echoes it, the result's spans all carry it, and both
+    worker-side (engine.*) and server-side (service.*) spans arrive."""
+    tid = new_trace_id()
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        async def body():
+            reader, writer = await asyncio.open_unix_connection(
+                ep["path"], limit=MAX_LINE
+            )
+            job = BatchJob(SRC, name="traced", trace_id=tid)
+            writer.write(encode(
+                {"op": "submit", "id": "t0", "job": job_to_wire(job)}
+            ))
+            await writer.drain()
+            frame = decode(await reader.readline())
+            writer.close()
+            return frame
+
+        frame = asyncio.run(body())
+    assert frame["ok"] and frame["id"] == "t0"
+    assert frame["trace_id"] == tid  # reply frame carries the id
+    result = frame["result"]
+    assert result["trace_id"] == tid
+    names = [s["name"] for s in result["spans"]]
+    assert "engine.job" in names  # worker side
+    assert "engine.simulate" in names
+    assert "service.queue" in names  # server side
+    assert "service.batch" in names
+    assert all(s["trace_id"] == tid for s in result["spans"])
+    tree = render_tree(result["spans"])
+    assert "service.batch" in tree and "engine.job" in tree
+
+
+def test_server_assigns_trace_id_when_absent(tmp_path):
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            br = client.submit(BatchJob(SRC, name="untagged"))
+    assert br.ok
+    assert br.trace_id  # server minted one
+    assert br.spans and all(s["trace_id"] == br.trace_id for s in br.spans)
+
+
+def test_trace_rpc_returns_server_held_spans(tmp_path):
+    tid = new_trace_id()
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            br = client.submit(BatchJob(SRC, trace_id=tid))
+            assert br.trace_id == tid
+            spans = client.trace(tid)
+            assert client.trace("0" * 16) == []  # unknown id: empty
+            client._send({"op": "trace"})  # missing trace_id
+            bad = client._wait_control("trace")
+            assert not bad["ok"] and bad["error"] == "bad_request"
+    names = {s["name"] for s in spans}
+    assert {"engine.job", "service.queue", "service.batch"} <= names
+    assert all(s["trace_id"] == tid for s in spans)
+
+
+def test_metrics_rpc_and_stats_share_the_registry(tmp_path):
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        with ServiceClient(**ep) as client:
+            for i in range(3):
+                assert client.submit(BatchJob(SRC, name=f"m{i}")).ok
+            metrics = client.metrics()
+            stats = client.stats()
+    counters = metrics["counters"]
+    assert counters["service.jobs.submitted"] == 3
+    assert counters["service.jobs.completed"] == 3
+    hist = metrics["histograms"]
+    for stage in ("queue", "compile", "sim", "total"):
+        h = hist[f"service.latency_ms.{stage}"]
+        assert h["count"] == 3
+        assert sum(n for _, n in h["buckets"]) == 3
+    assert metrics["gauges"]["service.queue_depth"] == 0
+    assert metrics["gauges"]["engine.cache.compiles"] >= 1
+    # stats' counters and latency summaries are views of the registry
+    assert stats["submitted"] == counters["service.jobs.submitted"]
+    assert stats["completed"] == counters["service.jobs.completed"]
+    assert stats["latency_ms"]["total"]["count"] == \
+        hist["service.latency_ms.total"]["count"]
+
+
+def test_async_client_metrics_and_trace(tmp_path):
+    from repro.service import AsyncServiceClient
+
+    tid = new_trace_id()
+    with running_server(path=_sock(tmp_path)) as (ep, _server):
+        async def body():
+            async with AsyncServiceClient(**ep) as client:
+                br = await client.submit(BatchJob(SRC, trace_id=tid))
+                metrics = await client.metrics()
+                spans = await client.trace(tid)
+                return br, metrics, spans
+
+        br, metrics, spans = asyncio.run(body())
+    assert br.ok and br.trace_id == tid
+    assert metrics["counters"]["service.jobs.submitted"] == 1
+    assert spans and all(s["trace_id"] == tid for s in spans)

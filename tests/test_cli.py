@@ -150,3 +150,44 @@ def test_bench_rejects_empty_selection():
     # an aliased program cannot compile under schema2: zero legal jobs
     with pytest.raises(SystemExit):
         main(["bench", "--programs", "fortran_alias", "--schemas", "schema2"])
+
+
+def test_trace_spans_renders_pipeline_tree(srcfile, capsys):
+    assert main(["trace", srcfile, "--spans"]) == 0
+    out = capsys.readouterr().out
+    assert "cli.compile" in out and "cli.simulate" in out
+    for stage in ("compile.lex", "compile.parse", "compile.cfg",
+                  "compile.translate"):
+        assert stage in out
+    assert "ms" in out
+    # stage spans are indented under cli.compile
+    assert "\n  compile.parse" in out
+
+
+def test_trace_spans_through_service(srcfile, tmp_path, capsys):
+    import uuid
+
+    from repro.service import running_server
+
+    sock = f"/tmp/repro-cli-{uuid.uuid4().hex[:8]}.sock"
+    with running_server(path=sock):
+        assert main(["trace", srcfile, "--socket", sock]) == 0
+        out = capsys.readouterr().out
+        assert "service.batch" in out and "engine.job" in out
+        assert "compile.parse" in out  # worker pipeline spans made it back
+
+        assert main(["metrics", "--socket", sock]) == 0
+        out = capsys.readouterr().out
+        assert "service.jobs.submitted" in out
+        assert "service.latency_ms.total" in out
+
+        assert main(["metrics", "--socket", sock, "--json"]) == 0
+        import json
+
+        m = json.loads(capsys.readouterr().out)
+        assert m["counters"]["service.jobs.submitted"] == 1
+
+
+def test_trace_requires_file_or_trace_id():
+    with pytest.raises(SystemExit):
+        main(["trace"])
