@@ -13,6 +13,7 @@ Usage::
     python -m repro schemas                            # list schemas
     python -m repro bench [--jobs N] [--cache-dir DIR] [--repeat N]
                           [--schemas s1,s2] [--programs p1,p2] [--verify]
+                          [--sim-mode auto|step|fast|packed]
 
 Service mode (always-on compile/simulate server, JSON-lines protocol)::
 
@@ -148,17 +149,34 @@ def _bench(args) -> int:
         bad = [s for s in schemas if s not in SCHEMAS]
         if bad:
             raise SystemExit(f"unknown schemas {bad}; pick from {list(SCHEMAS)}")
-    jobs = corpus_jobs(programs=programs, schemas=schemas)
+    config = (
+        None if args.sim_mode == "auto"
+        else MachineConfig(sim_mode=args.sim_mode)
+    )
+    jobs = corpus_jobs(programs=programs, schemas=schemas, config=config)
     if not jobs:
         raise SystemExit("no jobs selected (check --programs/--schemas)")
 
+    # one persistent pool across repeats: repeated sweeps measure the
+    # engine warm, not pool spawn + per-repeat worker re-priming
+    pool = None
+    if args.jobs and args.jobs > 1:
+        from .engine import make_pool
+
+        pool = make_pool(args.jobs, cache_dir=args.cache_dir)
     sweeps = []
-    for rep in range(max(1, args.repeat)):
-        t0 = time.perf_counter()
-        results = run_batch(
-            jobs, pool_size=args.jobs, cache_dir=args.cache_dir
-        )
-        sweeps.append((time.perf_counter() - t0, results))
+    try:
+        for rep in range(max(1, args.repeat)):
+            t0 = time.perf_counter()
+            results = run_batch(
+                jobs, pool_size=args.jobs, cache_dir=args.cache_dir,
+                pool=pool,
+            )
+            sweeps.append((time.perf_counter() - t0, results))
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     failures = [br for br in sweeps[-1][1] if not br.ok]
     for br in failures:
@@ -212,6 +230,16 @@ def _bench(args) -> int:
             file=sys.stderr,
         )
         print(f"# sweep {rep}: {sweep_latency_line(results)}", file=sys.stderr)
+        # which scheduler loop each job actually ran, with its sim time
+        by_mode: dict[str, list[float]] = {}
+        for r in results:
+            if r.ok:
+                by_mode.setdefault(r.result.backend, []).append(r.sim_time)
+        breakdown = ", ".join(
+            f"{mode}: {len(times)} jobs {sum(times):.3f}s"
+            for mode, times in sorted(by_mode.items())
+        )
+        print(f"# sweep {rep}: sim backends — {breakdown}", file=sys.stderr)
     if args.verify:
         print("# all results match the reference interpreter", file=sys.stderr)
     return 1 if failures else 0
@@ -527,6 +555,11 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument(
         "--verify", action="store_true",
         help="check every result against the reference interpreter",
+    )
+    p_bench.add_argument(
+        "--sim-mode", default="auto",
+        choices=("auto", "step", "fast", "packed"),
+        help="scheduler loop for every job (auto = packed where exact)",
     )
 
     p_serve = subs.add_parser(

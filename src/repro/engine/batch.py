@@ -2,10 +2,19 @@
 process pool with deterministic result ordering.
 
 Each job is compiled through a :class:`~repro.engine.cache.GraphCache`
-(workers keep a per-process in-memory tier; pass ``cache_dir`` to share a
-disk tier between workers and across runs) and simulated on the ETS
-machine.  Results come back in job order regardless of worker scheduling,
-so a batch sweep is a drop-in replacement for a serial loop.
+and simulated on the ETS machine.  Results come back in job order
+regardless of worker scheduling, so a batch sweep is a drop-in
+replacement for a serial loop.
+
+Pooled runs split the work at the compile/simulate boundary: the
+*parent* compiles (or fetches) every packed-backend job through its own
+cache — so one warm cache serves the whole batch — and ships workers
+only the compact :class:`~repro.machine.packed.PackedProgram` payload
+(flat tuples; no AST, CFG, or node objects).  That payload is a fraction
+of the full :class:`CompiledProgram` pickle, which is what previously
+made ``--jobs 4`` slower than serial.  Jobs whose config needs the
+per-cycle stepper (finite PEs, k-bounded loops) still ship whole and
+compile worker-side against the per-process worker cache.
 
 ``pool_size=None``/``0``/``1`` runs serially in-process — same code path,
 no pool — which is what tests use when they only want the caching.
@@ -15,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 import time
 import traceback as _traceback
@@ -26,6 +36,8 @@ from ..machine.simulator import SimResult
 from ..obs.trace import activate, deactivate, new_trace_id, tracer
 from ..translate.pipeline import CompileOptions, simulate
 from .cache import GraphCache
+
+_DEFAULT_CONFIG = MachineConfig()
 
 
 @dataclass(frozen=True)
@@ -153,10 +165,56 @@ def _run_one_inner(cache: GraphCache, index: int, job: BatchJob) -> BatchResult:
     )
 
 
-def _worker_run(item: tuple[int, BatchJob]) -> BatchResult:
-    assert _WORKER_CACHE is not None, "pool worker not initialized"
-    index, job = item
-    return _run_one(_WORKER_CACHE, index, job)
+# payloads arrive as pickled bytes keyed by content: the same graph blob
+# decodes once per worker and then serves every later job — and, with a
+# persistent pool, every later sweep — for free
+_PAYLOAD_CACHE: dict[bytes, object] = {}
+
+
+def _decode_payload(blob: bytes):
+    payload = _PAYLOAD_CACHE.get(blob)
+    if payload is None:
+        if len(_PAYLOAD_CACHE) >= 512:
+            _PAYLOAD_CACHE.clear()
+        payload = _PAYLOAD_CACHE[blob] = pickle.loads(blob)
+    return payload
+
+
+def _worker_run(item: tuple):
+    """Pool entry point.  Two item shapes:
+
+    * ``("job", index, BatchJob)`` — compile + simulate worker-side (the
+      stepper path; needs the full job and the worker cache);
+    * ``("packed", index, blob, inputs, config, trace_id)`` — the parent
+      already compiled; decode the shipped PackedProgram pickle, run it,
+      and return the raw pieces for the parent to merge into a
+      BatchResult.
+    """
+    if item[0] == "job":
+        assert _WORKER_CACHE is not None, "pool worker not initialized"
+        _, index, job = item
+        return _run_one(_WORKER_CACHE, index, job)
+    _, index, blob, inputs, config, trace_id = item
+    payload = _decode_payload(blob)
+    token = activate(trace_id) if trace_id else None
+    try:
+        err = tb = None
+        res = None
+        t1 = time.perf_counter()
+        try:
+            with tracer.span("engine.simulate", backend="packed"):
+                res = payload.run(inputs, config)
+        except Exception as exc:
+            err = f"{type(exc).__name__}: {exc}"
+            tb = _traceback.format_exc()
+        sim_time = time.perf_counter() - t1
+        spans = (
+            [s.to_wire() for s in tracer.take(trace_id)] if trace_id else []
+        )
+        return ("packed", index, res, sim_time, err, tb, spans)
+    finally:
+        if token is not None:
+            deactivate(token)
 
 
 # -- driver -----------------------------------------------------------------
@@ -202,6 +260,20 @@ def make_pool(
     )
 
 
+def _chunksize(n_items: int, workers: int) -> int:
+    """Tasks per pool dispatch.  Packed payloads simulate in well under a
+    millisecond each, so one-item chunks drown in queue round-trips; four
+    chunks per worker keeps dispatch overhead amortized while leaving
+    enough slack for load balancing across uneven job costs.  When the
+    pool is oversubscribed (more workers than cores) the OS time-slices
+    anyway, so balance is free and fewer, larger dispatches win."""
+    workers = max(1, workers)
+    cores = os.cpu_count() or workers
+    if cores < workers:
+        return max(1, -(-n_items // (2 * max(1, cores))))
+    return max(1, n_items // (workers * 4))
+
+
 def run_batch(
     jobs: list[BatchJob],
     pool_size: int | None = None,
@@ -213,12 +285,15 @@ def run_batch(
     """Run every job; results are returned in job order.
 
     * ``pool_size`` — worker processes; ``None``/``0``/``1`` = serial.
-    * ``cache`` — the serial path's graph cache (defaults to the engine's
-      process-wide :data:`~repro.engine.default_cache`, or the shared
+    * ``cache`` — the graph cache compiles go through: the serial loop's,
+      and in pooled runs the *parent's*, which compiles every
+      packed-backend job once and ships workers the flat payload.
+      Defaults to the engine's process-wide
+      :data:`~repro.engine.default_cache`, or the shared
       per-``(cache_dir, capacity)`` cache from :func:`shared_cache` when a
-      ``cache_dir`` is given, so back-to-back serial batches keep their
-      memory tier and stats).
-    * ``cache_dir`` — disk tier shared by all workers (and future runs).
+      ``cache_dir`` is given, so back-to-back batches keep their memory
+      tier and stats.
+    * ``cache_dir`` — disk tier shared with workers (and future runs).
     * ``pool`` — a persistent pool from :func:`make_pool`; overrides
       ``pool_size`` and is left open for the caller to reuse.
 
@@ -234,26 +309,126 @@ def run_batch(
             job if job.trace_id else replace(job, trace_id=new_trace_id())
             for job in jobs
         ]
-    if pool is None and (pool_size is None or pool_size <= 1):
-        if cache is None:
-            if cache_dir is not None:
-                cache = shared_cache(cache_dir, capacity)
-            else:
-                from . import default_cache
+    if cache is None:
+        if cache_dir is not None:
+            cache = shared_cache(cache_dir, capacity)
+        else:
+            from . import default_cache
 
-                cache = default_cache
+            cache = default_cache
+    if pool is None and (pool_size is None or pool_size <= 1):
         return [_run_one(cache, i, job) for i, job in enumerate(jobs)]
 
-    if pool is not None:
-        results = pool.map(_worker_run, list(enumerate(jobs)), chunksize=1)
-    else:
-        with multiprocessing.Pool(
-            processes=pool_size,
-            initializer=_worker_init,
-            initargs=(cache_dir, capacity),
-        ) as owned:
-            results = owned.map(_worker_run, list(enumerate(jobs)), chunksize=1)
-    # Pool.map preserves submission order; assert rather than trust.
+    # pooled: compile packed-backend jobs in the parent (one warm cache
+    # serves the whole batch) and ship only the flat payload; stepper
+    # jobs go whole, compiling against the worker's own cache
+    items: list[tuple] = []
+    premade: dict[int, BatchResult] = {}
+    meta: dict[int, tuple] = {}
+    for i, job in enumerate(jobs):
+        if (job.config or _DEFAULT_CONFIG).backend() != "packed":
+            items.append(("job", i, job))
+            continue
+        name = job.name or f"job{i}"
+        token = activate(job.trace_id) if job.trace_id else None
+        try:
+            t0 = time.perf_counter()
+            hit = False
+            try:
+                with tracer.span("engine.job", job=name):
+                    with tracer.span("engine.compile") as sp:
+                        cp, hit = cache.lookup(job.source, job.options)
+                        if sp is not None:
+                            sp.attrs["cache_hit"] = hit
+                    payload = cp.packed_blob()
+            except Exception as exc:
+                premade[i] = BatchResult(
+                    name=name,
+                    index=i,
+                    result=None,
+                    stats=None,
+                    compile_time=time.perf_counter() - t0,
+                    sim_time=0.0,
+                    cache_hit=hit,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=_traceback.format_exc(),
+                    trace_id=job.trace_id,
+                    spans=_take_spans(job),
+                )
+                continue
+            meta[i] = (
+                name,
+                graph_stats(cp.graph),
+                time.perf_counter() - t0,
+                hit,
+                job.trace_id,
+                _take_spans(job),
+            )
+            items.append(
+                ("packed", i, payload, job.inputs, job.config, job.trace_id)
+            )
+        finally:
+            if token is not None:
+                deactivate(token)
+
+    raw: list = []
+    if items:
+        if pool is not None:
+            workers = getattr(pool, "_processes", None) or 1
+            raw = pool.map(
+                _worker_run, items, chunksize=_chunksize(len(items), workers)
+            )
+        else:
+            with multiprocessing.Pool(
+                processes=pool_size,
+                initializer=_worker_init,
+                initargs=(cache_dir, capacity),
+            ) as owned:
+                raw = owned.map(
+                    _worker_run,
+                    items,
+                    chunksize=_chunksize(len(items), pool_size),
+                )
+
+    results: list[BatchResult | None] = [None] * len(jobs)
+    for i, br in premade.items():
+        results[i] = br
+    for out in raw:
+        if isinstance(out, BatchResult):
+            results[out.index] = out
+            continue
+        _, i, res, sim_time, err, tb, wspans = out
+        name, stats, compile_time, hit, trace_id, pspans = meta[i]
+        if err is not None:
+            results[i] = BatchResult(
+                name=name,
+                index=i,
+                result=None,
+                stats=None,
+                compile_time=compile_time,
+                sim_time=0.0,
+                cache_hit=hit,
+                error=err,
+                traceback=tb,
+                trace_id=trace_id,
+                spans=pspans + wspans,
+            )
+            continue
+        res.cache_hit = hit
+        results[i] = BatchResult(
+            name=name,
+            index=i,
+            result=res,
+            stats=stats,
+            compile_time=compile_time,
+            sim_time=sim_time,
+            cache_hit=hit,
+            trace_id=trace_id,
+            spans=pspans + wspans,
+        )
+    # every slot filled, in job order; assert rather than trust
     for i, r in enumerate(results):
-        assert r.index == i, "batch results arrived out of order"
-    return results
+        assert r is not None and r.index == i, (
+            "batch results arrived out of order"
+        )
+    return results  # type: ignore[return-value]

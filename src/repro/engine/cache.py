@@ -40,7 +40,9 @@ from ..obs.trace import tracer
 from ..translate.pipeline import CompiledProgram, CompileOptions, compile_program
 
 #: bump when CompiledProgram's pickled layout changes incompatibly
-CACHE_FORMAT = "repro-graph-cache-v1"
+#: (v2: CompiledProgram carries the lowered PackedGraph alongside the
+#: source graph, so cached entries are run-ready without re-lowering)
+CACHE_FORMAT = "repro-graph-cache-v2"
 
 
 def graph_key(source: str, options: CompileOptions) -> str:
@@ -139,6 +141,11 @@ class GraphCache:
                 return cp, True
             with tracer.span("cache.compile", schema=options.schema):
                 cp = compile_program(source, options=options)
+            # lower to the packed form before the entry is shared: every
+            # consumer (this process, disk readers, pool workers) then
+            # reuses one lowering instead of re-packing per run
+            with tracer.span("cache.pack"):
+                cp.ensure_packed()
             with self._lock:
                 self.stats.misses += 1
                 self._remember(key, cp)

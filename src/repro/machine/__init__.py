@@ -35,6 +35,7 @@ from .memory import DataMemory
 from .istructure import IStructureMemory
 from .metrics import Metrics
 from .simulator import SimResult, Simulator, simulate_graph
+from .packed import PackedGraph, PackedProgram, PackedSimulator, pack_graph
 
 __all__ = [
     "ACCESS",
@@ -47,11 +48,15 @@ __all__ = [
     "MachineError",
     "MemoryFault",
     "Metrics",
+    "PackedGraph",
+    "PackedProgram",
+    "PackedSimulator",
     "ROOT",
     "SimResult",
     "SimulationLimitError",
     "Simulator",
     "Token",
     "TokenClashError",
+    "pack_graph",
     "simulate_graph",
 ]

@@ -49,12 +49,15 @@ class MachineConfig:
     #: good locality for graphs built in program order), or "random"
     #: (seeded by ``seed``).
     partition: str = "round_robin"
-    #: Scheduler loop selection.  ``"auto"`` uses the event-driven fast
-    #: loop whenever it is exact — unlimited PEs and no k-bounded
+    #: Scheduler loop selection.  ``"auto"`` uses the packed flat-array
+    #: interpreter whenever it is exact — unlimited PEs and no k-bounded
     #: throttling — and the general per-cycle scheduler otherwise.
     #: ``"step"`` forces the per-cycle scheduler (the differential-testing
-    #: baseline); ``"fast"`` demands the fast loop and is rejected when a
-    #: finite ``num_pes`` or a ``loop_bound`` makes arbitration stateful.
+    #: baseline); ``"fast"`` demands the event-driven fast loop over the
+    #: object graph; ``"packed"`` demands the flat-array interpreter over
+    #: the lowered :class:`~repro.machine.packed.PackedGraph`.  ``fast``
+    #: and ``packed`` are rejected when a finite ``num_pes`` or a
+    #: ``loop_bound`` makes arbitration stateful.
     sim_mode: str = "auto"
 
     def __post_init__(self) -> None:
@@ -75,12 +78,23 @@ class MachineConfig:
                 "network_latency needs a finite num_pes (tokens must have "
                 "PEs to travel between)"
             )
-        if self.sim_mode not in ("auto", "fast", "step"):
+        if self.sim_mode not in ("auto", "fast", "step", "packed"):
             raise ValueError(f"bad sim_mode {self.sim_mode!r}")
-        if self.sim_mode == "fast" and (
+        if self.sim_mode in ("fast", "packed") and (
             self.num_pes is not None or self.loop_bound is not None
         ):
             raise ValueError(
-                "sim_mode='fast' requires num_pes=None and loop_bound=None "
-                "(PE arbitration and k-bounding need per-cycle stepping)"
+                f"sim_mode={self.sim_mode!r} requires num_pes=None and "
+                "loop_bound=None (PE arbitration and k-bounding need "
+                "per-cycle stepping)"
             )
+
+    def backend(self) -> str:
+        """Resolve ``sim_mode`` to the loop that will actually run:
+        ``"packed"``, ``"fast"``, or ``"step"``.  ``auto`` prefers the
+        packed interpreter whenever it is exact."""
+        if self.sim_mode != "auto":
+            return self.sim_mode
+        if self.num_pes is None and self.loop_bound is None:
+            return "packed"
+        return "step"

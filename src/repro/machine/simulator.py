@@ -57,6 +57,8 @@ class SimResult:
     #: sampling points of the fast and step loops may differ even when
     #: their metrics are identical.
     occupancy: list = field(default_factory=list)
+    #: which scheduler loop ran: "step", "fast", or "packed"
+    backend: str = ""
 
 
 class _Frames:
@@ -109,9 +111,14 @@ class Simulator:
         memory: DataMemory | None = None,
         istructs: IStructureMemory | None = None,
         config: MachineConfig | None = None,
+        packed=None,
     ):
         graph.validate(allow_dangling_outputs=True)
         self.graph = graph
+        #: pre-lowered PackedGraph, if the caller already paid for packing
+        #: (the engine caches it next to the graph); otherwise lowered on
+        #: demand the first time the packed backend is selected
+        self._packed = packed
         self.memory = memory if memory is not None else DataMemory()
         self.istructs = istructs if istructs is not None else IStructureMemory()
         self.config = config or MachineConfig()
@@ -216,6 +223,15 @@ class Simulator:
     def _deliver(self, token: Token) -> None:
         node = self.graph.node(token.node)
         kind = node.kind
+        nin = num_inputs(node)
+        if token.port >= nin:
+            # without this a stray token would wedge the frame silently:
+            # try_take only probes ports < nin, so the frame never fills
+            raise MachineError(
+                f"token delivered to nonexistent input port {token.port} of "
+                f"node {node.id} ({node.describe()}): node has {nin} input "
+                f"port(s)"
+            )
         if kind is OpKind.END:
             if token.ctx != ROOT:
                 raise MachineError(
@@ -229,7 +245,6 @@ class Simulator:
             # nonstrict: fire per token
             self._enabled.append((token.node, token.ctx, ((token.port, token.value),)))
             return
-        nin = num_inputs(node)
         if nin == 1:
             self._enabled.append((token.node, token.ctx, ((token.port, token.value),)))
             return
@@ -385,6 +400,8 @@ class Simulator:
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> SimResult:
+        if self.config.backend() == "packed":
+            return self._run_packed()
         t0 = time.perf_counter()
         start = self.graph.node(self.graph.start)
         for port, seed in enumerate(start.seeds):
@@ -423,15 +440,31 @@ class Simulator:
             wall_time=time.perf_counter() - t0,
             fast_path=fast,
             occupancy=self._occupancy,
+            backend="fast" if fast else "step",
         )
 
+    def _run_packed(self) -> SimResult:
+        """Delegate to the flat-array interpreter, then adopt its
+        bookkeeping so this Simulator reads as if it ran the loop itself
+        (callers inspect ``.metrics``/``.clashes``/``.trace`` post-run)."""
+        from .packed import PackedSimulator, pack_graph  # circular-safe
+
+        if self._packed is None:
+            self._packed = pack_graph(self.graph)
+        ps = PackedSimulator(
+            self._packed, self.memory, self.istructs, self.config
+        )
+        ps.profile_hook = self.profile_hook
+        result = ps.run()
+        self.metrics = ps.metrics
+        self.clashes = ps.clashes
+        self.trace = ps.trace
+        self._occupancy = ps._occupancy
+        self._cycle = ps._cycle
+        return result
+
     def _use_fast_path(self) -> bool:
-        mode = self.config.sim_mode
-        if mode == "step":
-            return False
-        if mode == "fast":
-            return True  # config validation guarantees compatibility
-        return self.config.num_pes is None and self.config.loop_bound is None
+        return self.config.backend() == "fast"
 
     def _loop_fast(self) -> None:
         """Event-driven scheduler for the idealized machine: no PE

@@ -57,3 +57,29 @@ def apply_unop(op: str, a: int) -> int:
     if op == "not":
         return int(not truthy(a))
     raise ValueError(f"unknown unary operator {op!r}")
+
+
+#: Resolved callables per operator, for interpreters that bind the
+#: operation once at graph-lowering time instead of re-dispatching on the
+#: op string per firing.  Must agree with :func:`apply_binop` /
+#: :func:`apply_unop` on every input (a consistency test holds them to it).
+BINOP_FUNCS: dict = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: 0 if b == 0 else a // b,
+    "%": lambda a, b: 0 if b == 0 else a % b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "and": lambda a, b: int(a != 0 and b != 0),
+    "or": lambda a, b: int(a != 0 or b != 0),
+}
+
+UNOP_FUNCS: dict = {
+    "-": lambda a: -a,
+    "not": lambda a: int(a == 0),
+}

@@ -128,6 +128,7 @@ def _sim_result_to_wire(r: SimResult) -> dict:
         "fast_path": r.fast_path,
         "cache_hit": r.cache_hit,
         "occupancy": [list(row) for row in r.occupancy],
+        "backend": r.backend,
     }
 
 
@@ -142,6 +143,7 @@ def _sim_result_from_wire(d: dict) -> SimResult:
         fast_path=d.get("fast_path", False),
         cache_hit=d.get("cache_hit", False),
         occupancy=[list(row) for row in d.get("occupancy", [])],
+        backend=d.get("backend", ""),
     )
 
 

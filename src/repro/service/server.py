@@ -138,13 +138,14 @@ class ServiceServer:
             max_wait_ms=config.max_wait_ms,
             max_queue=config.max_queue,
         )
-        # persistent engine state — this is the point of the service
-        self.cache: GraphCache | None = None
+        # persistent engine state — this is the point of the service.
+        # The cache exists even with a worker pool: the pooled run_batch
+        # compiles in the parent and ships packed payloads, so the
+        # server's cache (and its stats) serves both execution modes.
         self.pool = None
-        if config.pool_size <= 1:
-            self.cache = GraphCache(
-                capacity=config.capacity, cache_dir=config.cache_dir
-            )
+        self.cache: GraphCache = GraphCache(
+            capacity=config.capacity, cache_dir=config.cache_dir
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-engine"
         )
@@ -276,7 +277,7 @@ class ServiceServer:
     def _run_jobs(self, jobs: list[BatchJob]):
         """Blocking engine call; runs on the executor thread."""
         if self.pool is not None:
-            return run_batch(jobs, pool=self.pool)
+            return run_batch(jobs, pool=self.pool, cache=self.cache)
         return run_batch(jobs, pool_size=1, cache=self.cache)
 
     async def _run_entries(self, entries: list[_Entry]) -> None:

@@ -191,3 +191,47 @@ def test_trace_spans_through_service(srcfile, tmp_path, capsys):
 def test_trace_requires_file_or_trace_id():
     with pytest.raises(SystemExit):
         main(["trace"])
+
+
+def test_bench_sim_mode_selects_backend(capsys, tmp_path):
+    assert (
+        main(
+            [
+                "bench",
+                "--programs",
+                "gcd",
+                "--schemas",
+                "schema1",
+                "--sim-mode",
+                "step",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "sim backends — step: 1 jobs" in err
+
+    assert (
+        main(
+            [
+                "bench",
+                "--programs",
+                "gcd",
+                "--schemas",
+                "schema1",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    # auto resolves to the packed interpreter on the idealized machine
+    assert "sim backends — packed: 1 jobs" in err
+
+
+def test_bench_rejects_bad_sim_mode():
+    with pytest.raises(SystemExit):
+        main(["bench", "--programs", "gcd", "--sim-mode", "warp"])

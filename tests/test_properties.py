@@ -75,6 +75,7 @@ def machine_configs(draw):
     modes = ["auto", "step"]
     if num_pes is None and loop_bound is None:
         modes.append("fast")
+        modes.append("packed")
     return MachineConfig(
         num_pes=num_pes,
         alu_latency=draw(st.integers(1, 3)),

@@ -86,3 +86,21 @@ def test_comparison_trichotomy(a, b):
 def test_double_negation(a):
     assert apply_unop("-", apply_unop("-", a)) == a
     assert apply_unop("not", apply_unop("not", a)) == truthy(a)
+
+
+@given(ints, ints)
+def test_binop_funcs_agree_with_apply_binop(a, b):
+    """The resolved-callable table the packed interpreter binds at
+    lowering time must agree with the dispatching reference everywhere,
+    including the total-division and truthiness edge cases."""
+    from repro.semantics import BINOP_FUNCS, UNOP_FUNCS
+
+    assert set(BINOP_FUNCS) == {
+        "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+        "and", "or",
+    }
+    assert set(UNOP_FUNCS) == {"-", "not"}
+    for op, fn in BINOP_FUNCS.items():
+        assert fn(a, b) == apply_binop(op, a, b), op
+    for op, fn in UNOP_FUNCS.items():
+        assert fn(a) == apply_unop(op, a), op
