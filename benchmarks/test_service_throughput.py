@@ -65,7 +65,6 @@ def test_service_throughput(tmp_path, save_result):
     # -- warm service: unloaded latency, then 8-client sustained load ---
     rounds = 3
     with running_server(
-        path=str(tmp_path / "svc.sock"),
         max_queue=256,
         max_batch=16,
         max_wait_ms=2.0,
@@ -93,7 +92,6 @@ def test_service_throughput(tmp_path, save_result):
     fast = [BatchJob(jobs[0].source, jobs[0].options, jobs[0].inputs,
                      name=f"burst{i}") for i in range(48)]
     with running_server(
-        path=str(tmp_path / "tiny.sock"),
         max_queue=4,
         max_batch=1,
         max_wait_ms=0.0,

@@ -14,6 +14,9 @@ Usage::
     python -m repro bench [--jobs N] [--cache-dir DIR] [--repeat N]
                           [--schemas s1,s2] [--programs p1,p2] [--verify]
                           [--sim-mode auto|step|fast|packed]
+    python -m repro fuzz [--seed N] [--count N] [--budget-s F]
+                         [--knob k=v ...] [--minimize] [--out DIR]
+                         [--no-pool] [--replay FILE]   # differential oracle
 
 Service mode (always-on compile/simulate server, JSON-lines protocol)::
 
@@ -243,6 +246,64 @@ def _bench(args) -> int:
     if args.verify:
         print("# all results match the reference interpreter", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _fuzz(args) -> int:
+    from .validate import GenKnobs, run_fuzz
+    from .validate.fuzz import replay
+
+    if args.replay:
+        report = replay(args.replay)
+        if report.ok:
+            print(f"# {args.replay}: no divergence "
+                  f"({report.routes_run} routes agree)", file=sys.stderr)
+            return 0
+        for d in report.divergences:
+            print(f"{d.kind}  {d.route} vs {d.baseline}: {d.detail}")
+        return 1
+
+    try:
+        knobs = GenKnobs.from_items(args.knob)
+    except ValueError as exc:
+        raise SystemExit(f"fuzz: {exc}") from None
+
+    def progress(i: int, oracle_report) -> None:
+        if not oracle_report.ok:
+            print(f"# seed {args.seed + i}: {oracle_report.summary()}",
+                  file=sys.stderr, flush=True)
+        elif (i + 1) % 25 == 0:
+            print(f"# {i + 1}/{args.count} programs checked",
+                  file=sys.stderr, flush=True)
+
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        budget_s=args.budget_s,
+        knobs=knobs,
+        minimize_findings=args.minimize,
+        out_dir=args.out,
+        pooled=not args.no_pool,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    print(f"# fuzz: {report.summary()}", file=sys.stderr)
+    hist = report.metrics.get("histograms", {}).get("fuzz.check_ms")
+    if hist and hist["count"]:
+        print(
+            f"# check latency: n={hist['count']} "
+            f"mean={hist['sum'] / hist['count']:.1f}ms",
+            file=sys.stderr,
+        )
+    for f in report.findings:
+        d = f.divergence
+        print(f"{f.program.name}  {d.kind}  {d.route} vs {d.baseline}: "
+              f"{d.detail}")
+        if f.regression_path is not None:
+            print(f"  minimized to {f.minimized_lines} lines: "
+                  f"{f.regression_path}")
+    for d in report.batch_divergences:
+        print(f"batch  {d.kind}  {d.route} vs {d.baseline}: {d.detail}")
+    return 0 if report.ok else 1
 
 
 # -- service front ends -----------------------------------------------------
@@ -562,6 +623,34 @@ def main(argv: list[str] | None = None) -> int:
         help="scheduler loop for every job (auto = packed where exact)",
     )
 
+    p_fuzz = subs.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs through every "
+        "semantic route, divergences minimized into regression repros",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; program i uses seed+i")
+    p_fuzz.add_argument("--count", type=int, default=100,
+                        help="programs to generate and check")
+    p_fuzz.add_argument("--budget-s", type=float, default=None,
+                        help="wall-clock budget; stop generating past it")
+    p_fuzz.add_argument(
+        "--knob", action="append", default=[], metavar="K=V",
+        help="generator knob override, e.g. --knob n_stmts=20 "
+        "--knob irreducible=0.5 (repeatable)",
+    )
+    p_fuzz.add_argument("--minimize", action="store_true",
+                        help="ddmin-shrink each divergence and persist it")
+    p_fuzz.add_argument("--out", default=None, metavar="DIR",
+                        help="where minimized repros land "
+                        "(default tests/corpus/regressions/)")
+    p_fuzz.add_argument("--no-pool", action="store_true",
+                        help="skip the serial-vs-pooled batch route")
+    p_fuzz.add_argument("--cache-dir", default=None,
+                        help="disk tier for the cached-route check")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run the oracle on one regression file")
+
     p_serve = subs.add_parser(
         "serve",
         help="run the always-on compile/simulate service "
@@ -629,6 +718,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _bench(args)
+    if args.command == "fuzz":
+        return _fuzz(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "submit":

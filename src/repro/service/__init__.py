@@ -27,7 +27,7 @@ from .protocol import (
     result_to_wire,
 )
 from .server import ServiceConfig, ServiceServer, serve
-from .testing import ServerThread, running_server
+from .testing import ServerThread, ephemeral_socket_path, running_server
 
 __all__ = [
     "AsyncServiceClient",
@@ -36,6 +36,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "REJECTIONS",
     "ServerThread",
+    "ephemeral_socket_path",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

@@ -8,9 +8,37 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
+import shutil
+import tempfile
 import threading
+import uuid
 
 from .server import ServiceConfig, ServiceServer
+
+#: conservative bound for AF_UNIX sun_path (the kernel limit is ~108
+#: bytes including the NUL; macOS is 104)
+_SUN_PATH_MAX = 100
+
+
+def ephemeral_socket_path(label: str = "svc") -> str:
+    """Allocate a short, collision-free UNIX socket path.
+
+    pytest's ``tmp_path`` nests the test id into the directory name, so
+    socket paths built from it can silently cross the kernel's sun_path
+    limit and fail to bind with ENAMETOOLONG — but only under long test
+    names or deep CI workspaces, which is exactly the kind of
+    machine-dependent flake this helper exists to kill.  Paths come from
+    a fresh ``mkdtemp`` under the system temp dir; callers that want
+    automatic cleanup should prefer :func:`running_server` with no
+    endpoint, which removes the directory on exit.
+    """
+    d = tempfile.mkdtemp(prefix="repro-sock-")
+    path = os.path.join(d, f"{label}.sock")
+    if len(path.encode()) > _SUN_PATH_MAX:  # pathological TMPDIR
+        os.rmdir(d)
+        path = f"/tmp/repro-{label}-{uuid.uuid4().hex[:8]}.sock"
+    return path
 
 
 class ServerThread:
@@ -70,8 +98,19 @@ class ServerThread:
 @contextlib.contextmanager
 def running_server(config: ServiceConfig | None = None, **kwargs):
     """``with running_server(max_queue=4) as (endpoint, server): ...`` —
-    endpoint kwargs feed straight into a ServiceClient."""
+    endpoint kwargs feed straight into a ServiceClient.
+
+    With no explicit endpoint (no ``path``/``port`` and no config), the
+    server binds an ephemeral short-path UNIX socket and removes it —
+    directory included — on exit.  This is the one true way to stand up
+    a test server; hand-built ``tmp_path / "x.sock"`` paths risk the
+    sun_path limit (see :func:`ephemeral_socket_path`).
+    """
+    ephemeral_dir = None
     if config is None:
+        if "path" not in kwargs and "port" not in kwargs:
+            kwargs["path"] = ephemeral_socket_path()
+            ephemeral_dir = os.path.dirname(kwargs["path"])
         config = ServiceConfig(**kwargs)
     elif kwargs:
         raise TypeError("pass either a config or keyword fields, not both")
@@ -81,3 +120,5 @@ def running_server(config: ServiceConfig | None = None, **kwargs):
         yield endpoint, host.server
     finally:
         host.stop()
+        if ephemeral_dir is not None:
+            shutil.rmtree(ephemeral_dir, ignore_errors=True)

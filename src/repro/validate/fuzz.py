@@ -1,0 +1,214 @@
+"""Budgeted fuzzing driver behind ``repro fuzz``.
+
+One campaign generates ``count`` seeded programs (seed, seed+1, …),
+pushes each through the full N-way oracle, and finishes with the
+batch-engine route check (serial vs pooled ``run_batch``) over every
+generated program.  A wall-clock budget caps the campaign; divergences
+are optionally minimized and persisted as replayable regression cases.
+
+Observability: the campaign records ``validate.*`` spans through the
+global tracer and counts programs / routes / divergences plus per-check
+latency in a :class:`~repro.obs.metrics.MetricsRegistry` (its snapshot
+rides on the report, and the CLI prints it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import tracer
+from .oracle import Divergence, OracleReport, check_batch_routes, check_program
+from .progen import GeneratedProgram, GenKnobs, generate
+from .reduce import minimize, write_regression
+
+#: one fuzz finding: the program, its oracle report, and (if minimization
+#: ran) the shrunken source + where it was persisted
+@dataclass
+class Finding:
+    program: GeneratedProgram
+    report: OracleReport
+    minimized: str | None = None
+    minimized_lines: int = 0
+    regression_path: Path | None = None
+
+    @property
+    def divergence(self) -> Divergence:
+        return self.report.divergences[0]
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    seed: int
+    count_requested: int
+    programs_run: int = 0
+    routes_run: int = 0
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+    findings: list[Finding] = field(default_factory=list)
+    batch_divergences: list[Divergence] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.batch_divergences
+
+    @property
+    def total_divergences(self) -> int:
+        return (
+            sum(len(f.report.divergences) for f in self.findings)
+            + len(self.batch_divergences)
+        )
+
+    def summary(self) -> str:
+        tail = "budget exhausted, " if self.budget_exhausted else ""
+        verdict = (
+            "no divergences"
+            if self.ok
+            else f"{self.total_divergences} divergences in "
+            f"{len(self.findings)} programs"
+            + (f" + {len(self.batch_divergences)} batch" if
+               self.batch_divergences else "")
+        )
+        return (
+            f"{self.programs_run}/{self.count_requested} programs, "
+            f"{self.routes_run} routes in {self.elapsed_s:.1f}s "
+            f"({tail}{verdict})"
+        )
+
+
+def _same_kind_predicate(finding_kind: str, inputs, **oracle_kwargs):
+    """The minimization predicate: the reduced program still produces a
+    divergence of the same kind (any route — routes shift as statements
+    disappear, the fault class is what must survive)."""
+
+    def predicate(source: str) -> bool:
+        report = check_program(source, inputs, **oracle_kwargs)
+        return any(d.kind == finding_kind for d in report.divergences)
+
+    return predicate
+
+
+def run_fuzz(
+    seed: int = 0,
+    count: int = 100,
+    budget_s: float | None = None,
+    knobs: GenKnobs | None = None,
+    minimize_findings: bool = False,
+    out_dir: str | Path | None = None,
+    pooled: bool = True,
+    pool_size: int = 2,
+    cache_dir=None,
+    max_findings: int = 10,
+    registry: MetricsRegistry | None = None,
+    progress=None,
+) -> FuzzReport:
+    """Run one fuzz campaign; see the module docstring.
+
+    * ``budget_s`` — wall-clock cap; generation stops once exceeded.
+    * ``minimize_findings`` — shrink each diverging program and persist
+      it (``out_dir``, default ``tests/corpus/regressions/``).
+    * ``pooled`` — run the serial-vs-pooled batch route at the end.
+    * ``max_findings`` — stop early after this many diverging programs
+      (a broken build diverges everywhere; there is nothing to learn
+      from finding #200).
+    * ``progress`` — optional callable ``(i, report)`` per program.
+    """
+    k = knobs or GenKnobs()
+    reg = registry or MetricsRegistry()
+    programs_counter = reg.counter("fuzz.programs")
+    routes_counter = reg.counter("fuzz.routes")
+    div_counter = reg.counter("fuzz.divergences")
+    check_ms = reg.histogram("fuzz.check_ms")
+
+    report = FuzzReport(seed=seed, count_requested=count)
+    clean: list[GeneratedProgram] = []
+    t0 = time.perf_counter()
+
+    with tracer.span("validate.fuzz", seed=seed, count=count):
+        for i in range(count):
+            if budget_s is not None and time.perf_counter() - t0 > budget_s:
+                report.budget_exhausted = True
+                break
+            gp = generate(seed + i, k)
+            t_check = time.perf_counter()
+            oracle_report = check_program(
+                gp.source, gp.inputs, cache_dir=cache_dir
+            )
+            check_ms.observe((time.perf_counter() - t_check) * 1e3)
+            report.programs_run += 1
+            report.routes_run += oracle_report.routes_run
+            programs_counter.inc()
+            routes_counter.inc(oracle_report.routes_run)
+            if oracle_report.ok:
+                clean.append(gp)
+            else:
+                div_counter.inc(len(oracle_report.divergences))
+                finding = Finding(program=gp, report=oracle_report)
+                report.findings.append(finding)
+                if minimize_findings:
+                    _minimize_finding(finding, out_dir, cache_dir)
+            if progress is not None:
+                progress(i, oracle_report)
+            if len(report.findings) >= max_findings:
+                break
+
+        # engine parity: the pooled path ships packed payloads through
+        # worker processes — run it over every clean program at once
+        if pooled and clean and not report.budget_exhausted:
+            report.batch_divergences = check_batch_routes(
+                clean, pool_size=pool_size
+            )
+            report.routes_run += 2 * len(clean)
+            routes_counter.inc(2 * len(clean))
+            div_counter.inc(len(report.batch_divergences))
+
+    report.elapsed_s = time.perf_counter() - t0
+    report.metrics = reg.snapshot()
+    return report
+
+
+def _minimize_finding(
+    finding: Finding, out_dir, cache_dir
+) -> None:
+    """Shrink one diverging program and persist the repro."""
+    gp = finding.program
+    d = finding.divergence
+    try:
+        result = minimize(
+            gp.source,
+            _same_kind_predicate(d.kind, gp.inputs, cache_dir=cache_dir),
+        )
+    except ValueError:
+        # flaky divergence (did not reproduce on re-check): keep the
+        # full program as the repro rather than dropping the finding
+        result = None
+    finding.minimized = result.source if result else gp.source
+    finding.minimized_lines = (
+        result.lines if result else len(gp.source.splitlines())
+    )
+    finding.regression_path = write_regression(
+        finding.minimized,
+        seed=gp.seed,
+        knobs=gp.knobs.describe(),
+        kind=d.kind,
+        route=d.route,
+        baseline=d.baseline,
+        detail=d.detail,
+        inputs=gp.inputs,
+        out_dir=out_dir,
+    )
+
+
+def replay(path: str | Path, cache_dir=None) -> OracleReport:
+    """Re-run the full oracle on a persisted regression file."""
+    from .reduce import parse_regression
+
+    meta = parse_regression(path)
+    return check_program(
+        meta["source"], meta["inputs"], cache_dir=cache_dir
+    )

@@ -1,0 +1,210 @@
+"""Delta-debugging minimizer for diverging programs.
+
+Classic ddmin over *source lines*: try dropping chunks of lines, keep a
+candidate only if it still parses (structure stays well-formed — a
+dangling ``}`` or orphaned ``goto`` is rejected by the front end, so
+statement/block granularity falls out of re-validation) **and** the
+caller's divergence predicate still holds.  A final greedy pass retries
+single-line deletions until a fixed point.
+
+Minimized programs are persisted as seed-pinned regression cases under
+``tests/corpus/regressions/`` with a ``#``-comment replay header the
+regression replayer test parses, so every divergence ever found stays a
+permanent tier-1 case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..lang.errors import CompileError
+from ..lang.parser import parse
+from ..obs.trace import tracer
+
+#: where minimized repros land (relative to the repo root) by default
+REGRESSION_DIR = Path("tests") / "corpus" / "regressions"
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one :func:`minimize` run."""
+
+    source: str  # the minimized program
+    original_lines: int
+    lines: int
+    predicate_calls: int
+
+    @property
+    def line_count(self) -> int:
+        return self.lines
+
+
+def _well_formed(source: str) -> bool:
+    try:
+        parse(source)
+    except CompileError:
+        return False
+    return True
+
+
+def _lines_of(source: str) -> list[str]:
+    return [ln for ln in source.splitlines() if ln.strip()]
+
+
+def minimize(
+    source: str,
+    predicate,
+    max_predicate_calls: int = 2000,
+) -> MinimizeResult:
+    """Shrink ``source`` while ``predicate(candidate_source)`` holds.
+
+    ``predicate`` receives candidate source text and returns True when
+    the divergence of interest is still present; it is only ever called
+    on candidates that parse.  The original source must satisfy the
+    predicate (checked).  The call budget bounds worst-case runtime on
+    stubborn inputs; hitting it returns the best candidate so far.
+    """
+    lines = _lines_of(source)
+    original = len(lines)
+    calls = 0
+
+    def holds(candidate_lines: list[str]) -> bool:
+        nonlocal calls
+        if not candidate_lines:
+            return False
+        text = "\n".join(candidate_lines) + "\n"
+        if not _well_formed(text):
+            return False
+        if calls >= max_predicate_calls:
+            return False
+        calls += 1
+        return bool(predicate(text))
+
+    if not holds(lines):
+        raise ValueError(
+            "minimize(): the original program does not satisfy the "
+            "divergence predicate"
+        )
+
+    with tracer.span("validate.minimize", lines=original):
+        # ddmin: partition into n chunks, try dropping each chunk
+        # (complement test); refine granularity when nothing drops
+        n = 2
+        while len(lines) >= 2 and calls < max_predicate_calls:
+            chunk = max(1, len(lines) // n)
+            reduced = False
+            start = 0
+            while start < len(lines):
+                candidate = lines[:start] + lines[start + chunk:]
+                if holds(candidate):
+                    lines = candidate
+                    n = max(2, n - 1)
+                    reduced = True
+                    # retry from the same offset: the next chunk slid in
+                else:
+                    start += chunk
+            if not reduced:
+                if chunk == 1:
+                    break
+                n = min(len(lines), n * 2)
+
+        # greedy single-line sweep to a fixed point (ddmin with chunk=1
+        # restarts; this catches late-enabled deletions cheaply)
+        changed = True
+        while changed and calls < max_predicate_calls:
+            changed = False
+            i = 0
+            while i < len(lines):
+                candidate = lines[:i] + lines[i + 1:]
+                if holds(candidate):
+                    lines = candidate
+                    changed = True
+                else:
+                    i += 1
+
+    return MinimizeResult(
+        source="\n".join(lines) + "\n",
+        original_lines=original,
+        lines=len(lines),
+        predicate_calls=calls,
+    )
+
+
+# -- regression corpus ------------------------------------------------------
+
+_HEADER_MAGIC = "# repro.validate regression"
+
+
+def write_regression(
+    source: str,
+    *,
+    seed: int,
+    knobs: str,
+    kind: str,
+    route: str,
+    baseline: str,
+    detail: str,
+    inputs: tuple[dict, ...] | list[dict],
+    out_dir: str | Path | None = None,
+    name: str | None = None,
+) -> Path:
+    """Persist one minimized repro with its replay header.
+
+    The header is plain ``#`` comments, so the file is itself a valid
+    source program — ``repro run FILE`` replays it directly, and the
+    regression replayer test re-runs the full oracle on it.
+    """
+    out = Path(out_dir) if out_dir is not None else REGRESSION_DIR
+    out.mkdir(parents=True, exist_ok=True)
+    stem = name or f"seed{seed}_{kind}"
+    path = out / f"{stem}.df"
+    suffix = 1
+    while path.exists():
+        suffix += 1
+        path = out / f"{stem}_{suffix}.df"
+    header = [
+        _HEADER_MAGIC,
+        f"# seed={seed}",
+        f"# knobs={knobs}",
+        f"# kind={kind}",
+        f"# route={route}",
+        f"# baseline={baseline}",
+        f"# detail={detail[:300]}",
+        f"# inputs={json.dumps(list(inputs))}",
+        f"# replay: repro fuzz --replay {path.as_posix()}",
+    ]
+    path.write_text("\n".join(header) + "\n" + source)
+    return path
+
+
+def parse_regression(path: str | Path) -> dict:
+    """Read one regression file back: returns ``{"source", "inputs",
+    "seed", "kind", "route", ...}``.  Tolerates hand-written files with
+    a partial header (missing keys default sensibly)."""
+    text = Path(path).read_text()
+    meta: dict = {"source": text, "inputs": ({},), "seed": None,
+                  "kind": "", "route": "", "knobs": ""}
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            continue
+        body = line.lstrip("#").strip()
+        key, sep, value = body.partition("=")
+        if not sep:
+            continue
+        key = key.strip()
+        value = value.strip()
+        if key == "inputs":
+            try:
+                meta["inputs"] = tuple(json.loads(value))
+            except (ValueError, TypeError):
+                pass
+        elif key == "seed":
+            try:
+                meta["seed"] = int(value)
+            except ValueError:
+                pass
+        elif key in ("kind", "route", "baseline", "knobs", "detail"):
+            meta[key] = value
+    return meta

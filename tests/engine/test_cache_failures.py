@@ -1,0 +1,157 @@
+"""Failure-path suite for the graph cache: degraded disk tiers, failed
+unlinks, leader hand-off after a crash mid-compile, and management ops
+on vanished directories.  Every scenario must degrade — never raise out
+of ``lookup`` for infrastructure reasons, never serve a wrong graph."""
+
+import threading
+
+from repro.engine import GraphCache, graph_key
+from repro.translate import CompileOptions, simulate
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+OPTS = CompileOptions(schema="schema1")
+
+
+def test_file_as_cache_dir_degrades_to_memory_only(tmp_path):
+    """A cache_dir that turns out to be a regular file (bad config,
+    clobbered mount) must not break lookups: compiles succeed, nothing
+    is written, and the memory tier still serves repeats."""
+    bogus = tmp_path / "cachefile"
+    bogus.write_text("i am not a directory")
+    cache = GraphCache(cache_dir=bogus)
+    cp, was_cached = cache.lookup(SRC, OPTS)
+    assert not was_cached
+    assert simulate(cp, None).memory["x"] == 5
+    assert cache.stats.disk_writes == 0  # write path degraded silently
+    _, again = cache.lookup(SRC, OPTS)
+    assert again and cache.stats.hits == 1
+    assert bogus.read_text() == "i am not a directory"  # untouched
+
+
+def test_corrupt_entry_with_failed_unlink_is_still_a_miss(
+    tmp_path, monkeypatch
+):
+    """Corrupt disk entry *and* the unlink of it fails (e.g. directory
+    write-protected while files are readable): the lookup must still be
+    a clean miss that recompiles."""
+    from repro.engine import cache as cache_mod
+
+    cache = GraphCache(cache_dir=tmp_path)
+    key = graph_key(SRC, OPTS)
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"\x80garbage")
+
+    def refuse_unlink(p, *a, **kw):
+        raise OSError("unlink refused")
+
+    monkeypatch.setattr(cache_mod.os, "unlink", refuse_unlink)
+    cp, was_cached = cache.lookup(SRC, OPTS)
+    assert not was_cached
+    assert cache.stats.misses == 1
+    assert simulate(cp, None).memory["x"] == 5
+
+
+def test_waiter_becomes_leader_after_leader_crash_and_caches(
+    monkeypatch,
+):
+    """Single-flight hand-off: the leader dies mid-compile, a released
+    waiter re-runs the lookup as the new leader, and the eventual entry
+    lands in the memory tier for everyone after."""
+    from repro.engine import cache as cache_mod
+
+    real_compile = cache_mod.compile_program
+    started = threading.Event()
+    release = threading.Event()
+    calls = []
+
+    def scripted_compile(source, options=None, **kwargs):
+        calls.append(threading.get_ident())
+        if len(calls) == 1:
+            started.set()
+            release.wait(5)
+            raise RuntimeError("leader crashed")
+        return real_compile(source, options=options, **kwargs)
+
+    monkeypatch.setattr(cache_mod, "compile_program", scripted_compile)
+    cache = GraphCache()
+    results = {}
+
+    def leader():
+        try:
+            cache.lookup(SRC, OPTS)
+        except RuntimeError:
+            results["leader"] = "crashed"
+
+    def waiter():
+        started.wait(5)  # guarantee we arrive second
+        results["waiter"] = cache.lookup(SRC, OPTS)
+
+    t1 = threading.Thread(target=leader)
+    t2 = threading.Thread(target=waiter)
+    t1.start()
+    t2.start()
+    # let the waiter park on the in-flight event before the crash
+    started.wait(5)
+    import time
+
+    time.sleep(0.05)
+    release.set()
+    t1.join(10)
+    t2.join(10)
+    assert not t1.is_alive() and not t2.is_alive()
+    assert results["leader"] == "crashed"
+    cp, was_cached = results["waiter"]
+    assert not was_cached  # the waiter recompiled, it did not inherit
+    assert len(calls) == 2 and calls[0] != calls[1]
+    # and the recovery populated the cache for later lookups
+    _, hit = cache.lookup(SRC, OPTS)
+    assert hit and cache.stats.hits == 1
+
+
+def test_clear_disk_on_missing_dir_is_a_noop(tmp_path):
+    cache = GraphCache(cache_dir=tmp_path / "never-created")
+    cache.clear(disk=True)  # must not raise
+    assert len(cache) == 0
+
+
+def test_disk_dir_deleted_between_runs_recreates_itself(tmp_path):
+    import shutil
+
+    warm = GraphCache(cache_dir=tmp_path)
+    warm.lookup(SRC, OPTS)
+    assert warm.stats.disk_writes == 1
+    shutil.rmtree(tmp_path)
+    cold = GraphCache(cache_dir=tmp_path)
+    cp, was_cached = cold.lookup(SRC, OPTS)
+    assert not was_cached  # FileNotFoundError path == plain miss
+    assert cold.stats.disk_writes == 1  # and the write re-made the dir
+    assert any(tmp_path.rglob("*.pkl"))
+
+
+def test_unreadable_entry_is_a_miss(tmp_path, monkeypatch):
+    """open() raising OSError (EACCES, EIO) on the entry is a miss —
+    root can read anything, so simulate the error instead of chmod."""
+    from repro.engine import cache as cache_mod
+
+    cache = GraphCache(cache_dir=tmp_path)
+    key = graph_key(SRC, OPTS)
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"whatever")
+    real_open = open
+
+    def flaky_open(file, *args, **kwargs):
+        if str(file) == str(path):
+            raise OSError("I/O error")
+        return real_open(file, *args, **kwargs)
+
+    monkeypatch.setattr("builtins.open", flaky_open)
+    cp, was_cached = cache.lookup(SRC, OPTS)
+    assert not was_cached and cache.stats.misses == 1
+    assert simulate(cp, None).memory["x"] == 5

@@ -57,6 +57,7 @@ def test_cached_compile_equals_fresh_compile(wl, tmp_path):
         )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
 def test_fast_path_equals_per_cycle(wl):
     for schema in schemas_for(wl):

@@ -13,6 +13,8 @@ clash-record mode, on the raise path, and through the pooled engine.
 import pytest
 
 from repro.bench.harness import corpus_jobs, schemas_for
+
+pytestmark = pytest.mark.slow  # full corpus × schemas × inputs sweep
 from repro.bench.programs import CORPUS, RUNNING_EXAMPLE
 from repro.dfg.nodes import OpKind
 from repro.engine import GraphCache, run_batch

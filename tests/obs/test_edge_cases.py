@@ -1,0 +1,115 @@
+"""Edge cases in the observability layer: trace-store eviction behavior
+at capacity, percentile summaries on degenerate sample rings, and the
+metrics RPC when tracing is globally disabled."""
+
+from repro.engine.latency import LatencySummary, percentile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, activate, deactivate, new_trace_id
+
+import pytest
+
+
+# -- trace-store LRU at capacity --------------------------------------------
+
+
+def _record_one(t: Tracer, tid: str) -> None:
+    token = activate(tid)
+    try:
+        with t.span("s"):
+            pass
+    finally:
+        deactivate(token)
+
+
+def test_no_eviction_at_exact_capacity():
+    t = Tracer(enabled=False, max_traces=3)
+    tids = [new_trace_id() for _ in range(3)]
+    for tid in tids:
+        _record_one(t, tid)
+    for tid in tids:
+        assert len(t.spans(tid)) == 1  # full but nothing evicted
+
+
+def test_eviction_is_insertion_ordered_not_touch_ordered():
+    """The store is an insertion-order LRU over *traces*: appending more
+    spans to an old trace does not refresh it, so a long-lived trace
+    cannot pin the store while newer short traces get evicted."""
+    t = Tracer(enabled=False, max_traces=2)
+    a, b, c = (new_trace_id() for _ in range(3))
+    _record_one(t, a)
+    _record_one(t, b)
+    _record_one(t, a)  # touch a again: does NOT move it to the MRU end
+    _record_one(t, c)  # over capacity: a (oldest insertion) goes
+    assert t.spans(a) == []
+    assert len(t.spans(b)) == 1
+    assert len(t.spans(c)) == 1
+
+
+def test_ingest_respects_per_trace_span_cap():
+    t = Tracer(max_spans=2)
+    tid = new_trace_id()
+    wire = [
+        Span(trace_id=tid, span_id=f"s{i}", parent_id=None, name=f"n{i}",
+             start=float(i), end=float(i) + 1.0).to_wire()
+        for i in range(5)
+    ]
+    t.ingest(wire)
+    kept = t.spans(tid)
+    assert [s.name for s in kept] == ["n0", "n1"]  # first two win
+
+
+def test_take_on_unknown_trace_is_empty_not_error():
+    t = Tracer()
+    assert t.take("never-recorded") == []
+
+
+# -- percentile summaries on degenerate rings --------------------------------
+
+
+def test_percentile_of_empty_samples_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+def test_summary_from_empty_samples_is_all_zero():
+    s = LatencySummary.from_samples([])
+    assert s.count == 0
+    assert s.p50 == s.p95 == s.p99 == s.max == 0.0
+
+
+def test_single_sample_percentiles_collapse_to_it():
+    s = LatencySummary.from_samples([7.25])
+    assert s.count == 1
+    assert s.p50 == s.p95 == s.p99 == s.max == 7.25
+
+
+def test_histogram_empty_ring_snapshot():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    snap = reg.snapshot()["histograms"]["lat"]
+    assert snap["count"] == 0 and snap["sum"] == 0.0
+    assert h.samples() == []
+    h.observe(3.0)
+    assert LatencySummary.from_samples(h.samples()).p99 == 3.0
+
+
+# -- metrics RPC with tracing disabled ---------------------------------------
+
+
+def test_metrics_rpc_with_tracing_disabled():
+    """The service metrics/trace ops must work when the global tracer is
+    off: counters still flow (they live in the registry, not the
+    tracer), and span fetches come back empty instead of erroring."""
+    from repro.engine import BatchJob
+    from repro.obs.trace import tracer
+    from repro.service import ServiceClient, running_server
+
+    assert not tracer.enabled  # default: REPRO_TRACE unset in tests
+    with running_server() as (ep, _server):
+        with ServiceClient(**ep) as client:
+            assert client.submit(BatchJob("x := 1 + 2;", name="m")).ok
+            m = client.metrics()
+            assert m["counters"]["service.jobs.submitted"] >= 1
+            # no trace id was assigned spans: fetch is empty, not a fault
+            assert client.trace("no-such-trace") == []
+            assert client.ping()["ok"]

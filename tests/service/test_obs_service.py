@@ -3,7 +3,6 @@ queue → batch → reply, the ``metrics``/``trace`` ops, and the stats op
 sitting on the same registry."""
 
 import asyncio
-import uuid
 
 from repro.engine import BatchJob
 from repro.obs.trace import new_trace_id, render_tree
@@ -13,17 +12,12 @@ from repro.service.protocol import MAX_LINE, decode, encode, job_to_wire
 SRC = "x := 1 + 2; y := x * 3;"
 
 
-def _sock(tmp_path):
-    # keep UNIX socket paths short (sun_path limit)
-    return f"/tmp/repro-obs-{uuid.uuid4().hex[:8]}.sock"
-
-
-def test_trace_id_propagates_end_to_end(tmp_path):
+def test_trace_id_propagates_end_to_end():
     """A client-supplied trace id survives the whole pipeline: the raw
     reply frame echoes it, the result's spans all carry it, and both
     worker-side (engine.*) and server-side (service.*) spans arrive."""
     tid = new_trace_id()
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+    with running_server() as (ep, _server):
         async def body():
             reader, writer = await asyncio.open_unix_connection(
                 ep["path"], limit=MAX_LINE
@@ -52,8 +46,8 @@ def test_trace_id_propagates_end_to_end(tmp_path):
     assert "service.batch" in tree and "engine.job" in tree
 
 
-def test_server_assigns_trace_id_when_absent(tmp_path):
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+def test_server_assigns_trace_id_when_absent():
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             br = client.submit(BatchJob(SRC, name="untagged"))
     assert br.ok
@@ -61,9 +55,9 @@ def test_server_assigns_trace_id_when_absent(tmp_path):
     assert br.spans and all(s["trace_id"] == br.trace_id for s in br.spans)
 
 
-def test_trace_rpc_returns_server_held_spans(tmp_path):
+def test_trace_rpc_returns_server_held_spans():
     tid = new_trace_id()
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             br = client.submit(BatchJob(SRC, trace_id=tid))
             assert br.trace_id == tid
@@ -77,8 +71,8 @@ def test_trace_rpc_returns_server_held_spans(tmp_path):
     assert all(s["trace_id"] == tid for s in spans)
 
 
-def test_metrics_rpc_and_stats_share_the_registry(tmp_path):
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+def test_metrics_rpc_and_stats_share_the_registry():
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             for i in range(3):
                 assert client.submit(BatchJob(SRC, name=f"m{i}")).ok
@@ -101,11 +95,11 @@ def test_metrics_rpc_and_stats_share_the_registry(tmp_path):
         hist["service.latency_ms.total"]["count"]
 
 
-def test_async_client_metrics_and_trace(tmp_path):
+def test_async_client_metrics_and_trace():
     from repro.service import AsyncServiceClient
 
     tid = new_trace_id()
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+    with running_server() as (ep, _server):
         async def body():
             async with AsyncServiceClient(**ep) as client:
                 br = await client.submit(BatchJob(SRC, trace_id=tid))

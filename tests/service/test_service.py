@@ -33,10 +33,6 @@ def _slow_src(n: int = 20000) -> str:
     return f"i := 0;\nl: i := i + 1;\n   if i < {n} then goto l;\n"
 
 
-def _sock(tmp_path) -> str:
-    return str(tmp_path / "s.sock")
-
-
 def _wait(cond, timeout=10.0, interval=0.01):
     t0 = time.monotonic()
     while not cond():
@@ -45,8 +41,8 @@ def _wait(cond, timeout=10.0, interval=0.01):
         time.sleep(interval)
 
 
-def test_submit_result_round_trip(tmp_path):
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+def test_submit_result_round_trip():
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             br = client.submit(BatchJob(SRC, name="rt"))
             assert br.ok
@@ -56,7 +52,7 @@ def test_submit_result_round_trip(tmp_path):
             assert again.result.memory == br.result.memory
 
 
-def test_tcp_endpoint(tmp_path):
+def test_tcp_endpoint():
     with running_server(host="127.0.0.1", port=0) as (ep, _server):
         assert ep["port"] > 0
         with ServiceClient(**ep) as client:
@@ -75,7 +71,7 @@ def test_differential_bit_identical(tmp_path, max_batch, max_wait_ms):
                          name="finite_pes"))
     direct = run_batch(jobs, cache=GraphCache())
     with running_server(
-        path=_sock(tmp_path), max_batch=max_batch, max_wait_ms=max_wait_ms
+        max_batch=max_batch, max_wait_ms=max_wait_ms
     ) as (ep, _server):
         with ServiceClient(**ep) as client:
             via_service = client.submit_many(jobs)
@@ -90,9 +86,9 @@ def test_differential_bit_identical(tmp_path, max_batch, max_wait_ms):
         assert s.stats == d.stats
 
 
-def test_queue_full_backpressure(tmp_path):
+def test_queue_full_backpressure():
     with running_server(
-        path=_sock(tmp_path), max_queue=1, max_batch=1, max_wait_ms=0.0
+        max_queue=1, max_batch=1, max_wait_ms=0.0
     ) as (ep, server):
         with ServiceClient(**ep) as client:
             slow = client.start(BatchJob(_slow_src(), name="slow"))
@@ -112,9 +108,9 @@ def test_queue_full_backpressure(tmp_path):
             assert st["completed"] == 2
 
 
-def test_deadline_expires_in_queue(tmp_path):
+def test_deadline_expires_in_queue():
     with running_server(
-        path=_sock(tmp_path), max_batch=1, max_wait_ms=0.0
+        max_batch=1, max_wait_ms=0.0
     ) as (ep, server):
         with ServiceClient(**ep) as client:
             slow = client.start(BatchJob(_slow_src(), name="slow"))
@@ -128,8 +124,8 @@ def test_deadline_expires_in_queue(tmp_path):
             assert client.stats()["expired"] == 1
 
 
-def test_deadline_expires_mid_run(tmp_path):
-    with running_server(path=_sock(tmp_path), max_batch=1) as (ep, _server):
+def test_deadline_expires_mid_run():
+    with running_server(max_batch=1) as (ep, _server):
         with ServiceClient(**ep) as client:
             req = client.start(BatchJob(_slow_src(), name="slow"),
                                deadline_ms=80.0)
@@ -141,9 +137,9 @@ def test_deadline_expires_mid_run(tmp_path):
             assert time.monotonic() - t0 < 0.3
 
 
-def test_client_cancellation(tmp_path):
+def test_client_cancellation():
     with running_server(
-        path=_sock(tmp_path), max_batch=1, max_wait_ms=0.0
+        max_batch=1, max_wait_ms=0.0
     ) as (ep, server):
         with ServiceClient(**ep) as client:
             slow = client.start(BatchJob(_slow_src(), name="slow"))
@@ -160,14 +156,14 @@ def test_client_cancellation(tmp_path):
             assert client.stats()["cancelled"] == 1
 
 
-def test_graceful_shutdown_drains_everything(tmp_path):
+def test_graceful_shutdown_drains_everything():
     """Shutdown mid-stream: every accepted job still gets its result
     (zero lost), new submits are refused, then the listener goes away."""
-    path = _sock(tmp_path)
     jobs = [BatchJob(SRC, name=f"j{i}") for i in range(6)]
-    with running_server(path=path, max_batch=2, max_wait_ms=50.0) as (
+    with running_server(max_batch=2, max_wait_ms=50.0) as (
         ep, _server,
     ):
+        path = ep["path"]
         with ServiceClient(**ep) as client:
             anchor = client.start(BatchJob(_slow_src(), name="anchor"))
             ids = [client.start(j) for j in jobs]
@@ -186,8 +182,8 @@ def test_graceful_shutdown_drains_everything(tmp_path):
         socket.socket(socket.AF_UNIX, socket.SOCK_STREAM).connect(path)
 
 
-def test_job_error_is_isolated(tmp_path):
-    with running_server(path=_sock(tmp_path), max_batch=8) as (ep, _server):
+def test_job_error_is_isolated():
+    with running_server(max_batch=8) as (ep, _server):
         with ServiceClient(**ep) as client:
             results = client.submit_many([
                 BatchJob(SRC, name="good0"),
@@ -202,8 +198,8 @@ def test_job_error_is_isolated(tmp_path):
             assert st["completed"] == 2 and st["failed"] == 1
 
 
-def test_stats_reports_live_state(tmp_path):
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+def test_stats_reports_live_state():
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             client.submit_many([BatchJob(SRC, name=f"s{i}")
                                 for i in range(4)])
@@ -219,8 +215,8 @@ def test_stats_reports_live_state(tmp_path):
                 assert 0 <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
 
 
-def test_malformed_frames_do_not_kill_connection(tmp_path):
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+def test_malformed_frames_do_not_kill_connection():
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             client.connect()
             client._sock.sendall(b"this is not json\n")
@@ -237,9 +233,9 @@ def test_malformed_frames_do_not_kill_connection(tmp_path):
             assert client.submit(BatchJob(SRC)).ok
 
 
-def test_duplicate_request_id_rejected(tmp_path):
+def test_duplicate_request_id_rejected():
     with running_server(
-        path=_sock(tmp_path), max_batch=1, max_wait_ms=0.0
+        max_batch=1, max_wait_ms=0.0
     ) as (ep, server):
         with ServiceClient(**ep) as client:
             slow = client.start(BatchJob(_slow_src(), name="slow"))
@@ -260,7 +256,7 @@ def test_pool_mode_matches_direct(tmp_path):
     jobs = corpus_jobs(programs=["gcd"], schemas=["schema1", "schema2_opt"])
     direct = run_batch(jobs, cache=GraphCache())
     with running_server(
-        path=_sock(tmp_path), pool_size=2, cache_dir=str(tmp_path / "cache")
+        pool_size=2, cache_dir=str(tmp_path / "cache")
     ) as (ep, _server):
         with ServiceClient(**ep) as client:
             via_service = client.submit_many(jobs)
@@ -271,12 +267,12 @@ def test_pool_mode_matches_direct(tmp_path):
         assert s.stats == d.stats
 
 
-def test_async_client(tmp_path):
+def test_async_client():
     import asyncio
 
     from repro.service import AsyncServiceClient
 
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+    with running_server() as (ep, _server):
         async def body():
             async with AsyncServiceClient(**ep) as client:
                 results = await asyncio.gather(*[
@@ -294,9 +290,9 @@ def test_async_client(tmp_path):
     assert st["completed"] >= 1
 
 
-def test_per_job_options_and_inputs_respected(tmp_path):
+def test_per_job_options_and_inputs_respected():
     gcd = corpus_jobs(programs=["gcd"], schemas=["schema1"])[0]
-    with running_server(path=_sock(tmp_path)) as (ep, _server):
+    with running_server() as (ep, _server):
         with ServiceClient(**ep) as client:
             br = client.submit(gcd)
             assert br.ok

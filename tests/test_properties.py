@@ -10,6 +10,7 @@ The central properties:
 * analysis invariants (dominance, intervals, covers) hold on random inputs.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import (
@@ -374,6 +375,7 @@ def test_equivalence_across_joint_config_space(seed, unstructured, opts, config)
     assert res.memory == ref, (opts, config)
 
 
+@pytest.mark.slow
 @SLOW
 @given(seeds, compile_options, machine_configs())
 def test_engine_cache_equivalence_across_joint_config_space(seed, opts, config):

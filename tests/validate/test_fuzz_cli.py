@@ -1,0 +1,70 @@
+"""CLI suite for ``repro fuzz``: argument plumbing, exit codes, replay
+mode, and knob parsing — all through ``main()`` in-process so coverage
+and monkeypatching work."""
+
+import pytest
+
+import repro.semantics as semantics
+from repro.__main__ import main
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.mark.tier1
+def test_fuzz_smoke_exits_zero(capsys):
+    assert main(["fuzz", "--seed", "0", "--count", "2",
+                 "--knob", "n_stmts=6", "--no-pool"]) == 0
+    err = capsys.readouterr().err
+    assert "no divergences" in err
+    assert "check latency" in err
+
+
+def test_fuzz_bad_knob_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--count", "1", "--knob", "bogus=1"])
+
+
+def test_fuzz_budget_cuts_generation_short(capsys):
+    assert main(["fuzz", "--count", "500", "--budget-s", "0.0",
+                 "--no-pool"]) == 0
+    assert "budget exhausted" in capsys.readouterr().err
+
+
+@pytest.mark.slow  # minimization re-runs the full oracle per candidate
+def test_fuzz_divergence_exits_nonzero_and_minimizes(
+    monkeypatch, tmp_path, capsys
+):
+    monkeypatch.setitem(semantics.BINOP_FUNCS, "*", lambda a, b: a * b + 1)
+    code = main(["fuzz", "--seed", "2", "--count", "3", "--minimize",
+                 "--out", str(tmp_path), "--no-pool"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "sim_divergence" in out and "minimized to" in out
+    assert list(tmp_path.glob("*.df"))
+
+
+def test_fuzz_replay_mode(tmp_path, capsys):
+    from repro.validate import write_regression
+
+    path = write_regression(
+        "x := 1;\ny := x * 2;\n", seed=0, knobs="defaults",
+        kind="sim_divergence", route="schema1/packed", baseline="ast",
+        detail="old bug", inputs=({},), out_dir=tmp_path,
+    )
+    assert main(["fuzz", "--replay", str(path)]) == 0
+    assert "no divergence" in capsys.readouterr().err
+
+
+def test_fuzz_replay_mode_reports_live_divergence(
+    monkeypatch, tmp_path, capsys
+):
+    from repro.validate import write_regression
+
+    monkeypatch.setitem(semantics.BINOP_FUNCS, "*", lambda a, b: a * b + 1)
+    path = write_regression(
+        "x := 3;\ny := x * 5;\n", seed=0, knobs="defaults",
+        kind="sim_divergence", route="schema1/packed", baseline="ast",
+        detail="", inputs=({},), out_dir=tmp_path,
+    )
+    assert main(["fuzz", "--replay", str(path)]) == 1
+    assert "sim_divergence" in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Regression replayer: every minimized repro ever persisted under
+``tests/corpus/regressions/`` re-runs the full N-way oracle on each
+tier-1 run.  A file here records a divergence that was found and fixed;
+this test is what keeps it fixed."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.validate import check_program, parse_regression
+
+CORPUS = Path(__file__).resolve().parents[1] / "corpus" / "regressions"
+CASES = sorted(CORPUS.glob("*.df"))
+
+
+@pytest.mark.tier1
+@pytest.mark.fuzz
+@pytest.mark.parametrize(
+    "case", CASES, ids=[c.stem for c in CASES] or None
+)
+def test_regression_replays_clean(case):
+    meta = parse_regression(case)
+    report = check_program(meta["source"], meta["inputs"])
+    assert report.ok, (
+        f"{case.name} diverges again ({meta['kind']} on {meta['route']} "
+        f"originally): {report.summary()}"
+    )
+
+
+def test_corpus_directory_exists_and_files_have_headers():
+    assert CORPUS.is_dir()
+    for case in CASES:
+        meta = parse_regression(case)
+        assert meta["kind"], f"{case.name}: missing '# kind=' header"
+        assert meta["seed"] is not None, f"{case.name}: missing seed"
