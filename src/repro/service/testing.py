@@ -12,7 +12,6 @@ import os
 import shutil
 import tempfile
 import threading
-import uuid
 
 from .server import ServiceConfig, ServiceServer
 
@@ -28,16 +27,19 @@ def ephemeral_socket_path(label: str = "svc") -> str:
     socket paths built from it can silently cross the kernel's sun_path
     limit and fail to bind with ENAMETOOLONG — but only under long test
     names or deep CI workspaces, which is exactly the kind of
-    machine-dependent flake this helper exists to kill.  Paths come from
-    a fresh ``mkdtemp`` under the system temp dir; callers that want
+    machine-dependent flake this helper exists to kill.  The returned
+    path is *always* inside a fresh ``mkdtemp`` directory dedicated to
+    this socket (even on the long-TMPDIR fallback), so callers may
+    safely remove ``dirname(path)`` on teardown; callers that want
     automatic cleanup should prefer :func:`running_server` with no
-    endpoint, which removes the directory on exit.
+    endpoint, which does exactly that.
     """
     d = tempfile.mkdtemp(prefix="repro-sock-")
     path = os.path.join(d, f"{label}.sock")
     if len(path.encode()) > _SUN_PATH_MAX:  # pathological TMPDIR
         os.rmdir(d)
-        path = f"/tmp/repro-{label}-{uuid.uuid4().hex[:8]}.sock"
+        d = tempfile.mkdtemp(prefix="r-", dir="/tmp")
+        path = os.path.join(d, "s.sock")
     return path
 
 
@@ -120,5 +122,7 @@ def running_server(config: ServiceConfig | None = None, **kwargs):
         yield endpoint, host.server
     finally:
         host.stop()
-        if ephemeral_dir is not None:
+        if ephemeral_dir is not None and ephemeral_dir not in (
+            "/", "/tmp", tempfile.gettempdir()
+        ):
             shutil.rmtree(ephemeral_dir, ignore_errors=True)

@@ -24,6 +24,12 @@ from .oracle import Divergence, OracleReport, check_batch_routes, check_program
 from .progen import GeneratedProgram, GenKnobs, generate
 from .reduce import minimize, write_regression
 
+#: minimum wall-clock slice a finding's minimization gets even when the
+#: campaign budget is already spent — each predicate call is a full
+#: N-way oracle run, so an unbounded minimize can dwarf the campaign
+#: itself; a small floor still shrinks the common shallow divergences
+_MINIMIZE_GRACE_S = 10.0
+
 #: one fuzz finding: the program, its oracle report, and (if minimization
 #: ran) the shrunken source + where it was persisted
 @dataclass
@@ -151,7 +157,13 @@ def run_fuzz(
                 finding = Finding(program=gp, report=oracle_report)
                 report.findings.append(finding)
                 if minimize_findings:
-                    _minimize_finding(finding, out_dir, cache_dir)
+                    deadline = None
+                    if budget_s is not None:
+                        deadline = max(
+                            t0 + budget_s,
+                            time.perf_counter() + _MINIMIZE_GRACE_S,
+                        )
+                    _minimize_finding(finding, out_dir, cache_dir, deadline)
             if progress is not None:
                 progress(i, oracle_report)
             if len(report.findings) >= max_findings:
@@ -173,7 +185,7 @@ def run_fuzz(
 
 
 def _minimize_finding(
-    finding: Finding, out_dir, cache_dir
+    finding: Finding, out_dir, cache_dir, deadline: float | None = None
 ) -> None:
     """Shrink one diverging program and persist the repro."""
     gp = finding.program
@@ -182,6 +194,7 @@ def _minimize_finding(
         result = minimize(
             gp.source,
             _same_kind_predicate(d.kind, gp.inputs, cache_dir=cache_dir),
+            deadline=deadline,
         )
     except ValueError:
         # flaky divergence (did not reproduce on re-check): keep the

@@ -16,6 +16,7 @@ permanent tier-1 case.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -57,14 +58,20 @@ def minimize(
     source: str,
     predicate,
     max_predicate_calls: int = 2000,
+    deadline: float | None = None,
 ) -> MinimizeResult:
     """Shrink ``source`` while ``predicate(candidate_source)`` holds.
 
     ``predicate`` receives candidate source text and returns True when
     the divergence of interest is still present; it is only ever called
     on candidates that parse.  The original source must satisfy the
-    predicate (checked).  The call budget bounds worst-case runtime on
-    stubborn inputs; hitting it returns the best candidate so far.
+    predicate (checked).  The call budget and the optional ``deadline``
+    (an absolute ``time.perf_counter()`` value — each predicate call can
+    be a full N-way oracle run, so call counts alone don't bound wall
+    clock) cap worst-case runtime on stubborn inputs; hitting either
+    returns the best candidate so far.  The initial reproduction check
+    is exempt from the deadline so a non-reproducing original is always
+    reported as ``ValueError``, never as deadline exhaustion.
     """
     lines = _lines_of(source)
     original = len(lines)
@@ -74,10 +81,16 @@ def minimize(
         nonlocal calls
         if not candidate_lines:
             return False
+        if calls >= max_predicate_calls:
+            return False
+        if (
+            deadline is not None
+            and calls > 0
+            and time.perf_counter() >= deadline
+        ):
+            return False
         text = "\n".join(candidate_lines) + "\n"
         if not _well_formed(text):
-            return False
-        if calls >= max_predicate_calls:
             return False
         calls += 1
         return bool(predicate(text))
@@ -137,6 +150,17 @@ def minimize(
 _HEADER_MAGIC = "# repro.validate regression"
 
 
+def _header_safe(value: str, limit: int = 300) -> str:
+    """Collapse a free-text header value onto one line.
+
+    ``detail`` fields come from ``str(exc)`` and can carry newlines; a
+    raw newline would break out of the ``#`` comment and inject source
+    lines into the replayed program, so every header value is flattened
+    before it is written.
+    """
+    return " ".join(str(value).split())[:limit]
+
+
 def write_regression(
     source: str,
     *,
@@ -167,11 +191,11 @@ def write_regression(
     header = [
         _HEADER_MAGIC,
         f"# seed={seed}",
-        f"# knobs={knobs}",
-        f"# kind={kind}",
-        f"# route={route}",
-        f"# baseline={baseline}",
-        f"# detail={detail[:300]}",
+        f"# knobs={_header_safe(knobs)}",
+        f"# kind={_header_safe(kind)}",
+        f"# route={_header_safe(route)}",
+        f"# baseline={_header_safe(baseline)}",
+        f"# detail={_header_safe(detail)}",
         f"# inputs={json.dumps(list(inputs))}",
         f"# replay: repro fuzz --replay {path.as_posix()}",
     ]

@@ -302,3 +302,24 @@ def test_per_job_options_and_inputs_respected():
                 config=MachineConfig(num_pes=1, seed=1), name="narrow",
             ))
             assert narrow.ok and not narrow.result.fast_path
+
+
+def test_ephemeral_socket_fallback_allocates_private_dir(monkeypatch):
+    """running_server removes dirname(path) on teardown, so the
+    long-TMPDIR fallback must hand back a path inside a fresh dedicated
+    directory — never a bare file in the shared system temp dir."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.service import testing as svc_testing
+
+    monkeypatch.setattr(svc_testing, "_SUN_PATH_MAX", 1)  # force fallback
+    path = svc_testing.ephemeral_socket_path()
+    d = os.path.dirname(path)
+    try:
+        assert d not in ("/", "/tmp", tempfile.gettempdir())
+        assert os.path.isdir(d)
+        assert len(path.encode()) < 100  # fallback path is still bindable
+    finally:
+        shutil.rmtree(d, ignore_errors=True)

@@ -99,3 +99,49 @@ def test_parse_regression_tolerates_handwritten_files(tmp_path):
     meta = parse_regression(bare)
     assert meta["inputs"] == ({},) and meta["seed"] is None
     assert meta["source"] == "x := 1;\n"
+
+
+def test_minimize_respects_deadline():
+    import time
+
+    calls = []
+
+    def predicate(src):
+        calls.append(None)
+        return "y :=" in src
+
+    result = minimize(TEN, predicate, deadline=time.perf_counter())
+    # only the (deadline-exempt) initial reproduction check runs; the
+    # best-so-far candidate is the original, still a repro
+    assert len(calls) == 1
+    assert result.lines == result.original_lines == 10
+    assert "y :=" in result.source
+
+
+def test_minimize_deadline_does_not_mask_non_reproduction():
+    import time
+
+    with pytest.raises(ValueError):
+        minimize(TEN, lambda s: False, deadline=time.perf_counter() - 1.0)
+
+
+def test_write_regression_flattens_multiline_detail(tmp_path):
+    path = write_regression(
+        "y := 1;\n",
+        seed=7,
+        knobs="defaults",
+        kind="compile_crash",
+        route="schema2/step",
+        baseline="ast",
+        detail="boom:\n  unexpected token\n  at line 3",
+        inputs=({},),
+        out_dir=tmp_path,
+    )
+    text = path.read_text()
+    header = text[:text.index("y := 1;")]
+    assert all(
+        ln.startswith("#") for ln in header.splitlines() if ln.strip()
+    )
+    meta = parse_regression(path)
+    assert meta["detail"] == "boom: unexpected token at line 3"
+    parse(meta["source"])  # the replayed file is still a valid program
