@@ -6,6 +6,9 @@ Usage::
                                [--mem-latency N] [--pes N] [--seed N]
                                [--parallel-reads] [--forward-stores]
                                [--parallelize-arrays] [--istructures]
+                               [--verify-passes off|cheap|full]
+    python -m repro compile PROG.df [--verify-passes ...] [--json]
+                                                       # certificate log
     python -m repro stats PROG.df [--schema ...]       # graph inventory
     python -m repro dot PROG.df [--stage cfg|dfg] [--schema ...]
     python -m repro trace PROG.df [--schema ...] [...run options]
@@ -16,7 +19,8 @@ Usage::
                           [--sim-mode auto|step|fast|packed]
     python -m repro fuzz [--seed N] [--count N] [--budget-s F]
                          [--knob k=v ...] [--minimize] [--out DIR]
-                         [--no-pool] [--replay FILE]   # differential oracle
+                         [--no-pool] [--replay FILE] [--blame]
+                         [--verify-passes off|cheap|full]  # diff oracle
 
 Service mode (always-on compile/simulate server, JSON-lines protocol)::
 
@@ -64,6 +68,13 @@ def _add_compile_args(
     p.add_argument("--forward-stores", action="store_true")
     p.add_argument("--parallelize-arrays", action="store_true")
     p.add_argument("--istructures", action="store_true")
+    p.add_argument("--redundant-elim", action="store_true",
+                   help="iterative redundant-switch elimination pass")
+    p.add_argument(
+        "--verify-passes", default="off",
+        choices=("off", "cheap", "full"),
+        help="check each pass's certificate as it runs",
+    )
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
@@ -106,6 +117,8 @@ def _options(args):
         forward_stores=args.forward_stores,
         parallelize_arrays=args.parallelize_arrays,
         use_istructures=args.istructures,
+        redundant_elim=args.redundant_elim,
+        verify_passes=args.verify_passes,
     )
 
 
@@ -248,12 +261,44 @@ def _bench(args) -> int:
     return 1 if failures else 0
 
 
+def _compile_cmd(args) -> int:
+    """``repro compile``: compile once and print the per-pass
+    certificate log (timings, verification level, metrics)."""
+    from .translate.verify import CertificateError
+
+    try:
+        cp = compile_program(_read_source(args.file), options=_options(args))
+    except CertificateError as exc:
+        print(f"# certificate rejected — guilty pass: {exc.pass_name}",
+              file=sys.stderr)
+        print(f"# {exc.diff}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+        from dataclasses import asdict
+
+        print(json.dumps([asdict(c) for c in cp.pass_log], indent=2))
+        return 0
+    print(f"{'pass':18s} {'ms':>8s} {'verified':>8s} {'verify ms':>10s}  metrics")
+    for c in cp.pass_log:
+        metrics = " ".join(f"{k}={v}" for k, v in c.metrics.items())
+        print(f"{c.pass_name:18s} {c.elapsed_ms:8.2f} {c.verified:>8s} "
+              f"{c.verify_ms:10.2f}  {metrics}")
+    st = graph_stats(cp.graph)
+    print(f"# {st.summary()}", file=sys.stderr)
+    return 0
+
+
 def _fuzz(args) -> int:
-    from .validate import GenKnobs, run_fuzz
+    from .validate import GenKnobs, RegressionFormatError, run_fuzz
     from .validate.fuzz import replay
 
     if args.replay:
-        report = replay(args.replay)
+        try:
+            report = replay(args.replay)
+        except RegressionFormatError as exc:
+            print(f"fuzz: bad regression file: {exc}", file=sys.stderr)
+            return 2
         if report.ok:
             print(f"# {args.replay}: no divergence "
                   f"({report.routes_run} routes agree)", file=sys.stderr)
@@ -285,6 +330,8 @@ def _fuzz(args) -> int:
         pooled=not args.no_pool,
         cache_dir=args.cache_dir,
         progress=progress,
+        verify_passes=args.verify_passes,
+        blame=args.blame,
     )
     print(f"# fuzz: {report.summary()}", file=sys.stderr)
     hist = report.metrics.get("histograms", {}).get("fuzz.check_ms")
@@ -296,10 +343,12 @@ def _fuzz(args) -> int:
         )
     for f in report.findings:
         d = f.divergence
+        blame = f"  [guilty pass: {d.guilty_pass}]" if d.guilty_pass else ""
         print(f"{f.program.name}  {d.kind}  {d.route} vs {d.baseline}: "
-              f"{d.detail}")
+              f"{d.detail}{blame}")
         if f.regression_path is not None:
-            print(f"  minimized to {f.minimized_lines} lines: "
+            via = f" via {f.minimized_via}" if f.minimized_via else ""
+            print(f"  minimized to {f.minimized_lines} lines{via}: "
                   f"{f.regression_path}")
     for d in report.batch_divergences:
         print(f"batch  {d.kind}  {d.route} vs {d.baseline}: {d.detail}")
@@ -556,6 +605,14 @@ def main(argv: list[str] | None = None) -> int:
     _add_compile_args(p_run)
     _add_run_args(p_run)
 
+    p_compile = subs.add_parser(
+        "compile",
+        help="compile only and print the per-pass certificate log",
+    )
+    _add_compile_args(p_compile)
+    p_compile.add_argument("--json", action="store_true",
+                           help="certificate log as raw JSON")
+
     p_stats = subs.add_parser(
         "stats",
         help="graph inventory for a source file, or live service stats "
@@ -650,6 +707,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="disk tier for the cached-route check")
     p_fuzz.add_argument("--replay", default=None, metavar="FILE",
                         help="re-run the oracle on one regression file")
+    p_fuzz.add_argument(
+        "--verify-passes", default="off",
+        choices=("off", "cheap", "full"),
+        help="per-pass certificate checking during the oracle's compiles",
+    )
+    p_fuzz.add_argument(
+        "--blame", action="store_true",
+        help="recompile findings with full pass verification to label "
+        "the guilty pass; minimize against that pass's verifier",
+    )
 
     p_serve = subs.add_parser(
         "serve",
@@ -718,6 +785,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _bench(args)
+    if args.command == "compile":
+        return _compile_cmd(args)
     if args.command == "fuzz":
         return _fuzz(args)
     if args.command == "serve":

@@ -89,30 +89,36 @@ def cd_plus(cfg: CFG, cd: dict[int, set[int]] | None = None) -> dict[int, frozen
     return {n: frozenset(cd_plus_of_set(cfg, {n}, cd)) for n in cfg.nodes}
 
 
-def between_brute_force(
-    cfg: CFG, f: int, n: int, pdom: DomTree | None = None
-) -> bool:
-    """Definition 1 oracle: is ``n`` *between* ``f`` and its immediate
-    postdominator ``p``?  I.e. does a non-null path ``f => n`` avoiding
-    ``p`` exist?  Checked by BFS from the successors of ``f`` that skips
-    ``p``."""
+def between_set(
+    cfg: CFG, f: int, pdom: DomTree | None = None
+) -> set[int]:
+    """Every node *between* ``f`` and its immediate postdominator ``p``
+    (Definition 1): the nodes reachable from ``f``'s successors by paths
+    avoiding ``p``, found by one BFS.  Empty when ``f`` is the end node."""
     if pdom is None:
         pdom = postdominator_tree(cfg)
     p = pdom.idom[f]
     if p is None:  # f is end; no non-null path leaves it
-        return False
+        return set()
     seen: set[int] = set()
     frontier = deque(s for s in cfg.succ_ids(f) if s != p)
     seen.update(frontier)
     while frontier:
         cur = frontier.popleft()
-        if cur == n:
-            return True
         for s in cfg.succ_ids(cur):
             if s != p and s not in seen:
                 seen.add(s)
                 frontier.append(s)
-    return False
+    return seen
+
+
+def between_brute_force(
+    cfg: CFG, f: int, n: int, pdom: DomTree | None = None
+) -> bool:
+    """Definition 1 oracle: is ``n`` *between* ``f`` and its immediate
+    postdominator ``p``?  I.e. does a non-null path ``f => n`` avoiding
+    ``p`` exist?"""
+    return n in between_set(cfg, f, pdom)
 
 
 def needs_switch_brute_force(

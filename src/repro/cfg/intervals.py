@@ -252,6 +252,12 @@ def insert_loop_controls(cfg: CFG) -> tuple[CFG, list[Loop]]:
     return g, finalized
 
 
+#: test-only: reintroduce the PR-1 SCC-exit bug (clones connected straight
+#: to external non-JOIN successors, creating multi-predecessor non-joins)
+#: so the mutation-detection suite can prove the interval pass gets blamed
+_TEST_SCC_EXIT_BUG = False
+
+
 def split_irreducible(cfg: CFG, max_copies: int = 1000) -> CFG:
     """Code copying for irreducible regions (the paper: "if we allow code
     copying, then any control-flow graph can be decomposed into such nested
@@ -311,7 +317,7 @@ def split_irreducible(cfg: CFG, max_copies: int = 1000) -> CFG:
             if e.dst in scc or g.node(e.dst).kind in (
                 NodeKind.JOIN,
                 NodeKind.END,
-            ):
+            ) or _TEST_SCC_EXIT_BUG:
                 g.add_edge(clone.id, e.dst, e.direction)
             else:
                 j = g.split_edge(e, NodeKind.JOIN)

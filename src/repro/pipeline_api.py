@@ -9,6 +9,7 @@ from .engine import (
     default_cache,
     run_batch,
 )
+from .translate.passes import Certificate, verify_pass_log
 from .translate.pipeline import (
     SCHEMAS,
     CompileOptions,
@@ -17,11 +18,14 @@ from .translate.pipeline import (
     run_source,
     simulate,
 )
+from .translate.verify import CertificateError
 
 __all__ = [
     "SCHEMAS",
     "BatchJob",
     "BatchResult",
+    "Certificate",
+    "CertificateError",
     "CompileOptions",
     "CompiledProgram",
     "GraphCache",
@@ -31,4 +35,5 @@ __all__ = [
     "run_batch",
     "run_source",
     "simulate",
+    "verify_pass_log",
 ]

@@ -24,6 +24,15 @@ from .array_parallel import (
     parallelize_array_stores,
     promote_write_once_arrays,
 )
+from .verify import OPTIMIZED_SCHEMAS, VERIFIERS, CertificateError
+from .passes import (
+    Certificate,
+    Pass,
+    PassContext,
+    PassManager,
+    build_passes,
+    verify_pass_log,
+)
 from .pipeline import (
     SCHEMAS,
     CompileOptions,
@@ -35,12 +44,20 @@ from .pipeline import (
 
 __all__ = [
     "ArrayParallelReport",
+    "Certificate",
+    "CertificateError",
     "CompileOptions",
     "CompiledProgram",
+    "OPTIMIZED_SCHEMAS",
+    "Pass",
+    "PassContext",
+    "PassManager",
     "SCHEMAS",
     "SourceVectors",
     "Stream",
     "Translation",
+    "VERIFIERS",
+    "build_passes",
     "compile_program",
     "compute_source_vectors",
     "count_physical_switches",
@@ -60,4 +77,5 @@ __all__ = [
     "translate_allpaths",
     "translate_optimized",
     "value_streams",
+    "verify_pass_log",
 ]

@@ -26,7 +26,12 @@ from ..dfg.graph import DFGraph, Port
 from ..dfg.nodes import OpKind, Seed
 from .allpaths import Translation, _real_in_edges
 from .blocks import StatementTranslator
-from .source_vectors import Source, compute_source_vectors, _src_key
+from .source_vectors import (
+    Source,
+    SourceVectors,
+    compute_source_vectors,
+    _src_key,
+)
 from .streams import Stream
 from .switch_placement import switch_placement
 
@@ -82,17 +87,23 @@ def translate_optimized(
     streams: list[Stream],
     loops: list[Loop],
     placement: dict[str, frozenset[int]] | None = None,
+    svs: SourceVectors | None = None,
 ) -> Translation:
     """Build the no-redundant-switch dataflow graph (Section 4.2's four-step
-    recipe; step 1 is assumed done — pass a loop-augmented CFG)."""
+    recipe; step 1 is assumed done — pass a loop-augmented CFG).
+
+    ``placement``/``svs`` are normally precomputed by the pass pipeline;
+    when omitted (direct callers, tests) they are computed here.
+    """
     from ..obs.trace import tracer
 
     if placement is None:
         with tracer.span("compile.switch_placement"):
             cfg, placement = close_carried_streams(cfg, streams, loops)
-    pdom = postdominator_tree(cfg)
-    with tracer.span("compile.source_vectors"):
-        svs = compute_source_vectors(cfg, streams, placement, loops, pdom)
+    if svs is None:
+        pdom = postdominator_tree(cfg)
+        with tracer.span("compile.source_vectors"):
+            svs = compute_source_vectors(cfg, streams, placement, loops, pdom)
 
     g = DFGraph()
     t = Translation(graph=g, streams=streams)

@@ -1,0 +1,409 @@
+"""The explicit pass-manager pipeline behind :func:`compile_program`.
+
+Each transformation of the paper — interval construction, switch
+placement, source vectors, graph construction, and the Section 4/6
+rewrites — is a :class:`Pass` object that consumes the shared
+:class:`PassContext` IR snapshot, mutates it, and returns a compact,
+JSON-serializable *witness* of what it computed.  The
+:class:`PassManager` wraps every pass in its ``obs`` span, times it, and
+(when ``CompileOptions.verify_passes`` is ``cheap`` or ``full``) hands
+the witness to the pass's independent verifier from
+:mod:`repro.translate.verify` **immediately**, so a
+:class:`~repro.translate.verify.CertificateError` always names the first
+pass whose output is wrong — blame cannot leak downstream.
+
+Two rules make blame exhaustive when verification is on:
+
+* a pass that *raises* is wrapped as a ``CertificateError`` naming that
+  pass (a crash localizes like a bad certificate);
+* verification order equals execution order, so a pass that consumes a
+  verified snapshot and produces a bad one is always the guilty party.
+
+Certificate checking assumes the default loop-augmented pipeline
+(``insert_loops=True``) for cyclic programs: the source-vector equation
+check treats backedges by the loop-entry discipline and is not defined
+for raw cyclic graphs.
+
+Test-only hooks (never set outside the test suite): module flag
+``_TEST_MISPLACE_SWITCH`` here drops one needed switch from the
+placement, and ``repro.cfg.intervals._TEST_SCC_EXIT_BUG`` reintroduces
+the PR-1 code-copying bug — both exist so the mutation-detection tests
+can prove the verifiers blame the *correct* pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.dominance import postdominator_tree
+from ..cfg.intervals import (
+    IrreducibleCFGError,
+    insert_loop_controls,
+    split_irreducible,
+)
+from ..obs.trace import tracer
+from .allpaths import translate_allpaths
+from .array_parallel import parallelize_array_stores, promote_write_once_arrays
+from .optimized import close_carried_streams, translate_optimized
+from .redundant_elim import eliminate_redundant_switches, sweep_dead_value_nodes
+from .source_vectors import compute_source_vectors
+from .switch_placement import count_physical_switches
+from .transforms import forward_stores, parallelize_reads
+from .verify import OPTIMIZED_SCHEMAS, VERIFIERS, CertificateError
+
+#: test-only: drop one needed physical switch from the computed placement
+#: (a deliberately misplaced switch the placement verifier must catch)
+_TEST_MISPLACE_SWITCH = False
+
+
+def _drop_one_switch(cfg, placement):
+    """The misplaced-switch mutation: remove the highest-numbered
+    physical fork from the first stream that has one."""
+    for sname in sorted(placement):
+        physical = sorted(placement[sname] - {cfg.entry})
+        if physical:
+            doctored = dict(placement)
+            doctored[sname] = placement[sname] - {physical[-1]}
+            return doctored
+    return placement
+
+
+@dataclass
+class Certificate:
+    """One pass's entry in the certificate log."""
+
+    pass_name: str
+    kind: str  # analysis | construct | rewrite
+    witness: dict
+    metrics: dict = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+    verified: str = "off"  # off | cheap | full
+    verify_ms: float = 0.0
+
+
+@dataclass
+class PassContext:
+    """The typed IR snapshot threaded through the pipeline."""
+
+    options: object
+    prog: object
+    alias: object
+    raw_cfg: object | None = None  # pre-decomposition CFG (for verifiers)
+    cfg: object | None = None
+    loops: list = field(default_factory=list)
+    streams: list = field(default_factory=list)
+    placement: dict | None = None
+    svs: object | None = None
+    translation: object | None = None
+    array_report: object | None = None
+    istructure_arrays: list = field(default_factory=list)
+    reads_parallelized: int = 0
+    stores_forwarded: int = 0
+    redundant_eliminated: int = 0
+
+
+class Pass:
+    """One pipeline stage: ``run`` mutates the context and returns
+    ``(witness, metrics)``; the matching verifier lives in
+    :data:`repro.translate.verify.VERIFIERS` under ``name``."""
+
+    name: str = ""
+    span: str = ""
+    kind: str = "analysis"
+
+    def span_attrs(self, ctx: PassContext) -> dict:
+        return {}
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        raise NotImplementedError
+
+    @property
+    def verifier(self):
+        return VERIFIERS[self.name]
+
+
+class PassManager:
+    """Run passes in order; verify each certificate immediately when
+    ``verify`` is ``cheap`` or ``full``."""
+
+    def __init__(self, passes: list[Pass], verify: str = "off"):
+        self.passes = passes
+        self.verify = verify
+
+    def run(self, ctx: PassContext) -> list[Certificate]:
+        log: list[Certificate] = []
+        for p in self.passes:
+            t0 = time.perf_counter()
+            try:
+                with tracer.span(p.span, **p.span_attrs(ctx)):
+                    witness, metrics = p.run(ctx)
+            except CertificateError:
+                raise
+            except Exception as exc:
+                if self.verify != "off":
+                    # a crashing pass is its own blame label
+                    raise CertificateError(
+                        p.name,
+                        f"pass raised {type(exc).__name__}: {exc}",
+                    ) from exc
+                raise
+            cert = Certificate(
+                pass_name=p.name,
+                kind=p.kind,
+                witness=witness,
+                metrics=metrics,
+                elapsed_ms=(time.perf_counter() - t0) * 1e3,
+            )
+            if self.verify != "off":
+                tv = time.perf_counter()
+                with tracer.span(f"compile.verify.{p.name}"):
+                    p.verifier(ctx, witness, self.verify)
+                cert.verified = self.verify
+                cert.verify_ms = (time.perf_counter() - tv) * 1e3
+            log.append(cert)
+        return log
+
+
+# -- concrete passes --------------------------------------------------------
+
+
+class IntervalPass(Pass):
+    name = "intervals"
+    span = "compile.intervals"
+    kind = "analysis"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        raw = ctx.cfg
+        split = False
+        try:
+            cfg, loops = insert_loop_controls(raw)
+        except IrreducibleCFGError:
+            cfg, loops = insert_loop_controls(split_irreducible(raw))
+            split = True
+        ctx.raw_cfg = raw
+        ctx.cfg = cfg
+        ctx.loops = loops
+        witness = {
+            "split_applied": split,
+            "loops": [
+                {
+                    "id": lp.id,
+                    "header": lp.header,
+                    "body": sorted(lp.body),
+                    "entry": lp.entry_node,
+                    "exits": sorted(lp.exit_nodes),
+                    "parent": lp.parent,
+                    "depth": lp.depth,
+                    "refs": sorted(lp.refs),
+                }
+                for lp in loops
+            ],
+        }
+        return witness, {"loops": len(loops), "split_applied": split}
+
+
+class SwitchPlacementPass(Pass):
+    name = "switch_placement"
+    span = "compile.switch_placement"
+    kind = "analysis"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        cfg, placement = close_carried_streams(
+            ctx.cfg, ctx.streams, ctx.loops
+        )
+        if _TEST_MISPLACE_SWITCH:
+            placement = _drop_one_switch(cfg, placement)
+        ctx.cfg = cfg
+        ctx.placement = placement
+        witness = {
+            "placement": {
+                sname: sorted(forks) for sname, forks in placement.items()
+            },
+            "carried": {
+                lp.id: sorted(cfg.node(lp.entry_node).carried_streams or ())
+                for lp in ctx.loops
+            },
+        }
+        sites = count_physical_switches(cfg, placement)
+        return witness, {"physical_switch_sites": sites}
+
+
+class SourceVectorPass(Pass):
+    name = "source_vectors"
+    span = "compile.source_vectors"
+    kind = "analysis"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        pdom = postdominator_tree(ctx.cfg)
+        svs = compute_source_vectors(
+            ctx.cfg, ctx.streams, ctx.placement, ctx.loops, pdom
+        )
+        ctx.svs = svs
+
+        def table(per_stream):
+            return {
+                sname: {
+                    nid: sorted([m, d] for m, d in srcs)
+                    for nid, srcs in per_node.items()
+                    if srcs
+                }
+                for sname, per_node in per_stream.items()
+            }
+
+        witness = {
+            "sv": table(svs.sv),
+            "back_bypass": table(svs.back_bypass),
+        }
+        entries = sum(len(t) for t in witness["sv"].values())
+        return witness, {"sites": entries}
+
+
+class ConstructPass(Pass):
+    name = "construct"
+    span = "compile.translate"
+    kind = "construct"
+
+    def span_attrs(self, ctx: PassContext) -> dict:
+        return {"schema": ctx.options.schema}
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        if ctx.options.schema in OPTIMIZED_SCHEMAS:
+            t = translate_optimized(
+                ctx.cfg, ctx.streams, ctx.loops,
+                placement=ctx.placement, svs=ctx.svs,
+            )
+        else:
+            t = translate_allpaths(ctx.cfg, ctx.streams, ctx.loops)
+        ctx.translation = t
+        g = t.graph
+        by_kind: dict[str, int] = {}
+        for n in g.nodes.values():
+            by_kind[n.kind.name] = by_kind.get(n.kind.name, 0) + 1
+        witness = {
+            "nodes": len(g.nodes),
+            "arcs": g.num_arcs(),
+            "by_kind": by_kind,
+            "switches": {f: dict(tab) for f, tab in t.switches.items()},
+        }
+        metrics = {
+            "nodes": len(g.nodes),
+            "arcs": g.num_arcs(),
+            "switches": by_kind.get("SWITCH", 0),
+        }
+        return witness, metrics
+
+
+class RedundantElimPass(Pass):
+    name = "redundant_elim"
+    span = "compile.redundant_elim"
+    kind = "rewrite"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        g = ctx.translation.graph
+        removed: list[int] = []
+        swept: list[int] = []
+        eliminate_redundant_switches(g, removed_log=removed)
+        sweep_dead_value_nodes(g, removed_log=swept)
+        ctx.redundant_eliminated = len(removed)
+        witness = {"switches_removed": removed, "dead_swept": swept}
+        return witness, {
+            "switches_removed": len(removed), "dead_swept": len(swept)
+        }
+
+
+class ArrayParallelPass(Pass):
+    name = "array_parallel"
+    span = "compile.array_parallel"
+    kind = "rewrite"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        report = parallelize_array_stores(
+            ctx.translation, ctx.cfg, ctx.loops
+        )
+        ctx.array_report = report
+        witness = {
+            "pipelined": [list(p) for p in report.pipelined],
+            "skipped": [list(s) for s in report.skipped],
+        }
+        return witness, {
+            "pipelined": len(report.pipelined),
+            "skipped": len(report.skipped),
+        }
+
+
+class IStructurePass(Pass):
+    name = "istructures"
+    span = "compile.istructures"
+    kind = "rewrite"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        promoted = promote_write_once_arrays(
+            ctx.translation, ctx.cfg, ctx.loops, sorted(ctx.prog.arrays)
+        )
+        ctx.istructure_arrays = promoted
+        return {"promoted": list(promoted)}, {"promoted": len(promoted)}
+
+
+class ForwardStoresPass(Pass):
+    name = "forward_stores"
+    span = "compile.forward_stores"
+    kind = "rewrite"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        removed: list[int] = []
+        forward_stores(ctx.translation.graph, eliminated_log=removed)
+        ctx.stores_forwarded = len(removed)
+        return (
+            {"loads_removed": removed},
+            {"loads_forwarded": len(removed)},
+        )
+
+
+class ParallelReadsPass(Pass):
+    name = "parallel_reads"
+    span = "compile.parallel_reads"
+    kind = "rewrite"
+
+    def run(self, ctx: PassContext) -> tuple[dict, dict]:
+        chains: list[dict] = []
+        parallelize_reads(ctx.translation.graph, chain_log=chains)
+        ctx.reads_parallelized = len(chains)
+        return {"chains": chains}, {"chains": len(chains)}
+
+
+def build_passes(opts) -> list[Pass]:
+    """The pass pipeline for one :class:`CompileOptions` value."""
+    passes: list[Pass] = []
+    if opts.insert_loops and opts.schema != "schema1":
+        passes.append(IntervalPass())
+    if opts.schema in OPTIMIZED_SCHEMAS:
+        passes.append(SwitchPlacementPass())
+        passes.append(SourceVectorPass())
+    passes.append(ConstructPass())
+    if opts.redundant_elim:
+        passes.append(RedundantElimPass())
+    if opts.parallelize_arrays:
+        passes.append(ArrayParallelPass())
+    if opts.use_istructures:
+        passes.append(IStructurePass())
+    if opts.forward_stores:
+        passes.append(ForwardStoresPass())
+    if opts.parallel_reads:
+        passes.append(ParallelReadsPass())
+    return passes
+
+
+def verify_pass_log(cp, level: str = "full") -> None:
+    """Re-verify every certificate in a compiled program's log.
+
+    Checks each witness against the program's *current* IR snapshot:
+    certificates whose witness describes graph state (``construct``,
+    the rewrites) only re-verify cleanly if no later pass mutated what
+    they attest to — re-check a pipeline configuration accordingly, or
+    compile with ``verify_passes`` set to verify in-flight instead.
+    """
+    if cp.pass_ctx is None:
+        raise ValueError("compiled program carries no pass context")
+    for cert in cp.pass_log:
+        VERIFIERS[cert.pass_name](cp.pass_ctx, cert.witness, level)

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field, fields
 from ..analysis.alias import AliasStructure, Cover
 from ..cfg.builder import build_cfg
 from ..cfg.graph import CFG
-from ..cfg.intervals import Loop, decompose
+from ..cfg.intervals import Loop
 from ..dfg.graph import DFGraph
 from ..lang.ast_nodes import Program
 from ..lang.parser import parse
@@ -37,15 +37,10 @@ from ..machine.istructure import IStructureMemory
 from ..machine.memory import DataMemory
 from ..machine.simulator import SimResult, Simulator
 from ..obs.trace import tracer
-from .allpaths import Translation, translate_allpaths
-from .array_parallel import (
-    ArrayParallelReport,
-    parallelize_array_stores,
-    promote_write_once_arrays,
-)
-from .optimized import translate_optimized
+from .allpaths import Translation
+from .array_parallel import ArrayParallelReport
+from .passes import Certificate, PassContext, PassManager, build_passes
 from .streams import Stream, cover_streams, streams_for
-from .transforms import forward_stores, parallelize_reads
 
 SCHEMAS = (
     "schema1",
@@ -69,12 +64,24 @@ class CompileOptions:
     forward_stores: bool = False
     parallelize_arrays: bool = False
     use_istructures: bool = False
+    redundant_elim: bool = False  # §4 switch/dead-value cleanup pass
+    #: per-pass translation validation: each pass emits a certificate
+    #: that an independent verifier checks right after the pass runs.
+    #: ``cheap`` = structural + same-algorithm recomputation checks;
+    #: ``full`` adds independent-algorithm oracles (brute-force between
+    #: sets, recursive SCC recomputation, per-array gate recomputation).
+    verify_passes: str = "off"  # off | cheap | full
 
     def __post_init__(self) -> None:
         if self.schema not in SCHEMAS:
             raise ValueError(f"unknown schema {self.schema!r}; pick from {SCHEMAS}")
         if self.cover not in ("singletons", "whole", "alias_classes"):
             raise ValueError(f"unknown cover {self.cover!r}")
+        if self.verify_passes not in ("off", "cheap", "full"):
+            raise ValueError(
+                f"unknown verify_passes {self.verify_passes!r}; "
+                "pick off, cheap, or full"
+            )
 
     def fingerprint(self) -> str:
         """Stable text rendering of every option, in declaration order.
@@ -106,6 +113,12 @@ class CompiledProgram:
     array_report: ArrayParallelReport | None = None
     reads_parallelized: int = 0
     stores_forwarded: int = 0
+    redundant_eliminated: int = 0
+    #: per-pass certificate log (one Certificate per pipeline stage)
+    pass_log: list[Certificate] = field(default_factory=list)
+    #: the PassContext the pipeline ran on; verifiers re-check
+    #: certificates against it (see passes.verify_pass_log)
+    pass_ctx: PassContext | None = None
     expansion: object | None = None  # subroutine ExpansionReport, if any
     opt_report: object | None = None  # cfg OptReport when optimize=True
     #: the graph lowered to flat arrays (see repro.machine.packed), built
@@ -264,54 +277,38 @@ def compile_program(
 
         with tracer.span("compile.cfg_opt"):
             cfg, opt_report = optimize_cfg(cfg)
-    loops: list[Loop] = []
-    use_loops = opts.insert_loops and schema != "schema1"
-    if use_loops:
-        # decompose() applies the paper's code-copying transform first if
-        # the graph has irreducible cyclic regions
-        with tracer.span("compile.intervals"):
-            cfg, loops = decompose(cfg)
-
     with tracer.span("compile.streams"):
         if schema in ("schema3", "schema3_opt"):
             streams = cover_streams(_pick_cover(alias, opts.cover))
         else:
             streams = streams_for(prog, "schema2" if schema == "schema2_opt" else schema, alias=alias)
 
-    with tracer.span("compile.translate", schema=schema):
-        if schema in ("schema2_opt", "schema3_opt", "memory_elim"):
-            translation = translate_optimized(cfg, streams, loops)
-        else:
-            translation = translate_allpaths(cfg, streams, loops)
+    # the back end is an explicit pass pipeline: interval construction,
+    # switch placement, source vectors, graph construction, then the
+    # optional §4/§6 rewrites — each emitting (and, under verify_passes,
+    # immediately checking) a certificate
+    ctx = PassContext(options=opts, prog=prog, alias=alias, cfg=cfg, streams=streams)
+    pass_log = PassManager(build_passes(opts), verify=opts.verify_passes).run(ctx)
 
-    cp = CompiledProgram(
+    return CompiledProgram(
         source=text,
         prog=prog,
         options=opts,
-        cfg=cfg,
-        loops=loops,
-        streams=streams,
-        translation=translation,
+        cfg=ctx.cfg,
+        loops=ctx.loops,
+        streams=ctx.streams,
+        translation=ctx.translation,
         alias=alias,
+        istructure_arrays=ctx.istructure_arrays,
+        array_report=ctx.array_report,
+        reads_parallelized=ctx.reads_parallelized,
+        stores_forwarded=ctx.stores_forwarded,
+        redundant_eliminated=ctx.redundant_eliminated,
+        pass_log=pass_log,
+        pass_ctx=ctx,
         expansion=expansion,
         opt_report=opt_report,
     )
-
-    if opts.parallelize_arrays:
-        with tracer.span("compile.array_parallel"):
-            cp.array_report = parallelize_array_stores(translation, cfg, loops)
-    if opts.use_istructures:
-        with tracer.span("compile.istructures"):
-            cp.istructure_arrays = promote_write_once_arrays(
-                translation, cfg, loops, sorted(prog.arrays)
-            )
-    if opts.forward_stores:
-        with tracer.span("compile.forward_stores"):
-            cp.stores_forwarded = forward_stores(translation.graph)
-    if opts.parallel_reads:
-        with tracer.span("compile.parallel_reads"):
-            cp.reads_parallelized = parallelize_reads(translation.graph)
-    return cp
 
 
 def simulate(

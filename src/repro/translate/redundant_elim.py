@@ -23,11 +23,17 @@ from ..dfg.nodes import OpKind
 _PURE_VALUE_KINDS = (OpKind.CONST, OpKind.BINOP, OpKind.UNOP)
 
 
-def eliminate_redundant_switches(g: DFGraph) -> int:
+def eliminate_redundant_switches(
+    g: DFGraph, removed_log: list[int] | None = None
+) -> int:
     """Remove every switch whose two outputs feed the same merge, iterating
     until no more are found (the cascade).  Returns the number of switches
     removed.  Follow with :func:`sweep_dead_value_nodes` to collect
-    predicate subgraphs that lost all consumers."""
+    predicate subgraphs that lost all consumers.
+
+    ``removed_log``, if given, collects the removed switch node ids (the
+    pass certificate's witness).
+    """
     removed = 0
     changed = True
     while changed:
@@ -47,6 +53,8 @@ def eliminate_redundant_switches(g: DFGraph) -> int:
             if merge.kind is not OpKind.MERGE:
                 continue
             _collapse(g, node, merge, a0, a1)
+            if removed_log is not None:
+                removed_log.append(nid)
             removed += 1
             changed = True
     return removed
@@ -89,11 +97,14 @@ def _collapse(g: DFGraph, sw, merge, a0, a1) -> None:
             g.connect(src, merge.id, i, is_access=acc)
 
 
-def sweep_dead_value_nodes(g: DFGraph) -> int:
+def sweep_dead_value_nodes(
+    g: DFGraph, removed_log: list[int] | None = None
+) -> int:
     """Remove pure value operators (constants, arithmetic) none of whose
     outputs have consumers — the predicate subgraphs orphaned by switch
     elimination.  Iterates (removing a consumer can orphan its inputs).
-    Returns the number of nodes removed."""
+    Returns the number of nodes removed.  ``removed_log``, if given,
+    collects the removed node ids."""
     removed = 0
     changed = True
     while changed:
@@ -105,6 +116,8 @@ def sweep_dead_value_nodes(g: DFGraph) -> int:
             if any(g.consumers(nid, p) for p in range(1)):
                 continue
             g.remove_node(nid)
+            if removed_log is not None:
+                removed_log.append(nid)
             removed += 1
             changed = True
     return removed

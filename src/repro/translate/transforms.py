@@ -34,7 +34,9 @@ def _chain_next(g: DFGraph, nid: int) -> int | None:
     return arc.dst
 
 
-def parallelize_reads(g: DFGraph) -> int:
+def parallelize_reads(
+    g: DFGraph, chain_log: list[dict] | None = None
+) -> int:
     """Section 6.2: "The predecessor of the first load can safely replicate
     access and pass it to every operation in the sequence.  The replicas
     must be collected and passed to the successor of the last operation."
@@ -42,6 +44,9 @@ def parallelize_reads(g: DFGraph) -> int:
     Finds every maximal chain of >= 2 loads linked access-out -> access-in,
     fans the head's access source to all of them, and collects their
     completions with a synch tree.  Returns the number of chains rewritten.
+
+    ``chain_log``, if given, collects one ``{"loads": [...], "synch": id}``
+    record per rewritten chain (the pass certificate's witness).
     """
     nexts: dict[int, int] = {}
     for nid in list(g.nodes):
@@ -80,11 +85,15 @@ def parallelize_reads(g: DFGraph) -> int:
             g.connect(Port(nid, 1), synch.id, i, is_access=True)
         for a in tail_outs:
             g.connect(Port(synch.id, 0), a.dst, a.dst_port, is_access=True)
+        if chain_log is not None:
+            chain_log.append({"loads": list(chain), "synch": synch.id})
         rewritten += 1
     return rewritten
 
 
-def forward_stores(g: DFGraph) -> int:
+def forward_stores(
+    g: DFGraph, eliminated_log: list[int] | None = None
+) -> int:
     """Section 6.2: "If a store to a variable z is followed sequentially by
     a read from z, with no intervening stores to any variable that could be
     aliased to z, then the value stored can be passed directly to the
@@ -94,7 +103,8 @@ def forward_stores(g: DFGraph) -> int:
     disappears; its value consumers read the stored value, its access
     continuation comes from the store's completion.  Iterates to a
     fixpoint (forwarding can expose further pairs).  Returns the number of
-    loads eliminated.
+    loads eliminated.  ``eliminated_log``, if given, collects the removed
+    load node ids (the pass certificate's witness).
     """
     eliminated = 0
     changed = True
@@ -125,6 +135,8 @@ def forward_stores(g: DFGraph) -> int:
                 g.connect(val_src, a.dst, a.dst_port)
             for a in access_consumers:
                 g.connect(Port(producer.id, 0), a.dst, a.dst_port, is_access=True)
+            if eliminated_log is not None:
+                eliminated_log.append(nid)
             eliminated += 1
             changed = True
     return eliminated

@@ -1,0 +1,901 @@
+"""Independent certificate verifiers for the pass-manager pipeline.
+
+Each compilation pass (see :mod:`repro.translate.passes`) emits a compact,
+serializable *witness* of what it claims to have computed; the verifiers
+here check a witness against the IR snapshot **without re-running the
+pass** — the WaveCert recipe applied to the paper's transformations:
+
+* ``intervals`` — loop descriptors re-checked structurally (single entry,
+  edge coverage, nesting) and, at ``full``, against an independent
+  recursive SCC recomputation of the loop nesting forest;
+* ``switch_placement`` — the carried-set fixpoint equation plus, at
+  ``full``, the brute-force Theorem 1 path search: ``F`` needs a switch
+  for ``s`` iff a reference site of ``s`` lies between ``F`` and its
+  immediate postdominator;
+* ``source_vectors`` — the witness is checked to be *the* fixpoint of the
+  Figure 11 transfer rules by recomputing every node's inflow from the
+  witness itself (order-free: forward propagation over the backedge-free
+  graph has a unique solution, so equality proves correctness);
+* ``construct`` — graph inventory, switch table vs placement, and graph
+  well-formedness;
+* ``redundant_elim`` / ``forward_stores`` / ``parallel_reads`` — removed
+  nodes are gone, the rewrite's enabling pattern no longer matches
+  anywhere (the pass ran to its fixpoint), and the graph still validates;
+* ``array_parallel`` — Figure 14 plumbing exists per pipelined (loop,
+  array) and, at ``full``, the iteration-independence gate and the done
+  token's linearity are re-established;
+* ``istructures`` — promoted arrays carry no A-ops, unpromoted arrays no
+  I-ops, and at ``full`` the write-once/read-after-writes gate is
+  recomputed for *every* array in both directions.
+
+Verification levels: ``cheap`` runs the structural/consistency checks
+(linear in the IR); ``full`` adds the independent-algorithm recomputations
+(brute-force path searches, recursive SCCs, per-array analyses).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..analysis.array_dep import (
+    array_is_write_once,
+    store_is_iteration_independent,
+)
+from ..analysis.control_dep import between_set
+from ..analysis.dominance import postdominator_tree
+from ..cfg.graph import CFG, NodeKind
+from ..cfg.intervals import IrreducibleCFGError, find_loops, _sccs
+from ..dfg.nodes import OpKind
+from .redundant_elim import _PURE_VALUE_KINDS
+from .transforms import _acc_in_port, _chain_next, _is_load
+
+#: schemas wired by the Section 4 optimized construction (placement +
+#: source vectors); the rest use the all-paths wiring
+OPTIMIZED_SCHEMAS = ("schema2_opt", "schema3_opt", "memory_elim")
+
+
+class CertificateError(Exception):
+    """A pass certificate failed verification: the named pass is the
+    guilty one (verification runs immediately after each pass, so blame
+    cannot leak downstream)."""
+
+    def __init__(self, pass_name: str, diff: str):
+        self.pass_name = pass_name
+        self.diff = diff
+        super().__init__(f"pass {pass_name!r}: {diff}")
+
+
+def _fail(pass_name: str, diff: str) -> None:
+    raise CertificateError(pass_name, diff)
+
+
+# -- intervals --------------------------------------------------------------
+
+
+def _witness_loops(witness) -> list[dict]:
+    loops = witness.get("loops") if isinstance(witness, dict) else None
+    if not isinstance(loops, list):
+        _fail("intervals", f"malformed witness: {witness!r}")
+    return loops
+
+
+def verify_intervals(ctx, witness, level: str) -> None:
+    name = "intervals"
+    cfg: CFG = ctx.cfg
+    wloops = _witness_loops(witness)
+    try:
+        cfg.validate()
+    except Exception as exc:
+        _fail(name, f"transformed CFG invalid: {exc}")
+
+    actual_entries = sorted(
+        n for n in cfg.nodes if cfg.node(n).kind is NodeKind.LOOP_ENTRY
+    )
+    actual_exits = sorted(
+        n for n in cfg.nodes if cfg.node(n).kind is NodeKind.LOOP_EXIT
+    )
+    w_entries = sorted(int(lp["entry"]) for lp in wloops)
+    w_exits = sorted(int(x) for lp in wloops for x in lp["exits"])
+    if w_entries != actual_entries:
+        _fail(name, f"LOOP_ENTRY nodes {actual_entries} != witness {w_entries}")
+    if w_exits != actual_exits:
+        _fail(name, f"LOOP_EXIT nodes {actual_exits} != witness {w_exits}")
+
+    by_id = {int(lp["id"]): lp for lp in wloops}
+    if len(by_id) != len(wloops):
+        _fail(name, "duplicate loop ids in witness")
+
+    for lp in wloops:
+        lid = int(lp["id"])
+        entry, header = int(lp["entry"]), int(lp["header"])
+        body = {int(n) for n in lp["body"]}
+        exits = [int(x) for x in lp["exits"]]
+        en = cfg.node(entry)
+        if en.kind is not NodeKind.LOOP_ENTRY or en.loop_id != lid:
+            _fail(name, f"loop {lid}: node {entry} is not its LOOP_ENTRY")
+        if cfg.succ_ids(entry) != [header]:
+            _fail(name, f"loop {lid}: entry {entry} does not lead to "
+                        f"header {header} alone")
+        if header not in body:
+            _fail(name, f"loop {lid}: header {header} outside body")
+        allowed_in = body | {entry}
+        for n in body:
+            for e in cfg.in_edges(n):
+                if e.src not in allowed_in:
+                    _fail(name, f"loop {lid}: body node {n} entered from "
+                                f"outside ({e.src}) — not single-entry")
+            for e in cfg.out_edges(n):
+                if (e.dst not in body and e.dst != entry
+                        and e.dst not in exits):
+                    _fail(name, f"loop {lid}: edge {n}->{e.dst} leaves the "
+                                f"body without a LOOP_EXIT")
+        for x in exits:
+            xn = cfg.node(x)
+            if xn.kind is not NodeKind.LOOP_EXIT or xn.loop_id != lid:
+                _fail(name, f"loop {lid}: node {x} is not its LOOP_EXIT")
+            ins = cfg.in_edges(x)
+            if len(ins) != 1 or ins[0].src not in body:
+                _fail(name, f"loop {lid}: exit {x} not fed by exactly one "
+                            f"body node")
+            outs = cfg.out_edges(x)
+            if len(outs) != 1 or outs[0].dst in body or outs[0].dst == entry:
+                _fail(name, f"loop {lid}: exit {x} does not leave the loop")
+        refs = frozenset().union(
+            frozenset(), *(cfg.node(n).refs() for n in body)
+        )
+        if refs != frozenset(lp["refs"]):
+            _fail(name, f"loop {lid}: refs {sorted(refs)} != witness "
+                        f"{sorted(lp['refs'])}")
+        parent = lp["parent"]
+        if parent is None:
+            if int(lp["depth"]) != 0:
+                _fail(name, f"loop {lid}: top-level loop at depth "
+                            f"{lp['depth']}")
+        else:
+            pw = by_id.get(int(parent))
+            if pw is None:
+                _fail(name, f"loop {lid}: unknown parent {parent}")
+            pbody = {int(n) for n in pw["body"]}
+            if not body < pbody:
+                _fail(name, f"loop {lid}: body not nested in parent "
+                            f"{parent}'s body")
+            if int(lp["depth"]) != int(pw["depth"]) + 1:
+                _fail(name, f"loop {lid}: depth {lp['depth']} != parent "
+                            f"depth {pw['depth']} + 1")
+
+    if level == "full":
+        _verify_intervals_full(ctx, witness, wloops, by_id)
+
+
+def _verify_intervals_full(ctx, witness, wloops, by_id) -> None:
+    """Independent recomputation: the loop nesting forest of the
+    *transformed* graph, found by recursive SCC analysis, must match the
+    witness one-to-one (matched on entry nodes)."""
+    name = "intervals"
+    cfg: CFG = ctx.cfg
+
+    def descendants(lid: int) -> set[int]:
+        out, frontier = set(), [lid]
+        while frontier:
+            cur = frontier.pop()
+            for other in by_id.values():
+                if other["parent"] is not None and int(other["parent"]) == cur:
+                    oid = int(other["id"])
+                    if oid not in out:
+                        out.add(oid)
+                        frontier.append(oid)
+        return out
+
+    def check_region(region: set[int], expected: list[dict]) -> None:
+        expected_by_entry = {int(lp["entry"]): lp for lp in expected}
+        seen = set()
+        for scc in _sccs(region, cfg):
+            entries = {
+                e.dst
+                for nid in scc
+                for e in cfg.in_edges(nid)
+                if e.src not in scc
+            }
+            if len(entries) != 1:
+                _fail(name, f"transformed graph still has a multi-entry "
+                            f"cyclic region {sorted(scc)}")
+            entry = entries.pop()
+            lp = expected_by_entry.get(entry)
+            if lp is None:
+                _fail(name, f"SCC entered at {entry} matches no witness "
+                            f"loop at this nesting level")
+            lid = int(lp["id"])
+            seen.add(entry)
+            body = {int(n) for n in lp["body"]}
+            extra = scc - body - {entry}
+            if extra:
+                _fail(name, f"loop {lid}: SCC nodes {sorted(extra)} missing "
+                            f"from witness body")
+            # body may keep control nodes of descendant loops that the
+            # cyclic region no longer passes through (an inner exit
+            # chained straight into this loop's exit)
+            desc = descendants(lid)
+            ctrl = {
+                int(n)
+                for d in desc
+                for n in ([by_id[d]["entry"]] + list(by_id[d]["exits"]))
+            }
+            leftovers = body - scc
+            bad = {
+                n for n in leftovers
+                if n not in ctrl
+                or cfg.node(n).kind not in (NodeKind.LOOP_ENTRY,
+                                            NodeKind.LOOP_EXIT)
+            }
+            if bad:
+                _fail(name, f"loop {lid}: witness body nodes {sorted(bad)} "
+                            f"not in the recomputed cyclic region")
+            children = [
+                c for c in by_id.values()
+                if c["parent"] is not None and int(c["parent"]) == lid
+            ]
+            check_region(scc - {entry}, children)
+        missing = set(expected_by_entry) - seen
+        if missing:
+            _fail(name, f"witness loops entered at {sorted(missing)} have "
+                        f"no cyclic region in the graph")
+
+    top = [lp for lp in wloops if lp["parent"] is None]
+    check_region(set(cfg.nodes), top)
+
+    if ctx.raw_cfg is not None:
+        irreducible = False
+        try:
+            find_loops(ctx.raw_cfg)
+        except IrreducibleCFGError:
+            irreducible = True
+        if bool(witness.get("split_applied")) != irreducible:
+            _fail(name, f"split_applied={witness.get('split_applied')} but "
+                        f"raw CFG irreducible={irreducible}")
+
+
+# -- switch placement -------------------------------------------------------
+
+
+def _parse_placement(witness) -> dict[str, frozenset[int]]:
+    placement = witness.get("placement") if isinstance(witness, dict) else None
+    if not isinstance(placement, dict):
+        _fail("switch_placement", f"malformed witness: {witness!r}")
+    return {
+        str(sname): frozenset(int(f) for f in forks)
+        for sname, forks in placement.items()
+    }
+
+
+def verify_switch_placement(ctx, witness, level: str) -> None:
+    name = "switch_placement"
+    cfg: CFG = ctx.cfg
+    placement = _parse_placement(witness)
+    carried_w = {
+        int(lid): frozenset(names)
+        for lid, names in (witness.get("carried") or {}).items()
+    }
+    snames = {s.name for s in ctx.streams}
+    if set(placement) != snames:
+        _fail(name, f"placement streams {sorted(placement)} != "
+                    f"{sorted(snames)}")
+    if ctx.placement is not None:
+        actual = {k: frozenset(v) for k, v in ctx.placement.items()}
+        if placement != actual:
+            bad = [k for k in placement if placement[k] != actual.get(k)]
+            _fail(name, f"witness placement disagrees with the IR for "
+                        f"streams {sorted(bad)}")
+    for sname, forks in placement.items():
+        for f in forks:
+            if f not in cfg.nodes or not cfg.is_fork(f):
+                _fail(name, f"stream {sname!r}: placed node {f} is not "
+                            f"a fork")
+
+    by_name = {s.name: s for s in ctx.streams}
+    for lp in ctx.loops:
+        want = carried_w.get(lp.id)
+        if want is None:
+            _fail(name, f"loop {lp.id}: no carried set in witness")
+        for nid in [lp.entry_node, *lp.exit_nodes]:
+            got = cfg.node(nid).carried_streams
+            if got is None:
+                _fail(name, f"loop {lp.id}: control node {nid} has no "
+                            f"carried-stream annotation")
+            if got != want:
+                _fail(name, f"loop {lp.id}: node {nid} carries "
+                            f"{sorted(got)} != witness {sorted(want)}")
+        # the carried set must be a fixpoint of the closure equation:
+        # base references plus any stream some body fork switches
+        base = {
+            s.name for s in ctx.streams if s.governs & lp.refs
+        }
+        body_forks = [
+            n for n in lp.body if cfg.node(n).kind is NodeKind.FORK
+        ]
+        closed = base | {
+            sname
+            for sname in snames
+            if any(f in placement[sname] for f in body_forks)
+        }
+        if closed != want:
+            _fail(name, f"loop {lp.id}: carried set {sorted(want)} is not "
+                        f"the closure fixpoint {sorted(closed)}")
+
+    if level == "cheap":
+        from .switch_placement import switch_placement as _recompute
+
+        recomputed = _recompute(cfg, ctx.streams)
+        if {k: frozenset(v) for k, v in recomputed.items()} != placement:
+            bad = [k for k in placement
+                   if placement[k] != frozenset(recomputed.get(k, ()))]
+            _fail(name, f"recomputed placement differs for streams "
+                        f"{sorted(bad)}")
+        return
+
+    # full: Theorem 1 by brute-force path search, per (stream, fork)
+    pdom = postdominator_tree(cfg)
+    between_cache: dict[int, set[int]] = {}
+    candidates = [n for n in cfg.nodes if cfg.is_fork(n)]
+    for sname in sorted(snames):
+        s = by_name[sname]
+        sites = {n for n in cfg.nodes if s.referenced_by(cfg.node(n))}
+        for f in candidates:
+            if f not in between_cache:
+                between_cache[f] = between_set(cfg, f, pdom)
+            needs = bool(between_cache[f] & sites)
+            placed = f in placement[sname]
+            if needs != placed:
+                _fail(name, f"stream {sname!r} fork {f}: brute-force "
+                            f"needs_switch={needs} but placement says "
+                            f"{placed}")
+        extra = placement[sname] - set(candidates)
+        if extra:
+            _fail(name, f"stream {sname!r}: non-fork nodes {sorted(extra)} "
+                        f"in placement")
+
+
+# -- source vectors ---------------------------------------------------------
+
+
+def _parse_sv_table(table) -> dict[str, dict[int, frozenset]]:
+    out: dict[str, dict[int, frozenset]] = {}
+    for sname, per_node in (table or {}).items():
+        out[str(sname)] = {
+            int(nid): frozenset((int(m), bool(d)) for m, d in srcs)
+            for nid, srcs in per_node.items()
+        }
+    return out
+
+
+def _sv_inflow(cfg: CFG, streams, placement, loops, pdom, W):
+    """One application of the Figure 11 transfer rules, reading every
+    node's inflow from the witness ``W`` instead of from accumulated
+    state.  Order-free: each node's contribution depends only on ``W``
+    at that node, so any traversal order yields the same result."""
+    loops_by_entry = {lp.entry_node: lp for lp in loops}
+    inflow: dict[str, dict[int, set]] = {
+        s.name: {n: set() for n in cfg.nodes} for s in streams
+    }
+    bb: dict[str, dict[int, set]] = {s.name: {} for s in streams}
+    convention = (cfg.entry, cfg.exit, False)
+
+    def w_at(name: str, nid: int) -> frozenset:
+        return W.get(name, {}).get(nid, frozenset())
+
+    def bypass_to(fork: int, name: str, contribution) -> None:
+        if not contribution:
+            return
+        p = pdom.idom[fork]
+        lp = loops_by_entry.get(p)
+        if lp is not None and fork in lp.body:
+            bb[name].setdefault(p, set()).update(contribution)
+        else:
+            inflow[name][p].update(contribution)
+
+    def forward_edges(nid: int):
+        out = []
+        for e in cfg.out_edges(nid):
+            if (e.src, e.dst, e.direction) == convention:
+                continue
+            lp = loops_by_entry.get(e.dst)
+            if lp is not None and e.src in lp.body:
+                continue
+            out.append(e)
+        return out
+
+    for nid in cfg.nodes:
+        node = cfg.node(nid)
+        kind = node.kind
+        for s in streams:
+            name = s.name
+            if kind is NodeKind.START:
+                true_succ = next(
+                    e.dst for e in cfg.out_edges(nid) if e.direction is True
+                )
+                inflow[name][true_succ].add((nid, True))
+            elif kind is NodeKind.END:
+                continue
+            elif kind is NodeKind.FORK:
+                if nid != cfg.entry and nid in placement[name]:
+                    for e in forward_edges(nid):
+                        inflow[name][e.dst].add((nid, bool(e.direction)))
+                elif s.referenced_by(node):
+                    bypass_to(nid, name, {(nid, True)})
+                else:
+                    bypass_to(nid, name, w_at(name, nid))
+            elif kind is NodeKind.JOIN:
+                srcs = w_at(name, nid)
+                if len(srcs) > 1:
+                    contribution = {(nid, True)}
+                else:
+                    contribution = set(srcs)
+                for e in forward_edges(nid):
+                    inflow[name][e.dst].update(contribution)
+            elif kind is NodeKind.LOOP_ENTRY and not s.referenced_by(node):
+                lp = loops_by_entry[nid]
+                target = nid
+                for p in pdom.walk_up(pdom.idom[nid]):
+                    if p not in lp.body and p != nid:
+                        target = p
+                        break
+                srcs = w_at(name, nid)
+                if len(srcs) > 1:
+                    inflow[name][target].add((nid, True))
+                else:
+                    inflow[name][target].update(srcs)
+            else:
+                if s.referenced_by(node):
+                    contribution = {(nid, True)}
+                else:
+                    contribution = set(w_at(name, nid))
+                for e in forward_edges(nid):
+                    inflow[name][e.dst].update(contribution)
+    return inflow, bb
+
+
+def verify_source_vectors(ctx, witness, level: str) -> None:
+    name = "source_vectors"
+    cfg: CFG = ctx.cfg
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    W = _parse_sv_table(witness.get("sv"))
+    BB = _parse_sv_table(witness.get("back_bypass"))
+    snames = {s.name for s in ctx.streams}
+    if set(W) - snames or set(BB) - snames:
+        _fail(name, f"witness names unknown streams "
+                    f"{sorted((set(W) | set(BB)) - snames)}")
+
+    if ctx.svs is not None:
+        for s in ctx.streams:
+            actual = {
+                n: v for n, v in ctx.svs.sv.get(s.name, {}).items() if v
+            }
+            if W.get(s.name, {}) != actual:
+                _fail(name, f"witness SV for {s.name!r} disagrees with "
+                            f"the IR snapshot")
+            actual_bb = {
+                n: v
+                for n, v in ctx.svs.back_bypass.get(s.name, {}).items()
+                if v
+            }
+            if BB.get(s.name, {}) != actual_bb:
+                _fail(name, f"witness back-bypass for {s.name!r} disagrees "
+                            f"with the IR snapshot")
+
+    pdom = postdominator_tree(cfg)
+    inflow, bb = _sv_inflow(
+        cfg, ctx.streams, ctx.placement, ctx.loops, pdom, W
+    )
+    for s in ctx.streams:
+        per_node = inflow[s.name]
+        for n in cfg.nodes:
+            got = frozenset(per_node.get(n, ()))
+            want = W.get(s.name, {}).get(n, frozenset())
+            if got != want:
+                _fail(name, f"stream {s.name!r} node {n}: the witness is "
+                            f"not a fixpoint of the Figure 11 rules "
+                            f"({sorted(want)} vs recomputed {sorted(got)})")
+        got_bb = {n: frozenset(v) for n, v in bb[s.name].items() if v}
+        want_bb = BB.get(s.name, {})
+        if got_bb != want_bb:
+            _fail(name, f"stream {s.name!r}: back-bypass table is not a "
+                        f"fixpoint of the Figure 11 rules")
+
+    if level != "full":
+        return
+
+    # full: every recorded source exists and can reach its consumer, and
+    # every site the construction will consume with .single() has exactly
+    # one source (so the build cannot crash later)
+    reach_cache: dict[int, set[int]] = {}
+
+    def reaches(m: int, n: int) -> bool:
+        if m not in reach_cache:
+            seen = set()
+            frontier = deque([m])
+            while frontier:
+                cur = frontier.popleft()
+                for sid in cfg.succ_ids(cur):
+                    if sid not in seen:
+                        seen.add(sid)
+                        frontier.append(sid)
+            reach_cache[m] = seen
+        return n in reach_cache[m]
+
+    for sname, per_node in list(W.items()) + list(BB.items()):
+        for n, srcs in per_node.items():
+            if n not in cfg.nodes:
+                _fail(name, f"stream {sname!r}: SV recorded at unknown "
+                            f"node {n}")
+            for (m, _d) in srcs:
+                if m not in cfg.nodes:
+                    _fail(name, f"stream {sname!r} node {n}: source {m} "
+                                f"is not a CFG node")
+                if not reaches(m, n):
+                    _fail(name, f"stream {sname!r} node {n}: source {m} "
+                                f"cannot reach it")
+
+    for s in ctx.streams:
+        for n in cfg.nodes:
+            node = cfg.node(n)
+            needs_single = (
+                (node.kind is NodeKind.ASSIGN and s.referenced_by(node))
+                or (node.kind is NodeKind.FORK and n != cfg.entry
+                    and (s.referenced_by(node)
+                         or n in ctx.placement[s.name]))
+                or (node.kind is NodeKind.LOOP_EXIT
+                    and s.referenced_by(node))
+            )
+            if needs_single:
+                srcs = W.get(s.name, {}).get(n, frozenset())
+                if len(srcs) != 1:
+                    _fail(name, f"stream {s.name!r} node {n}: consuming "
+                                f"site has {len(srcs)} sources, wants 1")
+
+
+# -- graph construction -----------------------------------------------------
+
+
+def verify_construct(ctx, witness, level: str) -> None:
+    name = "construct"
+    t = ctx.translation
+    g = t.graph
+    cfg: CFG = ctx.cfg
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    if witness.get("nodes") != len(g.nodes):
+        _fail(name, f"node count {len(g.nodes)} != witness "
+                    f"{witness.get('nodes')}")
+    if witness.get("arcs") != g.num_arcs():
+        _fail(name, f"arc count {g.num_arcs()} != witness "
+                    f"{witness.get('arcs')}")
+    by_kind = {}
+    for n in g.nodes.values():
+        by_kind[n.kind.name] = by_kind.get(n.kind.name, 0) + 1
+    if dict(witness.get("by_kind") or {}) != by_kind:
+        _fail(name, f"kind inventory {by_kind} != witness "
+                    f"{witness.get('by_kind')}")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"graph invalid: {exc}")
+
+    switches = {
+        int(f): {str(sn): int(did) for sn, did in table.items()}
+        for f, table in (witness.get("switches") or {}).items()
+    }
+    if switches != t.switches:
+        _fail(name, "witness switch table disagrees with the IR")
+    for f, table in switches.items():
+        for sname, did in table.items():
+            node = g.nodes.get(did)
+            if node is None or node.kind is not OpKind.SWITCH:
+                _fail(name, f"fork {f} stream {sname!r}: node {did} is "
+                            f"not a SWITCH")
+
+    snames = [s.name for s in ctx.streams]
+    actual_pairs = {
+        (f, sn) for f, table in switches.items() for sn in table
+    }
+    if ctx.options.schema in OPTIMIZED_SCHEMAS:
+        expected_pairs = {
+            (f, sname)
+            for sname in snames
+            for f in ctx.placement[sname]
+            if f != cfg.entry and cfg.node(f).kind is NodeKind.FORK
+        }
+        if actual_pairs != expected_pairs:
+            _fail(name, f"switch set disagrees with placement: extra "
+                        f"{sorted(actual_pairs - expected_pairs)}, missing "
+                        f"{sorted(expected_pairs - actual_pairs)}")
+    elif snames:
+        forks = [
+            n for n in cfg.nodes if cfg.node(n).kind is NodeKind.FORK
+        ]
+        expected_pairs = {(f, sn) for f in forks for sn in snames}
+        if actual_pairs != expected_pairs:
+            _fail(name, f"all-paths wiring must switch every stream at "
+                        f"every fork; got {len(actual_pairs)} switches, "
+                        f"expected {len(expected_pairs)}")
+
+    if level == "full" and ctx.options.schema in OPTIMIZED_SCHEMAS:
+        for f, table in switches.items():
+            preds = set()
+            for did in table.values():
+                arc = g.producer(did, 1)
+                if arc is None:
+                    _fail(name, f"fork {f}: switch {did} has no predicate "
+                                f"input")
+                preds.add((arc.src, arc.src_port))
+            if len(preds) > 1:
+                _fail(name, f"fork {f}: its switches read {len(preds)} "
+                            f"different predicate sources")
+
+
+# -- redundant elimination --------------------------------------------------
+
+
+def verify_redundant_elim(ctx, witness, level: str) -> None:
+    name = "redundant_elim"
+    g = ctx.translation.graph
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    removed = [int(n) for n in witness.get("switches_removed", [])]
+    swept = [int(n) for n in witness.get("dead_swept", [])]
+    for nid in removed + swept:
+        if nid in g.nodes:
+            _fail(name, f"node {nid} reported removed but still present")
+    if ctx.redundant_eliminated != len(removed):
+        _fail(name, f"counter {ctx.redundant_eliminated} != "
+                    f"{len(removed)} recorded removals")
+    # the pass claims a fixpoint: no redundant switch may remain
+    for nid, node in g.nodes.items():
+        if node.kind is not OpKind.SWITCH:
+            continue
+        outs0 = g.consumers(nid, 0)
+        outs1 = g.consumers(nid, 1)
+        if len(outs0) == 1 and len(outs1) == 1:
+            (a0,), (a1,) = outs0, outs1
+            if (a0.dst == a1.dst
+                    and g.node(a0.dst).kind is OpKind.MERGE):
+                _fail(name, f"switch {nid} still feeds merge {a0.dst} on "
+                            f"both outputs (fixpoint not reached)")
+    for nid, node in g.nodes.items():
+        if node.kind in _PURE_VALUE_KINDS and not g.consumers(nid, 0):
+            _fail(name, f"dead value node {nid} ({node.kind.name}) "
+                        f"survived the sweep")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"graph invalid after elimination: {exc}")
+
+
+# -- array-store pipelining (Figure 14) -------------------------------------
+
+
+def verify_array_parallel(ctx, witness, level: str) -> None:
+    name = "array_parallel"
+    g = ctx.translation.graph
+    cfg: CFG = ctx.cfg
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    pipelined = [(int(lid), str(arr)) for lid, arr in
+                 witness.get("pipelined", [])]
+    skipped = [(int(lid), str(arr), str(why)) for lid, arr, why in
+               witness.get("skipped", [])]
+    if ctx.array_report is not None:
+        if (tuple(pipelined) != ctx.array_report.pipelined
+                or tuple(skipped) != ctx.array_report.skipped):
+            _fail(name, "witness disagrees with the recorded report")
+    overlap = {(l, a) for l, a in pipelined} & {
+        (l, a) for l, a, _ in skipped
+    }
+    if overlap:
+        _fail(name, f"(loop, array) pairs both pipelined and skipped: "
+                    f"{sorted(overlap)}")
+
+    les = {
+        n.loop_id: n for n in g.nodes.values()
+        if n.kind is OpKind.LOOP_ENTRY
+    }
+    for lid, arr in pipelined:
+        done = f"~done:{arr}"
+        le = les.get(lid)
+        if le is None or done not in le.channel_labels:
+            _fail(name, f"loop {lid}: LOOP_ENTRY lacks the {done!r} "
+                        f"completion channel")
+        if not any(
+            n.kind is OpKind.LOOP_EXIT and n.loop_id == lid
+            and done in n.channel_labels
+            for n in g.nodes.values()
+        ):
+            _fail(name, f"loop {lid}: no LOOP_EXIT carries {done!r}")
+
+    def count_tagged(kind: OpKind, tag: str) -> int:
+        return sum(
+            1 for n in g.nodes.values() if n.kind is kind and n.tag == tag
+        )
+
+    per_arr: dict[str, int] = {}
+    for _lid, arr in pipelined:
+        per_arr[arr] = per_arr.get(arr, 0) + 1
+    for arr, cnt in per_arr.items():
+        for kind, tag in (
+            (OpKind.SYNCH, f"fig14-done:{arr}"),
+            (OpKind.SWITCH, f"fig14-switch:{arr}"),
+            (OpKind.SYNCH, f"fig14-exit:{arr}"),
+        ):
+            got = count_tagged(kind, tag)
+            if got != cnt:
+                _fail(name, f"array {arr!r}: {got} {tag!r} nodes for "
+                            f"{cnt} pipelined loops")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"graph invalid after rewrite: {exc}")
+
+    if level != "full":
+        return
+
+    loops_by_id = {lp.id: lp for lp in ctx.loops}
+    for lid, arr in pipelined:
+        lp = loops_by_id.get(lid)
+        if lp is None:
+            _fail(name, f"pipelined loop {lid} does not exist")
+        stores = [
+            n for n in lp.body
+            if cfg.node(n).kind is NodeKind.ASSIGN
+            and cfg.node(n).stores() == {arr}
+        ]
+        if len(stores) != 1:
+            _fail(name, f"loop {lid}: {len(stores)} stores to {arr!r}, "
+                        f"pipelining needs exactly one")
+        if not store_is_iteration_independent(cfg, lp, stores[0]):
+            _fail(name, f"loop {lid}: store to {arr!r} is not iteration "
+                        f"independent — the rewrite was unsound")
+        # done-token linearity: the completion channel output feeds
+        # exactly one consumer, the per-iteration synch
+        le = les[lid]
+        ci = le.channel_labels.index(f"~done:{arr}")
+        outs = g.consumers(le.id, ci)
+        if len(outs) != 1 or g.node(outs[0].dst).kind is not OpKind.SYNCH:
+            _fail(name, f"loop {lid}: {arr!r} completion token is not "
+                        f"linear (consumers: {len(outs)})")
+
+
+# -- I-structure promotion --------------------------------------------------
+
+
+def verify_istructures(ctx, witness, level: str) -> None:
+    name = "istructures"
+    g = ctx.translation.graph
+    cfg: CFG = ctx.cfg
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    promoted = [str(a) for a in witness.get("promoted", [])]
+    if promoted != list(ctx.istructure_arrays):
+        _fail(name, f"witness promoted {promoted} != recorded "
+                    f"{list(ctx.istructure_arrays)}")
+    pset = set(promoted)
+    for n in g.nodes.values():
+        if n.kind in (OpKind.ASTORE, OpKind.ALOAD) and n.var in pset:
+            _fail(name, f"promoted array {n.var!r} still has a "
+                        f"{n.kind.name} (node {n.id})")
+        if n.kind in (OpKind.ISTORE, OpKind.ILOAD) and n.var not in pset:
+            _fail(name, f"unpromoted array {n.var!r} has a {n.kind.name} "
+                        f"(node {n.id})")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"graph invalid after promotion: {exc}")
+
+    if level != "full":
+        return
+    from .array_parallel import _reads_strictly_after_writing_loops
+
+    for arr in sorted(ctx.prog.arrays):
+        eligible = array_is_write_once(cfg, ctx.loops, arr) and (
+            _reads_strictly_after_writing_loops(cfg, ctx.loops, arr)
+        )
+        if eligible != (arr in pset):
+            verb = "missed eligible" if eligible else "wrongly promoted"
+            _fail(name, f"{verb} array {arr!r}")
+
+
+# -- store forwarding -------------------------------------------------------
+
+
+def verify_forward_stores(ctx, witness, level: str) -> None:
+    name = "forward_stores"
+    g = ctx.translation.graph
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    removed = [int(n) for n in witness.get("loads_removed", [])]
+    for nid in removed:
+        if nid in g.nodes:
+            _fail(name, f"load {nid} reported forwarded but still present")
+    if ctx.stores_forwarded != len(removed):
+        _fail(name, f"counter {ctx.stores_forwarded} != {len(removed)} "
+                    f"recorded removals")
+    if level == "full":
+        for nid, node in g.nodes.items():
+            if node.kind is not OpKind.LOAD:
+                continue
+            arc = g.producer(nid, 0)
+            if arc is None or arc.src_port != 0:
+                continue
+            producer = g.node(arc.src)
+            if (producer.kind is OpKind.STORE
+                    and producer.var == node.var):
+                _fail(name, f"forwardable STORE->LOAD pair "
+                            f"({arc.src}->{nid}, var {node.var!r}) "
+                            f"survived the fixpoint")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"graph invalid after forwarding: {exc}")
+
+
+# -- parallel reads ---------------------------------------------------------
+
+
+def verify_parallel_reads(ctx, witness, level: str) -> None:
+    name = "parallel_reads"
+    g = ctx.translation.graph
+    if not isinstance(witness, dict):
+        _fail(name, f"malformed witness: {witness!r}")
+    chains = witness.get("chains", [])
+    if ctx.reads_parallelized != len(chains):
+        _fail(name, f"counter {ctx.reads_parallelized} != {len(chains)} "
+                    f"recorded chains")
+    for chain in chains:
+        loads = [int(n) for n in chain["loads"]]
+        synch_id = int(chain["synch"])
+        synch = g.nodes.get(synch_id)
+        if (synch is None or synch.kind is not OpKind.SYNCH
+                or synch.tag != "parallel-reads"):
+            _fail(name, f"chain collector {synch_id} is not a "
+                        f"parallel-reads SYNCH")
+        if synch.nports != len(loads):
+            _fail(name, f"collector {synch_id} has {synch.nports} ports "
+                        f"for {len(loads)} loads")
+        srcs = set()
+        for nid in loads:
+            node = g.nodes.get(nid)
+            if node is None or not _is_load(g, nid):
+                _fail(name, f"chain member {nid} is not a load")
+            arc = g.producer(nid, _acc_in_port(node.kind))
+            if arc is None:
+                _fail(name, f"load {nid} lost its access input")
+            srcs.add((arc.src, arc.src_port))
+            if not any(
+                a.dst == synch_id for a in g.consumers(nid, 1)
+            ):
+                _fail(name, f"load {nid} does not report completion to "
+                            f"collector {synch_id}")
+        if len(srcs) != 1:
+            _fail(name, f"chain via {synch_id}: loads read access from "
+                        f"{len(srcs)} different sources, want one fan-out")
+    if level == "full":
+        for nid in g.nodes:
+            if _is_load(g, nid) and _chain_next(g, nid) is not None:
+                _fail(name, f"sequential load chain through {nid} "
+                            f"survived the rewrite")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"graph invalid after rewrite: {exc}")
+
+
+#: pass name -> verifier(ctx, witness, level)
+VERIFIERS = {
+    "intervals": verify_intervals,
+    "switch_placement": verify_switch_placement,
+    "source_vectors": verify_source_vectors,
+    "construct": verify_construct,
+    "redundant_elim": verify_redundant_elim,
+    "array_parallel": verify_array_parallel,
+    "istructures": verify_istructures,
+    "forward_stores": verify_forward_stores,
+    "parallel_reads": verify_parallel_reads,
+}

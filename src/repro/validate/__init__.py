@@ -19,32 +19,44 @@ correctness gate every future backend must pass:
   ``repro fuzz``, wired into the obs metrics/span layers.
 """
 
-from .fuzz import FuzzReport, run_fuzz
+from .fuzz import Finding, FuzzReport, run_fuzz
 from .oracle import (
     DETERMINISTIC_METRIC_FIELDS,
     Divergence,
     OracleReport,
+    assign_blame,
     check_batch_routes,
     check_program,
     legal_schemas,
 )
 from .progen import GeneratedProgram, GenKnobs, generate
-from .reduce import MinimizeResult, minimize, parse_regression, write_regression
+from .reduce import (
+    MinimizeResult,
+    RegressionFormatError,
+    minimize,
+    parse_regression,
+    parse_regression_strict,
+    write_regression,
+)
 
 __all__ = [
     "DETERMINISTIC_METRIC_FIELDS",
     "Divergence",
+    "Finding",
     "FuzzReport",
     "GenKnobs",
     "GeneratedProgram",
     "MinimizeResult",
     "OracleReport",
+    "RegressionFormatError",
+    "assign_blame",
     "check_batch_routes",
     "check_program",
     "generate",
     "legal_schemas",
     "minimize",
     "parse_regression",
+    "parse_regression_strict",
     "run_fuzz",
     "write_regression",
 ]

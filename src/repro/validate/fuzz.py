@@ -20,7 +20,15 @@ from pathlib import Path
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import tracer
-from .oracle import Divergence, OracleReport, check_batch_routes, check_program
+from ..translate.pipeline import SCHEMAS, CompileOptions, compile_program
+from ..translate.verify import CertificateError
+from .oracle import (
+    Divergence,
+    OracleReport,
+    assign_blame,
+    check_batch_routes,
+    check_program,
+)
 from .progen import GeneratedProgram, GenKnobs, generate
 from .reduce import minimize, write_regression
 
@@ -39,6 +47,9 @@ class Finding:
     minimized: str | None = None
     minimized_lines: int = 0
     regression_path: Path | None = None
+    #: which predicate drove minimization: "oracle" (full N-way re-check)
+    #: or "pass:<name>" (the blamed pass's verifier alone)
+    minimized_via: str = ""
 
     @property
     def divergence(self) -> Divergence:
@@ -99,6 +110,26 @@ def _same_kind_predicate(finding_kind: str, inputs, **oracle_kwargs):
     return predicate
 
 
+def _pass_verifier_predicate(schema: str, pass_name: str):
+    """Minimization predicate for a blamed finding: compile-only, with
+    per-pass verification at ``full`` — the candidate still reproduces
+    iff the *same pass's* certificate is rejected.  No simulation, no
+    N-way fan-out: each ddmin probe is one compile."""
+
+    options = CompileOptions(schema=schema, verify_passes="full")
+
+    def predicate(source: str) -> bool:
+        try:
+            compile_program(source, options=options)
+        except CertificateError as exc:
+            return exc.pass_name == pass_name
+        except Exception:
+            return False
+        return False
+
+    return predicate
+
+
 def run_fuzz(
     seed: int = 0,
     count: int = 100,
@@ -112,6 +143,8 @@ def run_fuzz(
     max_findings: int = 10,
     registry: MetricsRegistry | None = None,
     progress=None,
+    verify_passes: str = "off",
+    blame: bool = False,
 ) -> FuzzReport:
     """Run one fuzz campaign; see the module docstring.
 
@@ -123,6 +156,12 @@ def run_fuzz(
       (a broken build diverges everywhere; there is nothing to learn
       from finding #200).
     * ``progress`` — optional callable ``(i, report)`` per program.
+    * ``verify_passes`` — per-pass translation validation level during
+      the oracle's compiles (``off``/``cheap``/``full``).
+    * ``blame`` — recompile each finding at ``verify_passes="full"`` to
+      attach a guilty-pass label to its divergences; a blamed finding is
+      then minimized against that pass's verifier alone (compile-only
+      probes) instead of the whole oracle.
     """
     k = knobs or GenKnobs()
     reg = registry or MetricsRegistry()
@@ -143,7 +182,8 @@ def run_fuzz(
             gp = generate(seed + i, k)
             t_check = time.perf_counter()
             oracle_report = check_program(
-                gp.source, gp.inputs, cache_dir=cache_dir
+                gp.source, gp.inputs, cache_dir=cache_dir,
+                verify_passes=verify_passes,
             )
             check_ms.observe((time.perf_counter() - t_check) * 1e3)
             report.programs_run += 1
@@ -154,6 +194,8 @@ def run_fuzz(
                 clean.append(gp)
             else:
                 div_counter.inc(len(oracle_report.divergences))
+                if blame:
+                    assign_blame(oracle_report)
                 finding = Finding(program=gp, report=oracle_report)
                 report.findings.append(finding)
                 if minimize_findings:
@@ -187,15 +229,24 @@ def run_fuzz(
 def _minimize_finding(
     finding: Finding, out_dir, cache_dir, deadline: float | None = None
 ) -> None:
-    """Shrink one diverging program and persist the repro."""
+    """Shrink one diverging program and persist the repro.
+
+    A blamed divergence minimizes against the guilty pass's verifier
+    (one compile per probe); anything else re-runs the whole oracle per
+    probe and matches on the divergence kind."""
     gp = finding.program
     d = finding.divergence
-    try:
-        result = minimize(
-            gp.source,
-            _same_kind_predicate(d.kind, gp.inputs, cache_dir=cache_dir),
-            deadline=deadline,
+    schema = d.route.split("/", 1)[0]
+    if d.guilty_pass and schema in SCHEMAS:
+        predicate = _pass_verifier_predicate(schema, d.guilty_pass)
+        finding.minimized_via = f"pass:{d.guilty_pass}"
+    else:
+        predicate = _same_kind_predicate(
+            d.kind, gp.inputs, cache_dir=cache_dir
         )
+        finding.minimized_via = "oracle"
+    try:
+        result = minimize(gp.source, predicate, deadline=deadline)
     except ValueError:
         # flaky divergence (did not reproduce on re-check): keep the
         # full program as the repro rather than dropping the finding
@@ -214,14 +265,21 @@ def _minimize_finding(
         detail=d.detail,
         inputs=gp.inputs,
         out_dir=out_dir,
+        guilty_pass=d.guilty_pass,
+        certificate=d.certificate,
     )
 
 
 def replay(path: str | Path, cache_dir=None) -> OracleReport:
-    """Re-run the full oracle on a persisted regression file."""
-    from .reduce import parse_regression
+    """Re-run the full oracle on a persisted regression file.
 
-    meta = parse_regression(path)
+    Raises :class:`~repro.validate.reduce.RegressionFormatError` when the
+    file's replay header no longer parses (stale knobs, bad inputs JSON)
+    so callers can report the file as broken instead of replaying it
+    under silently-defaulted settings."""
+    from .reduce import parse_regression_strict
+
+    meta = parse_regression_strict(path)
     return check_program(
         meta["source"], meta["inputs"], cache_dir=cache_dir
     )

@@ -15,17 +15,25 @@ and one input vector it executes:
 
 and classifies any disagreement as a :class:`Divergence`:
 
-=================  =========================================================
-kind               meaning
-=================  =========================================================
-``compile_crash``  a translation route raised where the reference ran
-``sim_divergence`` final memory / end values differ between two routes
-                   (includes a simulator crash on one route)
-``metrics_drift``  deterministic Metrics fields differ between two loops
-                   that simulated the *same* graph
-``ref_crash``      the reference interpreter itself failed — a generator
-                   bug, not a compiler bug (should never happen)
-=================  =========================================================
+====================  ======================================================
+kind                  meaning
+====================  ======================================================
+``compile_crash``     a translation route raised where the reference ran
+``pass_certificate``  per-pass translation validation rejected a pass's
+                      certificate (``verify_passes`` on): the divergence
+                      carries the guilty pass's name
+``sim_divergence``    final memory / end values differ between two routes
+                      (includes a simulator crash on one route)
+``metrics_drift``     deterministic Metrics fields differ between two loops
+                      that simulated the *same* graph
+``ref_crash``         the reference interpreter itself failed — a generator
+                      bug, not a compiler bug (should never happen)
+====================  ======================================================
+
+A divergence found with ``verify_passes="off"`` can be *blamed* after the
+fact: :func:`assign_blame` recompiles the failing schema with
+``verify_passes="full"`` and, if a certificate check fires, records the
+guilty pass and the certificate diff on the divergence.
 
 Batch-engine routes (serial vs pooled ``run_batch``) compare whole job
 lists and live in :func:`check_batch_routes`; the fuzz driver runs them
@@ -34,6 +42,7 @@ once per campaign rather than per program.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..cfg.builder import build_cfg
@@ -45,6 +54,7 @@ from ..lang.parser import parse
 from ..machine.config import MachineConfig
 from ..obs.trace import tracer
 from ..translate.pipeline import SCHEMAS, CompileOptions, compile_program, simulate
+from ..translate.verify import CertificateError
 
 #: Metrics fields that must be bit-identical across the fast/step/packed
 #: loops for one compiled graph (occupancy samples and
@@ -71,13 +81,20 @@ SIM_MODES = ("step", "fast", "packed")
 class Divergence:
     """One classified disagreement between two semantic routes."""
 
-    kind: str  # compile_crash | sim_divergence | metrics_drift | ref_crash
+    kind: str  # compile_crash | pass_certificate | sim_divergence | ...
     route: str  # e.g. "schema2_opt/packed"
     baseline: str  # e.g. "ast" or "schema2_opt/step"
     detail: str
+    #: the compilation pass whose certificate failed ("" = not blamed)
+    guilty_pass: str = ""
+    #: the certificate diff (truncated) when a pass was blamed
+    certificate: str = ""
 
     def __str__(self) -> str:
-        return f"[{self.kind}] {self.route} vs {self.baseline}: {self.detail}"
+        s = f"[{self.kind}] {self.route} vs {self.baseline}: {self.detail}"
+        if self.guilty_pass:
+            s += f" [guilty pass: {self.guilty_pass}]"
+        return s
 
 
 @dataclass
@@ -147,6 +164,7 @@ def check_program(
     finite_pes: bool = True,
     seeds: tuple[int, ...] = (0,),
     max_steps: int = 2_000_000,
+    verify_passes: str = "off",
 ) -> OracleReport:
     """Run one program through every route and cross-check the results.
 
@@ -154,6 +172,10 @@ def check_program(
     the optional ``cache_dir`` disk tier), so the cached-vs-fresh
     comparison always covers a real miss→hit cycle and no state leaks
     between checks.
+
+    ``verify_passes`` turns on per-pass translation validation during the
+    schema compiles; a rejected certificate classifies as a
+    ``pass_certificate`` divergence carrying the guilty pass's name.
     """
     input_vectors = tuple(inputs) if inputs else ({},)
     if schemas is None:
@@ -194,7 +216,7 @@ def check_program(
         for schema in schemas:
             _check_schema(
                 report, schema, source, input_vectors, references,
-                sim_modes, cache, finite_pes, seeds,
+                sim_modes, cache, finite_pes, seeds, verify_passes,
             )
     return report
 
@@ -209,12 +231,20 @@ def _check_schema(
     cache: GraphCache,
     finite_pes: bool,
     seeds: tuple[int, ...],
+    verify_passes: str = "off",
 ) -> None:
     div = report.divergences.append
-    options = CompileOptions(schema=schema)
+    options = CompileOptions(schema=schema, verify_passes=verify_passes)
     try:
         with tracer.span("validate.compile", schema=schema):
             cp = compile_program(source, options=options)
+    except CertificateError as exc:
+        div(Divergence(
+            "pass_certificate", schema, "ast", str(exc),
+            guilty_pass=exc.pass_name,
+            certificate=_truncate(exc.diff, 300),
+        ))
+        return
     except CompileError as exc:
         # front-end rejection is only legal if *every* route rejects;
         # the reference already ran, so any compile error here is a
@@ -319,6 +349,48 @@ def _check_schema(
             if res.memory != ref:
                 div(Divergence("sim_divergence", route, "ast",
                                _diff_memory(res.memory, ref)))
+
+
+def assign_blame(report: OracleReport) -> OracleReport:
+    """Post-hoc blame for a report produced with ``verify_passes="off"``:
+    recompile each diverging schema with per-pass verification at
+    ``full`` and, when a certificate check fires, annotate that schema's
+    divergences with the guilty pass and the certificate diff.
+
+    Mutates and returns ``report``.  Divergences the verifiers cannot
+    explain (e.g. a simulator-loop disagreement on a correctly built
+    graph) are left unblamed.
+    """
+    blamed: dict[str, tuple[str, str]] = {}
+    for i, d in enumerate(report.divergences):
+        if d.guilty_pass:
+            continue
+        schema = d.route.split("/", 1)[0]
+        if schema not in SCHEMAS:
+            continue
+        if schema not in blamed:
+            try:
+                with tracer.span("validate.blame", schema=schema):
+                    compile_program(
+                        report.source,
+                        options=CompileOptions(
+                            schema=schema, verify_passes="full"
+                        ),
+                    )
+            except CertificateError as exc:
+                blamed[schema] = (
+                    exc.pass_name, _truncate(exc.diff, 300)
+                )
+            except Exception:
+                blamed[schema] = ("", "")  # crashes before any certificate
+            else:
+                blamed[schema] = ("", "")
+        pass_name, diff = blamed[schema]
+        if pass_name:
+            report.divergences[i] = dataclasses.replace(
+                d, guilty_pass=pass_name, certificate=diff
+            )
+    return report
 
 
 def check_batch_routes(

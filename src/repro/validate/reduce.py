@@ -173,12 +173,17 @@ def write_regression(
     inputs: tuple[dict, ...] | list[dict],
     out_dir: str | Path | None = None,
     name: str | None = None,
+    guilty_pass: str = "",
+    certificate: str = "",
 ) -> Path:
     """Persist one minimized repro with its replay header.
 
     The header is plain ``#`` comments, so the file is itself a valid
     source program — ``repro run FILE`` replays it directly, and the
     regression replayer test re-runs the full oracle on it.
+    ``guilty_pass``/``certificate`` (the blame fields) are written only
+    when a pass was blamed; like ``detail`` they are flattened to one
+    line so multi-line certificate diffs cannot break out of the header.
     """
     out = Path(out_dir) if out_dir is not None else REGRESSION_DIR
     out.mkdir(parents=True, exist_ok=True)
@@ -196,6 +201,12 @@ def write_regression(
         f"# route={_header_safe(route)}",
         f"# baseline={_header_safe(baseline)}",
         f"# detail={_header_safe(detail)}",
+    ]
+    if guilty_pass:
+        header.append(f"# guilty_pass={_header_safe(guilty_pass)}")
+    if certificate:
+        header.append(f"# certificate={_header_safe(certificate)}")
+    header += [
         f"# inputs={json.dumps(list(inputs))}",
         f"# replay: repro fuzz --replay {path.as_posix()}",
     ]
@@ -209,7 +220,8 @@ def parse_regression(path: str | Path) -> dict:
     a partial header (missing keys default sensibly)."""
     text = Path(path).read_text()
     meta: dict = {"source": text, "inputs": ({},), "seed": None,
-                  "kind": "", "route": "", "knobs": ""}
+                  "kind": "", "route": "", "knobs": "",
+                  "guilty_pass": "", "certificate": ""}
     for line in text.splitlines():
         if not line.startswith("#"):
             continue
@@ -229,6 +241,64 @@ def parse_regression(path: str | Path) -> dict:
                 meta["seed"] = int(value)
             except ValueError:
                 pass
-        elif key in ("kind", "route", "baseline", "knobs", "detail"):
+        elif key in ("kind", "route", "baseline", "knobs", "detail",
+                     "guilty_pass", "certificate"):
             meta[key] = value
+    return meta
+
+
+class RegressionFormatError(ValueError):
+    """A regression file's replay header no longer parses."""
+
+
+def parse_regression_strict(path: str | Path) -> dict:
+    """Like :func:`parse_regression` but rejects malformed headers
+    instead of silently defaulting — the replayer uses this so a stale
+    regression file fails with a clear diagnostic, not a raw traceback
+    (or worse, a silent replay under the wrong knobs)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise RegressionFormatError(
+            f"cannot read regression file {path}: {exc}"
+        ) from exc
+    meta = parse_regression(path)
+
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            continue
+        body = line.lstrip("#").strip()
+        key, sep, value = body.partition("=")
+        if not sep:
+            continue
+        key, value = key.strip(), value.strip()
+        if key == "seed" and value:
+            try:
+                int(value)
+            except ValueError:
+                raise RegressionFormatError(
+                    f"{path}: header seed={value!r} is not an integer"
+                ) from None
+        elif key == "inputs":
+            try:
+                inputs = json.loads(value)
+            except ValueError as exc:
+                raise RegressionFormatError(
+                    f"{path}: header inputs= is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(inputs, list) or not all(
+                isinstance(i, dict) for i in inputs
+            ):
+                raise RegressionFormatError(
+                    f"{path}: header inputs= must be a JSON list of objects"
+                )
+        elif key == "knobs" and value not in ("", "defaults"):
+            from .progen import GenKnobs
+
+            try:
+                GenKnobs.from_items(value.split())
+            except ValueError as exc:
+                raise RegressionFormatError(
+                    f"{path}: header knobs={value!r} no longer parses: {exc}"
+                ) from exc
     return meta

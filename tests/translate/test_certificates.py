@@ -1,0 +1,165 @@
+"""Certificate property suite (Hypothesis): for random generated programs
+across every legal schema, (a) every pass certificate verifies at
+``full``, and (b) a mutated witness is rejected — the verifiers must not
+be vacuous."""
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.translate import (
+    VERIFIERS,
+    CertificateError,
+    CompileOptions,
+    compile_program,
+)
+from repro.validate import GenKnobs, generate, legal_schemas
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=150)
+
+
+@given(seed=seeds)
+@SETTINGS
+def test_every_pass_certificate_verifies_at_full(seed):
+    gp = generate(seed, GenKnobs())
+    for schema in legal_schemas(gp.source):
+        cp = compile_program(
+            gp.source,
+            options=CompileOptions(schema=schema, verify_passes="full"),
+        )
+        assert cp.pass_log, schema
+        assert all(c.verified == "full" for c in cp.pass_log)
+
+
+@given(seed=seeds)
+@SETTINGS
+def test_certificates_verify_with_rewrites_enabled(seed):
+    gp = generate(seed, GenKnobs(array_ops=0.8))
+    schema = legal_schemas(gp.source)[-1]
+    cp = compile_program(
+        gp.source,
+        options=CompileOptions(
+            schema=schema,
+            verify_passes="full",
+            redundant_elim=True,
+            parallelize_arrays=True,
+            use_istructures=True,
+            forward_stores=True,
+            parallel_reads=True,
+        ),
+    )
+    names = [c.pass_name for c in cp.pass_log]
+    assert "redundant_elim" in names and "parallel_reads" in names
+
+
+def _mutate(cert):
+    """One curated bit-flip per pass kind; returns the doctored witness
+    (None when the witness has nothing mutable for this program)."""
+    w = copy.deepcopy(cert.witness)
+    name = cert.pass_name
+    if name == "intervals":
+        if w["loops"]:
+            del w["loops"][0]
+        else:
+            w["split_applied"] = not w["split_applied"]
+        return w
+    if name == "switch_placement":
+        for sname, forks in w["placement"].items():
+            if forks:
+                w["placement"][sname] = forks[1:]  # drop a needed site
+                return w
+        w["placement"]["___bogus"] = []  # phantom stream
+        return w
+    if name == "source_vectors":
+        for per_node in w["sv"].values():
+            for nid, srcs in per_node.items():
+                if srcs:
+                    # flip the branch-direction bit of one source
+                    m, d = srcs[0]
+                    per_node[nid] = [[m, not d]] + srcs[1:]
+                    return w
+        return None
+    if name == "construct":
+        w["nodes"] += 1
+        return w
+    if name == "redundant_elim":
+        w["switches_removed"] = list(w["switches_removed"]) + [999999]
+        return w
+    if name == "array_parallel":
+        w["pipelined"] = list(w["pipelined"]) + [[999, "___bogus"]]
+        return w
+    if name == "istructures":
+        w["promoted"] = list(w["promoted"]) + ["___bogus"]
+        return w
+    if name == "forward_stores":
+        w["loads_removed"] = list(w["loads_removed"]) + [999999]
+        return w
+    if name == "parallel_reads":
+        w["chains"] = list(w["chains"]) + [
+            {"loads": [1, 2], "synch": 999999}
+        ]
+        return w
+    raise AssertionError(f"unknown pass {name}")
+
+
+@given(seed=seeds)
+@SETTINGS
+def test_mutated_witness_is_rejected(seed):
+    gp = generate(seed, GenKnobs())
+    schema = legal_schemas(gp.source)[-1]
+    cp = compile_program(
+        gp.source, options=CompileOptions(schema=schema)
+    )
+    for cert in cp.pass_log:
+        # the honest witness verifies...
+        VERIFIERS[cert.pass_name](cp.pass_ctx, cert.witness, "full")
+        mutated = _mutate(cert)
+        if mutated is None:
+            continue
+        assert mutated != cert.witness, cert.pass_name
+        # ...the doctored one does not
+        with pytest.raises(CertificateError) as ei:
+            VERIFIERS[cert.pass_name](cp.pass_ctx, mutated, "full")
+        assert ei.value.pass_name == cert.pass_name
+
+
+def test_mutated_rewrite_witnesses_are_rejected():
+    """The §6 rewrite passes' witnesses, doctored one at a time."""
+    src = (
+        "array a[8];\n"
+        "i := 0;\n"
+        "top: a[i] := i * 2;\n"
+        "i := i + 1;\n"
+        "if i < 8 then goto top;\n"
+        "s := a[3] + a[4];\n"
+    )
+    cp = compile_program(
+        src,
+        options=CompileOptions(
+            schema="schema2_opt",
+            redundant_elim=True,
+            parallelize_arrays=True,
+            use_istructures=True,
+            forward_stores=True,
+            parallel_reads=True,
+        ),
+    )
+    rewrites = [
+        c for c in cp.pass_log
+        if c.pass_name in ("redundant_elim", "array_parallel",
+                           "istructures", "forward_stores",
+                           "parallel_reads")
+    ]
+    assert len(rewrites) == 5
+    for cert in rewrites:
+        mutated = _mutate(cert)
+        with pytest.raises(CertificateError):
+            VERIFIERS[cert.pass_name](cp.pass_ctx, mutated, "full")

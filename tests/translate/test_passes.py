@@ -1,0 +1,180 @@
+"""Pass-manager pipeline: certificate logs, verify levels, and the
+mutation-detection suite (test-only bug hooks must be blamed on the
+correct pass, not a downstream one)."""
+
+import json
+
+import pytest
+
+import repro.cfg.intervals as intervals
+import repro.translate.passes as passes
+from repro.obs.trace import activate, deactivate, new_trace_id, tracer
+from repro.translate import (
+    CertificateError,
+    CompileOptions,
+    compile_program,
+    verify_pass_log,
+)
+
+#: a program whose split_irreducible run exercises the PR-1 SCC-exit bug
+#: shape (an edge leaving the region toward a non-JOIN successor)
+IRREDUCIBLE_SRC = """
+if w == 0 then goto top;
+mid: x := x + 1;
+if x < 25 then goto top;
+goto done;
+top: x := x + 10;
+   y := y + 1;
+goto mid;
+done: z := x + y;
+"""
+
+BRANCH_SRC = "if p == 0 then goto sk;\nx := x + 1;\nsk: y := x;\n"
+LOOP_SRC = "i := 0;\ntop: i := i + 1;\nif i < 5 then goto top;\nz := i;\n"
+
+
+class TestPassLog:
+    def test_optimized_schema_pass_order(self):
+        cp = compile_program(LOOP_SRC, schema="schema2_opt")
+        names = [c.pass_name for c in cp.pass_log]
+        assert names == [
+            "intervals", "switch_placement", "source_vectors", "construct",
+        ]
+
+    def test_allpaths_schema_pass_order(self):
+        cp = compile_program(LOOP_SRC, schema="schema2")
+        assert [c.pass_name for c in cp.pass_log] == [
+            "intervals", "construct",
+        ]
+
+    def test_schema1_skips_intervals(self):
+        cp = compile_program(LOOP_SRC, schema="schema1")
+        assert [c.pass_name for c in cp.pass_log] == ["construct"]
+
+    def test_optional_rewrites_appear_in_order(self):
+        cp = compile_program(
+            LOOP_SRC,
+            options=CompileOptions(
+                schema="schema2_opt",
+                redundant_elim=True,
+                parallelize_arrays=True,
+                use_istructures=True,
+                forward_stores=True,
+                parallel_reads=True,
+            ),
+        )
+        assert [c.pass_name for c in cp.pass_log] == [
+            "intervals", "switch_placement", "source_vectors", "construct",
+            "redundant_elim", "array_parallel", "istructures",
+            "forward_stores", "parallel_reads",
+        ]
+
+    def test_witnesses_are_json_serializable(self):
+        cp = compile_program(
+            LOOP_SRC,
+            options=CompileOptions(schema="schema2_opt", redundant_elim=True),
+        )
+        for cert in cp.pass_log:
+            json.dumps(cert.witness)
+            json.dumps(cert.metrics)
+
+    def test_verified_level_recorded(self):
+        cp = compile_program(
+            LOOP_SRC,
+            options=CompileOptions(schema="schema2_opt", verify_passes="cheap"),
+        )
+        assert all(c.verified == "cheap" for c in cp.pass_log)
+        cp = compile_program(LOOP_SRC, schema="schema2_opt")
+        assert all(c.verified == "off" for c in cp.pass_log)
+
+    def test_verify_pass_log_rechecks(self):
+        cp = compile_program(
+            LOOP_SRC,
+            options=CompileOptions(schema="schema2_opt", verify_passes="off"),
+        )
+        verify_pass_log(cp, level="full")
+
+    def test_verify_spans_emitted(self):
+        tid = new_trace_id()
+        token = activate(tid)
+        try:
+            compile_program(
+                LOOP_SRC,
+                options=CompileOptions(
+                    schema="schema2_opt", verify_passes="cheap"
+                ),
+            )
+        finally:
+            deactivate(token)
+        names = {s.name for s in tracer.take(tid)}
+        assert "compile.intervals" in names
+        assert "compile.switch_placement" in names
+        assert "compile.source_vectors" in names
+        assert "compile.translate" in names
+        assert "compile.verify.intervals" in names
+        assert "compile.verify.construct" in names
+
+    def test_bad_verify_level_rejected(self):
+        with pytest.raises(ValueError, match="verify_passes"):
+            CompileOptions(verify_passes="paranoid")
+
+    def test_fingerprint_covers_new_knobs(self):
+        a = CompileOptions().fingerprint()
+        b = CompileOptions(verify_passes="full").fingerprint()
+        c = CompileOptions(redundant_elim=True).fingerprint()
+        assert len({a, b, c}) == 3
+
+
+class TestMutationDetection:
+    """The two known-bug shapes behind test-only hooks must be blamed on
+    the pass that introduced them, never on a downstream pass."""
+
+    def test_scc_exit_bug_blamed_on_intervals(self, monkeypatch):
+        monkeypatch.setattr(intervals, "_TEST_SCC_EXIT_BUG", True)
+        for level in ("cheap", "full"):
+            with pytest.raises(CertificateError) as ei:
+                compile_program(
+                    IRREDUCIBLE_SRC,
+                    options=CompileOptions(
+                        schema="schema2_opt", verify_passes=level
+                    ),
+                )
+            assert ei.value.pass_name == "intervals"
+
+    def test_scc_exit_bug_escapes_unverified(self, monkeypatch):
+        monkeypatch.setattr(intervals, "_TEST_SCC_EXIT_BUG", True)
+        with pytest.raises(Exception) as ei:
+            compile_program(IRREDUCIBLE_SRC, schema="schema2_opt")
+        assert not isinstance(ei.value, CertificateError)
+
+    def test_misplaced_switch_blamed_on_placement(self, monkeypatch):
+        monkeypatch.setattr(passes, "_TEST_MISPLACE_SWITCH", True)
+        for level in ("cheap", "full"):
+            with pytest.raises(CertificateError) as ei:
+                compile_program(
+                    BRANCH_SRC,
+                    options=CompileOptions(
+                        schema="schema2_opt", verify_passes=level
+                    ),
+                )
+            # blame must land on switch_placement, not source_vectors
+            # or construct (which crash on the broken placement later)
+            assert ei.value.pass_name == "switch_placement"
+
+    def test_misplaced_switch_escapes_unverified(self, monkeypatch):
+        monkeypatch.setattr(passes, "_TEST_MISPLACE_SWITCH", True)
+        with pytest.raises(Exception) as ei:
+            compile_program(BRANCH_SRC, schema="schema2_opt")
+        assert not isinstance(ei.value, CertificateError)
+
+    def test_hooks_off_by_default(self):
+        assert intervals._TEST_SCC_EXIT_BUG is False
+        assert passes._TEST_MISPLACE_SWITCH is False
+        compile_program(
+            IRREDUCIBLE_SRC,
+            options=CompileOptions(schema="schema2_opt", verify_passes="full"),
+        )
+        compile_program(
+            BRANCH_SRC,
+            options=CompileOptions(schema="schema2_opt", verify_passes="full"),
+        )

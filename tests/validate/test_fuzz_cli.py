@@ -68,3 +68,27 @@ def test_fuzz_replay_mode_reports_live_divergence(
     )
     assert main(["fuzz", "--replay", str(path)]) == 1
     assert "sim_divergence" in capsys.readouterr().out
+
+
+def test_fuzz_replay_malformed_header_is_a_clean_error(tmp_path, capsys):
+    """A regression file whose replay header is stale/corrupt must fail
+    with a clear message and exit 2 — not an unhandled traceback."""
+    bad = tmp_path / "stale.df"
+    bad.write_text("# seed=0\n# knobs=bogus_knob=7\nx := 1;\n")
+    assert main(["fuzz", "--replay", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "bad regression file" in err
+    assert "Traceback" not in err
+
+
+def test_fuzz_replay_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["fuzz", "--replay", str(tmp_path / "nope.df")]) == 2
+    assert "bad regression file" in capsys.readouterr().err
+
+
+def test_fuzz_blame_flag_smoke(capsys):
+    """--blame and --verify-passes plumb through on a clean campaign."""
+    assert main(["fuzz", "--seed", "0", "--count", "2",
+                 "--knob", "n_stmts=6", "--no-pool", "--blame",
+                 "--verify-passes", "cheap"]) == 0
+    assert "no divergences" in capsys.readouterr().err

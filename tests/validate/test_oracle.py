@@ -138,3 +138,72 @@ def test_batch_routes_report_error_mismatch():
 def test_divergence_str_is_readable():
     d = Divergence("sim_divergence", "schema1/packed", "ast", "x: 1 != 2")
     assert "schema1/packed" in str(d) and "sim_divergence" in str(d)
+
+
+def test_divergence_str_carries_guilty_pass():
+    d = Divergence(
+        "pass_certificate", "schema2_opt", "ast", "placement differs",
+        guilty_pass="switch_placement",
+    )
+    assert "[guilty pass: switch_placement]" in str(d)
+
+
+BRANCH_SRC = "if p == 0 then goto sk;\nx := x + 1;\nsk: y := x;\n"
+
+
+def test_pass_certificate_taxonomy(monkeypatch):
+    """With the misplaced-switch hook live and verify on, the oracle
+    classifies the failure as pass_certificate with the pass name
+    attached — not as an anonymous compile_crash."""
+    import repro.translate.passes as passes
+
+    monkeypatch.setattr(passes, "_TEST_MISPLACE_SWITCH", True)
+    report = check_program(BRANCH_SRC, verify_passes="full")
+    assert not report.ok
+    certs = [d for d in report.divergences if d.kind == "pass_certificate"]
+    assert certs, report.summary()
+    assert all(d.guilty_pass == "switch_placement" for d in certs)
+    assert all(d.certificate for d in certs)
+    # only the optimized schemas run switch placement
+    assert {d.route for d in certs} <= {
+        "schema2_opt", "schema3_opt", "memory_elim"
+    }
+
+
+def test_assign_blame_annotates_unverified_divergences(monkeypatch):
+    """verify off during the sweep, blame afterwards: assign_blame must
+    recompile at full and upgrade the compile_crash with a guilty pass."""
+    from repro.validate import assign_blame
+    import repro.translate.passes as passes
+
+    monkeypatch.setattr(passes, "_TEST_MISPLACE_SWITCH", True)
+    report = check_program(BRANCH_SRC)
+    assert not report.ok
+    assert all(not d.guilty_pass for d in report.divergences)
+    assign_blame(report)
+    blamed = [d for d in report.divergences if d.guilty_pass]
+    assert blamed, report.summary()
+    assert all(d.guilty_pass == "switch_placement" for d in blamed)
+
+
+@pytest.mark.slow
+def test_blame_fuzz_end_to_end_minimizes_against_pass(monkeypatch, tmp_path):
+    """The ISSUE acceptance bar for blame: with a hook enabled,
+    ``run_fuzz(blame=True)`` labels the guilty pass and the minimizer
+    converges against that pass's verifier alone (compile-only probes)."""
+    from repro.validate import parse_regression
+    import repro.translate.passes as passes
+
+    monkeypatch.setattr(passes, "_TEST_MISPLACE_SWITCH", True)
+    report = run_fuzz(
+        seed=0, count=10, minimize_findings=True, out_dir=tmp_path,
+        pooled=False, max_findings=1, blame=True,
+    )
+    assert not report.ok, "hooked bug escaped the fuzzer"
+    finding = report.findings[0]
+    assert finding.divergence.guilty_pass == "switch_placement"
+    assert finding.minimized_via == "pass:switch_placement"
+    assert 0 < finding.minimized_lines <= 10
+    meta = parse_regression(finding.regression_path)
+    assert meta["guilty_pass"] == "switch_placement"
+    assert meta["seed"] is not None

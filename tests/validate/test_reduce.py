@@ -145,3 +145,82 @@ def test_write_regression_flattens_multiline_detail(tmp_path):
     meta = parse_regression(path)
     assert meta["detail"] == "boom: unexpected token at line 3"
     parse(meta["source"])  # the replayed file is still a valid program
+
+
+def test_regression_blame_headers_round_trip_one_line_safe(tmp_path):
+    """guilty_pass / certificate headers survive a round trip, and a
+    multiline certificate diff is flattened to one comment line."""
+    path = write_regression(
+        "y := 1;\n",
+        seed=9,
+        knobs="defaults",
+        kind="pass_certificate",
+        route="schema2_opt",
+        baseline="ast",
+        detail="certificate rejected",
+        inputs=({},),
+        out_dir=tmp_path,
+        guilty_pass="switch_placement",
+        certificate="recomputed placement differs\n  stream x:\n  got []",
+    )
+    text = path.read_text()
+    header = text[:text.index("y := 1;")]
+    assert all(
+        ln.startswith("#") for ln in header.splitlines() if ln.strip()
+    )
+    meta = parse_regression(path)
+    assert meta["guilty_pass"] == "switch_placement"
+    assert "\n" not in meta["certificate"]
+    assert "recomputed placement differs" in meta["certificate"]
+    parse(meta["source"])
+
+
+def test_blame_headers_absent_when_not_blamed(tmp_path):
+    path = write_regression(
+        "y := 1;\n", seed=3, knobs="defaults", kind="sim_divergence",
+        route="schema1/packed", baseline="ast", detail="d", inputs=({},),
+        out_dir=tmp_path,
+    )
+    assert "guilty_pass" not in path.read_text()
+    assert parse_regression(path)["guilty_pass"] == ""
+
+
+def test_parse_regression_strict_rejects_bad_knobs(tmp_path):
+    from repro.validate import RegressionFormatError, parse_regression_strict
+
+    bad = tmp_path / "bad_knobs.df"
+    bad.write_text(
+        "# seed=1\n# knobs=bogus_knob=7\n# inputs=[{}]\nx := 1;\n"
+    )
+    with pytest.raises(RegressionFormatError, match="knobs"):
+        parse_regression_strict(bad)
+
+
+def test_parse_regression_strict_rejects_bad_inputs_json(tmp_path):
+    from repro.validate import RegressionFormatError, parse_regression_strict
+
+    bad = tmp_path / "bad_inputs.df"
+    bad.write_text("# seed=1\n# inputs=[not json}\nx := 1;\n")
+    with pytest.raises(RegressionFormatError, match="inputs"):
+        parse_regression_strict(bad)
+
+
+def test_parse_regression_strict_rejects_bad_seed(tmp_path):
+    from repro.validate import RegressionFormatError, parse_regression_strict
+
+    bad = tmp_path / "bad_seed.df"
+    bad.write_text("# seed=banana\nx := 1;\n")
+    with pytest.raises(RegressionFormatError, match="seed"):
+        parse_regression_strict(bad)
+
+
+def test_parse_regression_strict_accepts_valid_files(tmp_path):
+    from repro.validate import parse_regression_strict
+
+    path = write_regression(
+        "y := 1;\n", seed=4, knobs="n_stmts=6 goto_density=0.1",
+        kind="sim_divergence", route="schema1/packed", baseline="ast",
+        detail="d", inputs=({"y": 2},), out_dir=tmp_path,
+    )
+    meta = parse_regression_strict(path)
+    assert meta["seed"] == 4 and meta["inputs"] == ({"y": 2},)
