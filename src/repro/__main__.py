@@ -27,6 +27,10 @@ Service mode (always-on compile/simulate server, JSON-lines protocol)::
     python -m repro serve --socket /tmp/repro.sock [--max-queue N]
                           [--max-batch N] [--max-wait-ms F] [--jobs N]
                           [--cache-dir DIR]
+    python -m repro fleet --socket /tmp/repro.sock --shards N
+                          [--replication R] [--hot-threshold N]
+                          [--max-pending N] [--socket-dir DIR]
+                          [--no-respawn] [...serve knobs per shard]
     python -m repro submit PROG.df --socket /tmp/repro.sock [...run options]
     python -m repro stats --socket /tmp/repro.sock     # live server stats
     python -m repro metrics --socket /tmp/repro.sock [--json]
@@ -422,6 +426,54 @@ def _serve(args) -> int:
     return 0
 
 
+def _fleet(args) -> int:
+    import asyncio
+    import signal
+    import tempfile
+
+    from .fleet import FleetConfig, FleetRouter
+
+    _require_endpoint(args)
+    socket_dir = args.socket_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+    config = FleetConfig(
+        path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+        shards=args.shards,
+        replication=args.replication,
+        hot_threshold=args.hot_threshold,
+        max_pending=args.max_pending,
+        respawn=not args.no_respawn,
+        socket_dir=socket_dir,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        pool_size=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+
+    async def run() -> None:
+        router = FleetRouter(config)
+        await router.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, router.begin_shutdown)
+        print(
+            f"# repro fleet listening on {router.endpoint}: "
+            f"{config.shards} shards in {socket_dir} "
+            f"(replication={config.replication} "
+            f"hot_threshold={config.hot_threshold} "
+            f"max_pending={config.max_pending})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await router.serve_forever()
+        print("# repro fleet drained and stopped", file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
 def _submit(args) -> int:
     from .engine import BatchJob
     from .service import JobRejected
@@ -745,6 +797,59 @@ def main(argv: list[str] | None = None) -> int:
         help="on-disk compiled-graph cache shared with other runs",
     )
 
+    p_fleet = subs.add_parser(
+        "fleet",
+        help="run a consistent-hash router over N backend shard servers "
+        "(same wire protocol as serve; existing clients work unchanged)",
+    )
+    _add_endpoint_args(p_fleet)
+    p_fleet.add_argument(
+        "--shards", type=int, default=2,
+        help="backend server processes to spawn and route over",
+    )
+    p_fleet.add_argument(
+        "--replication", type=int, default=2,
+        help="ring successors a hot graph may be served from",
+    )
+    p_fleet.add_argument(
+        "--hot-threshold", type=int, default=4,
+        help="routings of one graph key before it counts as hot",
+    )
+    p_fleet.add_argument(
+        "--max-pending", type=int, default=128,
+        help="per-shard outstanding-job bound at the router; beyond it "
+        "submits get queue_full",
+    )
+    p_fleet.add_argument(
+        "--socket-dir", default=None,
+        help="directory for shard sockets and logs (default: a fresh "
+        "temp dir)",
+    )
+    p_fleet.add_argument(
+        "--no-respawn", action="store_true",
+        help="do not restart a crashed shard (default is to respawn)",
+    )
+    p_fleet.add_argument(
+        "--max-queue", type=int, default=64,
+        help="per-shard waiting-job bound (passed to each shard)",
+    )
+    p_fleet.add_argument(
+        "--max-batch", type=int, default=8,
+        help="per-shard micro-batch size",
+    )
+    p_fleet.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="per-shard micro-batch flush timeout",
+    )
+    p_fleet.add_argument(
+        "--jobs", type=int, default=1,
+        help="engine workers per shard (1 = serial in-process)",
+    )
+    p_fleet.add_argument(
+        "--cache-dir", default=None,
+        help="disk cache root; each shard uses cache-dir/shard-<i>",
+    )
+
     p_submit = subs.add_parser(
         "submit", help="compile and run one program on a running service"
     )
@@ -791,6 +896,8 @@ def main(argv: list[str] | None = None) -> int:
         return _fuzz(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "fleet":
+        return _fleet(args)
     if args.command == "submit":
         return _submit(args)
     if args.command == "shutdown":

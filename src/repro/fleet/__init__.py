@@ -1,0 +1,26 @@
+"""Sharded service fleet: a consistent-hash router over N backend shards.
+
+The :class:`FleetRouter` front end speaks the same JSON-lines protocol
+as :mod:`repro.service` on both sides — clients connect to it unchanged,
+and it forwards to :class:`ShardProcess` backends (full ``repro serve``
+instances it spawns and supervises).  Jobs route by graph-cache key on a
+:class:`HashRing` so repeat submissions hit a warm shard-local cache;
+hot graphs replicate across ring successors with load-aware choice.
+See DESIGN.md §12 for the architecture and failure model.
+"""
+
+from .ring import HashRing, hash_point
+from .router import FleetConfig, FleetRouter, serve_fleet
+from .shards import ShardProcess
+from .testing import FleetThread, running_fleet
+
+__all__ = [
+    "FleetConfig",
+    "FleetRouter",
+    "FleetThread",
+    "HashRing",
+    "ShardProcess",
+    "hash_point",
+    "running_fleet",
+    "serve_fleet",
+]

@@ -1,0 +1,99 @@
+"""Consistent-hash ring: stable key→shard placement with virtual nodes.
+
+The router hashes every job by its graph-cache key (the same content
+address :mod:`repro.engine.cache` uses), so repeated submissions of one
+(program, options) pair land on the same shard and hit its warm
+shard-local :class:`~repro.engine.cache.GraphCache`.  Virtual nodes
+(``vnodes`` points per shard) smooth the key distribution, and the ring
+property that matters operationally is *minimal disruption*: adding or
+removing one shard remaps only the keys in that shard's arcs, never a
+full reshuffle.
+
+Hash points come from blake2b (stdlib, fast, stable across processes
+and Python versions — unlike ``hash()``, which is salted per process),
+so a router restart or a respawned shard reproduces the same placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+
+
+def hash_point(data: str) -> int:
+    """A stable 64-bit ring coordinate for ``data``."""
+    digest = hashlib.blake2b(data.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over opaque hashable node ids.
+
+    * ``lookup(key, n)`` — the first ``n`` *distinct* nodes clockwise
+      from the key's point: index 0 is the primary, the rest are the
+      replica set used for hot-graph replication.
+    * ``add``/``remove`` — incremental membership changes; placement of
+      keys outside the touched arcs is unaffected.
+    """
+
+    def __init__(self, nodes=(), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[int] = []  # sorted ring coordinates
+        self._owners: list[object] = []  # owner node per point
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -------------------------------------------------------
+
+    def add(self, node) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for v in range(self.vnodes):
+            point = hash_point(f"{node!r}#{v}")
+            idx = bisect.bisect(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove(self, node) -> None:
+        if node not in self._nodes:
+            raise KeyError(node)
+        self._nodes.discard(node)
+        keep = [
+            (p, o) for p, o in zip(self._points, self._owners) if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    @property
+    def nodes(self) -> set:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- placement --------------------------------------------------------
+
+    def lookup(self, key: str, n: int = 1) -> list:
+        """The ``n`` distinct nodes owning ``key``, primary first.
+        ``n`` is clamped to the ring population."""
+        if not self._nodes:
+            raise LookupError("lookup on an empty ring")
+        n = min(n, len(self._nodes))
+        start = bisect.bisect(self._points, hash_point(key))
+        out: list = []
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == n:
+                    break
+        return out
+
+    def distribution(self, keys) -> Counter:
+        """Primary-owner histogram for ``keys`` (balance diagnostics)."""
+        return Counter(self.lookup(k, 1)[0] for k in keys)

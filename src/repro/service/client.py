@@ -20,10 +20,28 @@ a normal ``BatchResult`` with ``.ok == False`` — exactly like
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
 
 from ..engine.batch import BatchJob, BatchResult
 from .protocol import decode, encode, job_to_wire, result_from_wire
+
+#: ceiling for one retry sleep, however many doublings have happened
+_BACKOFF_CAP_S = 1.0
+
+#: connect() failures worth retrying: the server is not there *yet*
+#: (still binding its socket, or the router is respawning it)
+_RETRYABLE = (ConnectionError, FileNotFoundError)
+
+
+def _backoff_delays(retries: int, backoff_s: float, rng: random.Random):
+    """Capped exponential backoff with jitter: one delay per retry.
+    Jitter (0.5x-1.5x) keeps a burst of clients from reconnecting in
+    lockstep against a server that just came up."""
+    for attempt in range(retries):
+        delay = min(backoff_s * (2 ** attempt), _BACKOFF_CAP_S)
+        yield delay * (0.5 + rng.random())
 
 
 class ServiceError(Exception):
@@ -73,11 +91,17 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int | None = None,
         timeout: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
     ):
         if path is None and port is None:
             raise ValueError("need path= (UNIX socket) or port= (TCP)")
+        if retries < 0 or backoff_s < 0:
+            raise ValueError("retries and backoff_s must be >= 0")
         self._path, self._host, self._port = path, host, port
         self._timeout = timeout
+        self._retries = retries
+        self._backoff_s = backoff_s
         self._sock: socket.socket | None = None
         self._rfile = None
         self._ids = itertools.count()
@@ -85,14 +109,31 @@ class ServiceClient:
 
     # -- transport --------------------------------------------------------
 
+    def _connect_once(self) -> socket.socket:
+        if self._path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(self._path)
+            except BaseException:
+                sock.close()
+                raise
+            return sock
+        return socket.create_connection((self._host, self._port))
+
     def connect(self) -> ServiceClient:
         if self._sock is not None:
             return self
-        if self._path is not None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.connect(self._path)
-        else:
-            sock = socket.create_connection((self._host, self._port))
+        delays = _backoff_delays(self._retries, self._backoff_s,
+                                 random.Random())
+        while True:
+            try:
+                sock = self._connect_once()
+                break
+            except _RETRYABLE:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                time.sleep(delay)
         sock.settimeout(self._timeout)
         self._sock = sock
         self._rfile = sock.makefile("rb")
@@ -237,10 +278,16 @@ class AsyncServiceClient:
         path: str | None = None,
         host: str = "127.0.0.1",
         port: int | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
     ):
         if path is None and port is None:
             raise ValueError("need path= (UNIX socket) or port= (TCP)")
+        if retries < 0 or backoff_s < 0:
+            raise ValueError("retries and backoff_s must be >= 0")
         self._path, self._host, self._port = path, host, port
+        self._retries = retries
+        self._backoff_s = backoff_s
         self._reader = None
         self._writer = None
         self._reader_task = None
@@ -248,13 +295,11 @@ class AsyncServiceClient:
         self._submit_futs: dict[str, object] = {}
         self._control_futs: dict[str, list] = {}
 
-    async def connect(self) -> AsyncServiceClient:
+    async def _connect_once(self) -> None:
         import asyncio
 
         from .protocol import MAX_LINE
 
-        if self._writer is not None:
-            return self
         if self._path is not None:
             self._reader, self._writer = await asyncio.open_unix_connection(
                 self._path, limit=MAX_LINE
@@ -263,6 +308,23 @@ class AsyncServiceClient:
             self._reader, self._writer = await asyncio.open_connection(
                 self._host, self._port, limit=MAX_LINE
             )
+
+    async def connect(self) -> AsyncServiceClient:
+        import asyncio
+
+        if self._writer is not None:
+            return self
+        delays = _backoff_delays(self._retries, self._backoff_s,
+                                 random.Random())
+        while True:
+            try:
+                await self._connect_once()
+                break
+            except _RETRYABLE:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
         self._reader_task = asyncio.create_task(self._read_loop())
         return self
 

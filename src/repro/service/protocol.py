@@ -55,6 +55,7 @@ REJECTIONS = (
     "cancelled",
     "shutting_down",
     "bad_request",
+    "shard_failed",  # fleet: the shard holding the job crashed mid-run
 )
 
 #: generous per-line ceiling (traces can be large); also the asyncio

@@ -74,6 +74,7 @@ class ServiceConfig:
     pool_size: int = 1  # 1 = serial in-process engine
     cache_dir: str | None = None
     capacity: int = 256
+    max_line: int = MAX_LINE  # per-frame byte ceiling on the wire
 
     def __post_init__(self) -> None:
         if self.path is None and self.host is None:
@@ -207,12 +208,12 @@ class ServiceServer:
             )
         if cfg.path is not None:
             self._server = await asyncio.start_unix_server(
-                self._handle_conn, path=cfg.path, limit=MAX_LINE
+                self._handle_conn, path=cfg.path, limit=cfg.max_line
             )
         else:
             self._server = await asyncio.start_server(
                 self._handle_conn, host=cfg.host, port=cfg.port,
-                limit=MAX_LINE,
+                limit=cfg.max_line,
             )
         self._t0 = time.monotonic()
         self._batcher_task = asyncio.create_task(self.batcher.run())
@@ -356,8 +357,19 @@ class ServiceServer:
             while True:
                 try:
                     line = await reader.readline()
-                except (ValueError, ConnectionError):
-                    break  # over-long line or torn connection
+                except ValueError:
+                    # over-long frame: the stream can't be resynced
+                    # mid-line, so tell this client why and close only
+                    # its connection — every other connection (and the
+                    # batcher) keeps running
+                    await conn.send(_error_frame(
+                        None, None, "bad_request",
+                        f"frame exceeds max_line="
+                        f"{self.config.max_line} bytes",
+                    ))
+                    break
+                except ConnectionError:
+                    break  # torn connection
                 except asyncio.CancelledError:
                     break  # server teardown with the connection open
                 if not line:
@@ -371,7 +383,15 @@ class ServiceServer:
                         None, None, "bad_request", f"unparseable frame: {exc}"
                     ))
                     continue
-                await self._dispatch(conn, msg)
+                try:
+                    await self._dispatch(conn, msg)
+                except Exception as exc:
+                    # one hostile/malformed frame must never take down
+                    # the connection loop, let alone the server
+                    await conn.send(_error_frame(
+                        msg.get("op"), msg.get("id"), "internal_error",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
         finally:
             conn.alive = False
             self._conns.discard(conn)

@@ -1,0 +1,85 @@
+"""Consistent-hash ring properties: determinism, balance, minimal
+disruption on membership change, distinct replica sets."""
+
+import pytest
+
+from repro.fleet import HashRing, hash_point
+
+KEYS = [f"graph-{i:04d}" for i in range(2000)]
+
+
+def test_hash_point_stable():
+    # pinned value: placement must survive process restarts and
+    # interpreter versions (blake2b, not the salted builtin hash)
+    assert hash_point("graph-0000") == hash_point("graph-0000")
+    a, b = hash_point("a"), hash_point("b")
+    assert a != b
+    assert 0 <= a < 2**64 and 0 <= b < 2**64
+
+
+def test_lookup_deterministic_across_instances():
+    r1 = HashRing(range(4))
+    r2 = HashRing(range(4))
+    for k in KEYS[:200]:
+        assert r1.lookup(k, 2) == r2.lookup(k, 2)
+
+
+def test_distribution_roughly_balanced():
+    ring = HashRing(range(4))
+    dist = ring.distribution(KEYS)
+    assert set(dist) == set(range(4))
+    for node, count in dist.items():
+        # vnodes keep every shard within a loose band of fair share
+        assert count > 0.05 * len(KEYS), (node, dist)
+
+
+def test_minimal_disruption_on_add():
+    before = HashRing(range(4))
+    after = HashRing(range(4))
+    after.add(4)
+    moved = 0
+    for k in KEYS:
+        old, new = before.lookup(k)[0], after.lookup(k)[0]
+        if old != new:
+            moved += 1
+            assert new == 4  # keys only ever move TO the new node
+    # and the new node takes roughly (not wildly more than) its share
+    assert 0 < moved < 2 * len(KEYS) / 5
+
+
+def test_minimal_disruption_on_remove():
+    before = HashRing(range(4))
+    after = HashRing(range(4))
+    after.remove(2)
+    for k in KEYS[:500]:
+        old = before.lookup(k)[0]
+        if old != 2:
+            assert after.lookup(k)[0] == old  # survivors keep their keys
+
+
+def test_replica_sets_distinct_and_prefix_stable():
+    ring = HashRing(range(5))
+    for k in KEYS[:200]:
+        reps = ring.lookup(k, 3)
+        assert len(reps) == len(set(reps)) == 3
+        # growing n never changes the earlier choices
+        assert ring.lookup(k, 1) == reps[:1]
+        assert ring.lookup(k, 2) == reps[:2]
+
+
+def test_lookup_clamps_to_population():
+    ring = HashRing(range(2))
+    assert len(ring.lookup("k", 10)) == 2
+
+
+def test_membership_errors():
+    ring = HashRing(range(2))
+    with pytest.raises(ValueError):
+        ring.add(1)  # duplicate
+    with pytest.raises(KeyError):
+        ring.remove(9)
+    empty = HashRing()
+    with pytest.raises(LookupError):
+        empty.lookup("k")
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)

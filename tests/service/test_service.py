@@ -16,6 +16,7 @@ from repro.service import (
     JobRejected,
     ServiceClient,
     ServiceConfig,
+    ServiceError,
     running_server,
 )
 from repro.translate import CompileOptions
@@ -323,3 +324,105 @@ def test_ephemeral_socket_fallback_allocates_private_dir(monkeypatch):
         assert len(path.encode()) < 100  # fallback path is still bindable
     finally:
         shutil.rmtree(d, ignore_errors=True)
+
+
+def test_oversized_frame_isolated_to_its_connection():
+    """A frame over max_line gets that client an error reply and a
+    closed connection; the server loop and other connections are
+    untouched."""
+    with running_server(max_line=1024) as (ep, _server):
+        with ServiceClient(**ep) as good:
+            assert good.submit(BatchJob(SRC, name="before")).ok
+            with ServiceClient(**ep) as bad:
+                bad.connect()
+                bad._sock.sendall(b'{"op": "ping", "pad": "' +
+                                  b"x" * 4096 + b'"}\n')
+                frame = bad._read_frame()
+                assert frame["ok"] is False
+                assert frame["error"] == "bad_request"
+                assert "max_line" in frame["detail"]
+                # the offender's connection is then closed...
+                with pytest.raises(ServiceError):
+                    bad._read_frame()
+            # ...while the rest of the server keeps working
+            assert good.submit(BatchJob(SRC, name="after")).ok
+            assert good.ping()["ok"]
+
+
+def test_dispatch_error_does_not_kill_connection():
+    """A frame that explodes inside dispatch (here: a non-numeric
+    deadline) gets an error reply, not a dead server or connection."""
+    with running_server() as (ep, _server):
+        with ServiceClient(**ep) as client:
+            client._send({"op": "submit", "id": "boom",
+                          "job": {"source": SRC, "options": {}},
+                          "deadline_ms": "not-a-number"})
+            frame = client._wait_submit("boom")
+            assert frame["ok"] is False
+            assert frame["error"] == "internal_error"
+            assert client.submit(BatchJob(SRC, name="after")).ok
+
+
+def test_client_connect_retry_backoff():
+    """A client with retries tolerates a server that is still binding
+    its socket; with retries=0 the first refusal is fatal (legacy)."""
+    import threading
+
+    from repro.service.testing import ephemeral_socket_path
+
+    path = ephemeral_socket_path("retry")
+    with pytest.raises((FileNotFoundError, ConnectionError)):
+        ServiceClient(path=path).connect()  # nothing listening yet
+
+    host = None
+
+    def late_start():
+        nonlocal host
+        from repro.service.testing import ServerThread
+
+        time.sleep(0.3)
+        host = ServerThread(ServiceConfig(path=path))
+        host.start()
+
+    t = threading.Thread(target=late_start)
+    t.start()
+    try:
+        with ServiceClient(path=path, retries=30, backoff_s=0.05) as client:
+            assert client.ping()["ok"]
+    finally:
+        t.join()
+        if host is not None:
+            host.stop()
+
+
+def test_async_client_connect_retry():
+    import asyncio
+    import threading
+
+    from repro.service import AsyncServiceClient
+    from repro.service.testing import ServerThread, ephemeral_socket_path
+
+    path = ephemeral_socket_path("aretry")
+    host = None
+
+    def late_start():
+        nonlocal host
+        time.sleep(0.3)
+        host = ServerThread(ServiceConfig(path=path))
+        host.start()
+
+    t = threading.Thread(target=late_start)
+    t.start()
+
+    async def go():
+        async with AsyncServiceClient(
+            path=path, retries=30, backoff_s=0.05
+        ) as client:
+            return await client.submit(BatchJob(SRC, name="a"))
+
+    try:
+        assert asyncio.run(go()).ok
+    finally:
+        t.join()
+        if host is not None:
+            host.stop()
