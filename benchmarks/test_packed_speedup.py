@@ -96,7 +96,7 @@ def test_packed_speedup(tmp_path, save_result):
             )
     for ref, br in zip(serial_results, pooled_results):
         assert ref.ok and br.ok, (ref.error, br.error)
-        assert br.result.backend == "packed"
+        assert br.result.backend == "vectorized"  # auto on idealized config
         assert ref.result.memory == br.result.memory
         assert ref.result.metrics.cycles == br.result.metrics.cycles
 

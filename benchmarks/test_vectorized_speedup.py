@@ -1,0 +1,163 @@
+"""Vectorized-backend speedup — graph-as-matrices transport versus the
+packed heap on wide graphs.
+
+The vectorized backend's claim is about *width*: when a cycle's ready
+front is wide and homogeneous, firing becomes one record comprehension
+and token delivery becomes a handful of numpy column updates against the
+CSR frame store, while the packed loop pays a heap push/pop and a scalar
+frame walk per token.  The acceptance workload is therefore a family of
+synthetic barrier graphs built directly at the DFG layer (the program
+generator's ``fanout_width`` knob emits the same shape at source level,
+but wide programs pay a superlinear compile the benchmark does not
+want to time): per layer, one CONST fans out to ``width`` UNOPs whose
+results all SYNCH-join before seeding the next layer.
+
+Acceptance: >=3x over packed on wide graphs (width >= 1024), with every
+configuration bit-identical on metrics, memory, and occupancy.  Results
+are recorded in benchmarks/results/BENCH_sim.json plus a text table.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.dfg.graph import DFGraph, Port
+from repro.dfg.nodes import OpKind, Seed
+from repro.machine import (
+    MachineConfig,
+    PackedSimulator,
+    VectorizedSimulator,
+    pack_graph,
+)
+from repro.machine.istructure import IStructureMemory
+from repro.machine.memory import DataMemory
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: (width, depth) per workload — ~5k-16k fired operations each, so a
+#: sweep stays well under a second per backend
+SHAPES = ((256, 20), (1024, 8), (4096, 3), (8192, 2))
+
+
+def _barrier_graph(width: int, depth: int) -> DFGraph:
+    """``depth`` layers of: CONST -> width parallel UNOPs -> SYNCH."""
+    g = DFGraph()
+    start = g.add(OpKind.START, seeds=[Seed("access", "go")])
+    prev = Port(start.id, 0)
+    for layer in range(depth):
+        c = g.add(OpKind.CONST, value=layer + 1)
+        g.connect(prev, c.id, 0, is_access=True)
+        s = g.add(OpKind.SYNCH, nports=width)
+        for i in range(width):
+            u = g.add(OpKind.UNOP, op="-", latency=1)
+            g.connect(Port(c.id, 0), u.id, 0)
+            g.connect(Port(u.id, 0), s.id, i, is_access=True)
+        prev = Port(s.id, 0)
+    end = g.add(OpKind.END, returns=[None])
+    g.connect(prev, end.id, 0, is_access=True)
+    return g
+
+
+def _median(xs):
+    xs = sorted(xs)
+    return xs[len(xs) // 2]
+
+
+def _interleaved(pg, repeats=9):
+    """Median wall seconds per backend, alternated to cancel drift;
+    asserts bit-identical observables on every pair of runs."""
+    pw, vw = [], []
+    for _ in range(repeats):
+        rp = PackedSimulator(
+            pg, DataMemory(), IStructureMemory(), MachineConfig()
+        ).run()
+        rv = VectorizedSimulator(
+            pg, DataMemory(), IStructureMemory(), MachineConfig()
+        ).run()
+        pw.append(rp.wall_time)
+        vw.append(rv.wall_time)
+        assert rv.metrics == rp.metrics
+        assert rv.memory == rp.memory
+        assert rv.end_values == rp.end_values
+        assert [tuple(s) for s in rv.occupancy] == [
+            tuple(s) for s in rp.occupancy
+        ]
+    return _median(pw), _median(vw), rp.metrics
+
+
+@pytest.mark.benchmark(group="engine")
+def test_vectorized_speedup_wide_graphs(save_result):
+    rows = []
+    record = {
+        "benchmark": "vectorized_vs_packed_wide_graphs",
+        "workload": "synthetic barrier graphs: per layer one CONST "
+        "fans out to `width` unit-latency UNOPs joined by one SYNCH",
+        "shapes": [],
+    }
+    wide_ratios = []
+    for width, depth in SHAPES:
+        pg = pack_graph(_barrier_graph(width, depth))
+        t0 = time.perf_counter()
+        packed_s, vec_s, metrics = _interleaved(pg)
+        ratio = packed_s / vec_s
+        record["shapes"].append(
+            {
+                "width": width,
+                "depth": depth,
+                "nodes": pg.n,
+                "operations": metrics.operations,
+                "cycles": metrics.cycles,
+                "packed_ms": round(packed_s * 1e3, 3),
+                "vectorized_ms": round(vec_s * 1e3, 3),
+                "speedup": round(ratio, 2),
+                "bench_wall_s": round(time.perf_counter() - t0, 3),
+            }
+        )
+        rows.append(
+            [
+                f"{width}x{depth}",
+                str(metrics.operations),
+                f"{packed_s * 1e3:.1f}",
+                f"{vec_s * 1e3:.1f}",
+                f"{ratio:.2f}x",
+            ]
+        )
+        if width >= 1024:
+            wide_ratios.append(ratio)
+
+    record["acceptance"] = {
+        "bar": ">=3x over packed at width >= 1024",
+        "wide_speedups": [round(r, 2) for r in wide_ratios],
+        "passed": all(r >= 3.0 for r in wide_ratios),
+    }
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "BENCH_sim.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    save_result(
+        "vectorized_speedup",
+        "synthetic barrier graphs, interleaved median of 9 runs per "
+        "backend,\nevery run bit-identical (metrics, memory, "
+        "occupancy):\n\n"
+        + format_table(
+            ["width x depth", "ops", "packed ms", "vec ms", "speedup"],
+            rows,
+        )
+        + "\n\nwide-front fires collapse to one record comprehension "
+        "and token\ndelivery to a few numpy column updates; the packed "
+        "loop pays a\nheap push/pop and a scalar frame walk per token, "
+        "so the margin\ngrows with fan-out width",
+    )
+
+    # the tentpole's wide-graph acceptance bar
+    assert wide_ratios, "no wide shapes measured"
+    for (width, depth), shape in zip(SHAPES, record["shapes"]):
+        if width >= 1024:
+            assert shape["speedup"] >= 3.0, (
+                f"width={width}: vectorized only {shape['speedup']}x "
+                f"over packed (packed {shape['packed_ms']}ms, "
+                f"vectorized {shape['vectorized_ms']}ms)"
+            )

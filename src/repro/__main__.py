@@ -16,7 +16,7 @@ Usage::
     python -m repro schemas                            # list schemas
     python -m repro bench [--jobs N] [--cache-dir DIR] [--repeat N]
                           [--schemas s1,s2] [--programs p1,p2] [--verify]
-                          [--sim-mode auto|step|fast|packed]
+                          [--sim-mode auto|step|fast|packed|vectorized]
     python -m repro fuzz [--seed N] [--count N] [--budget-s F]
                          [--knob k=v ...] [--minimize] [--out DIR]
                          [--no-pool] [--replay FILE] [--blame]
@@ -728,8 +728,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_bench.add_argument(
         "--sim-mode", default="auto",
-        choices=("auto", "step", "fast", "packed"),
-        help="scheduler loop for every job (auto = packed where exact)",
+        choices=("auto", "step", "fast", "packed", "vectorized"),
+        help="scheduler loop for every job (auto = vectorized where exact)",
     )
 
     p_fuzz = subs.add_parser(

@@ -202,7 +202,8 @@ def _worker_run(item: tuple):
         res = None
         t1 = time.perf_counter()
         try:
-            with tracer.span("engine.simulate", backend="packed"):
+            backend = (config or _DEFAULT_CONFIG).backend()
+            with tracer.span("engine.simulate", backend=backend):
                 res = payload.run(inputs, config)
         except Exception as exc:
             err = f"{type(exc).__name__}: {exc}"
@@ -319,14 +320,17 @@ def run_batch(
     if pool is None and (pool_size is None or pool_size <= 1):
         return [_run_one(cache, i, job) for i, job in enumerate(jobs)]
 
-    # pooled: compile packed-backend jobs in the parent (one warm cache
-    # serves the whole batch) and ship only the flat payload; stepper
-    # jobs go whole, compiling against the worker's own cache
+    # pooled: compile flat-backend (packed/vectorized) jobs in the
+    # parent (one warm cache serves the whole batch) and ship only the
+    # flat payload; stepper jobs go whole, compiling against the
+    # worker's own cache
     items: list[tuple] = []
     premade: dict[int, BatchResult] = {}
     meta: dict[int, tuple] = {}
     for i, job in enumerate(jobs):
-        if (job.config or _DEFAULT_CONFIG).backend() != "packed":
+        if (job.config or _DEFAULT_CONFIG).backend() not in (
+            "packed", "vectorized"
+        ):
             items.append(("job", i, job))
             continue
         name = job.name or f"job{i}"

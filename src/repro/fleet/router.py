@@ -805,9 +805,9 @@ class FleetRouter:
 
     # -- stats / metrics ---------------------------------------------------
 
-    async def _shard_replies(self, op: str) -> list[dict | None]:
+    async def _shard_replies(self, op: str, **fields) -> list[dict | None]:
         return list(await asyncio.gather(
-            *[link.request(op) for link in self.links]
+            *[link.request(op, **fields) for link in self.links]
         ))
 
     async def stats_snapshot(self) -> dict:
@@ -816,13 +816,15 @@ class FleetRouter:
 
         Top-level ``latency_ms.queue``/``latency_ms.total`` are measured
         at the router (time queued here; submit→reply).  ``compile`` and
-        ``sim`` are merged from shard summaries by count-weighted
-        average (percentiles across shards do not compose exactly; the
-        per-shard breakdown has each shard's exact numbers).
+        ``sim`` percentiles are computed over the shards' *pooled* raw
+        sample rings (requested with ``samples=True``) — per-shard
+        percentiles do not compose, and a count-weighted average of them
+        systematically under-reports tail latency when shards are
+        skewed.  ``count``/``mean``/``max`` compose exactly either way.
         """
         from ..engine.latency import LatencySummary
 
-        replies = await self._shard_replies("stats")
+        replies = await self._shard_replies("stats", samples=True)
         shards: dict[str, dict] = {}
         for link, reply in zip(self.links, replies):
             idx = str(link.shard.index)
@@ -867,9 +869,14 @@ class FleetRouter:
             ).to_json(),
         }
         for stage in ("compile", "sim"):
-            latency[stage] = _merge_summaries(
+            latency[stage] = _merge_latency(
                 [st["latency_ms"][stage] for st in up]
             )
+        # the rings served their purpose; keep the per-shard breakdown
+        # (and the client-facing reply) summary-sized
+        for st in up:
+            for stage_summary in st.get("latency_ms", {}).values():
+                stage_summary.pop("samples", None)
         return {
             "uptime_s": uptime,
             "draining": self._draining,
@@ -950,19 +957,35 @@ class FleetRouter:
         return snap
 
 
-def _merge_summaries(summaries: list[dict]) -> dict:
-    """Count-weighted merge of per-shard :class:`LatencySummary` dicts.
-    Percentiles are approximated by weighted average (exact per-shard
-    values live in the breakdown); ``count``/``mean``/``max`` are exact.
+def _merge_latency(summaries: list[dict]) -> dict:
+    """Merge per-shard :class:`LatencySummary` dicts into fleet totals.
+
+    ``count``/``mean``/``max`` compose exactly from the summaries.
+    Percentiles do not: a count-weighted average of per-shard p99s
+    under-reports the fleet tail whenever one shard is slower than the
+    rest (the slow shard's p99 gets diluted by the fast shards' counts
+    even though the pooled p99 sits inside the slow shard's
+    distribution).  When every shard shipped its raw sample ring we
+    pool the rings and compute the percentiles directly; the weighted
+    average survives only as a fallback for shards that predate the
+    ``samples`` stats flag.
     """
+    from ..engine.latency import percentile
+
     summaries = [s for s in summaries if s and s.get("count")]
     count = sum(s["count"] for s in summaries)
     if not count:
         return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
                 "p99": 0.0, "max": 0.0}
-    out = {"count": count, "max": max(s["max"] for s in summaries)}
-    for field_ in ("mean", "p50", "p95", "p99"):
-        out[field_] = sum(s[field_] * s["count"] for s in summaries) / count
+    out = {"count": count, "max": max(s["max"] for s in summaries),
+           "mean": sum(s["mean"] * s["count"] for s in summaries) / count}
+    if all(s.get("samples") for s in summaries):
+        pooled = sorted(x for s in summaries for x in s["samples"])
+        for field_, q in (("p50", 50), ("p95", 95), ("p99", 99)):
+            out[field_] = percentile(pooled, q)
+    else:
+        for field_ in ("p50", "p95", "p99"):
+            out[field_] = sum(s[field_] * s["count"] for s in summaries) / count
     return out
 
 

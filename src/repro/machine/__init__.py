@@ -36,6 +36,7 @@ from .istructure import IStructureMemory
 from .metrics import Metrics
 from .simulator import SimResult, Simulator, simulate_graph
 from .packed import PackedGraph, PackedProgram, PackedSimulator, pack_graph
+from .vectorized import VectorizedSimulator
 
 __all__ = [
     "ACCESS",
@@ -57,6 +58,7 @@ __all__ = [
     "Simulator",
     "Token",
     "TokenClashError",
+    "VectorizedSimulator",
     "pack_graph",
     "simulate_graph",
 ]

@@ -49,15 +49,18 @@ class MachineConfig:
     #: good locality for graphs built in program order), or "random"
     #: (seeded by ``seed``).
     partition: str = "round_robin"
-    #: Scheduler loop selection.  ``"auto"`` uses the packed flat-array
-    #: interpreter whenever it is exact — unlimited PEs and no k-bounded
-    #: throttling — and the general per-cycle scheduler otherwise.
-    #: ``"step"`` forces the per-cycle scheduler (the differential-testing
-    #: baseline); ``"fast"`` demands the event-driven fast loop over the
-    #: object graph; ``"packed"`` demands the flat-array interpreter over
-    #: the lowered :class:`~repro.machine.packed.PackedGraph`.  ``fast``
-    #: and ``packed`` are rejected when a finite ``num_pes`` or a
-    #: ``loop_bound`` makes arbitration stateful.
+    #: Scheduler loop selection.  ``"auto"`` uses the vectorized
+    #: graph-as-matrices interpreter whenever it is exact — unlimited PEs
+    #: and no k-bounded throttling — and the general per-cycle scheduler
+    #: otherwise.  ``"step"`` forces the per-cycle scheduler (the
+    #: differential-testing baseline); ``"fast"`` demands the
+    #: event-driven fast loop over the object graph; ``"packed"`` demands
+    #: the flat-array interpreter over the lowered
+    #: :class:`~repro.machine.packed.PackedGraph`; ``"vectorized"``
+    #: demands the bucket-queue bulk-front interpreter over the same
+    #: lowering (:class:`~repro.machine.vectorized.VectorizedSimulator`).
+    #: ``fast``, ``packed``, and ``vectorized`` are rejected when a
+    #: finite ``num_pes`` or a ``loop_bound`` makes arbitration stateful.
     sim_mode: str = "auto"
 
     def __post_init__(self) -> None:
@@ -78,9 +81,11 @@ class MachineConfig:
                 "network_latency needs a finite num_pes (tokens must have "
                 "PEs to travel between)"
             )
-        if self.sim_mode not in ("auto", "fast", "step", "packed"):
+        if self.sim_mode not in (
+            "auto", "fast", "step", "packed", "vectorized"
+        ):
             raise ValueError(f"bad sim_mode {self.sim_mode!r}")
-        if self.sim_mode in ("fast", "packed") and (
+        if self.sim_mode in ("fast", "packed", "vectorized") and (
             self.num_pes is not None or self.loop_bound is not None
         ):
             raise ValueError(
@@ -91,10 +96,12 @@ class MachineConfig:
 
     def backend(self) -> str:
         """Resolve ``sim_mode`` to the loop that will actually run:
-        ``"packed"``, ``"fast"``, or ``"step"``.  ``auto`` prefers the
-        packed interpreter whenever it is exact."""
+        ``"vectorized"``, ``"packed"``, ``"fast"``, or ``"step"``.
+        ``auto`` prefers the vectorized bulk-front interpreter whenever
+        it is exact (same preconditions as ``packed``: idealized
+        machine, no k-bounding)."""
         if self.sim_mode != "auto":
             return self.sim_mode
         if self.num_pes is None and self.loop_bound is None:
-            return "packed"
+            return "vectorized"
         return "step"

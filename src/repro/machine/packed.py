@@ -276,7 +276,12 @@ class PackedProgram:
         config: MachineConfig | None = None,
     ) -> SimResult:
         mem, ist = self.memories(inputs)
-        return PackedSimulator(self.packed, mem, ist, config).run()
+        cfg = config or MachineConfig()
+        if cfg.backend() == "vectorized":
+            from .vectorized import VectorizedSimulator  # circular-safe
+
+            return VectorizedSimulator(self.packed, mem, ist, cfg).run()
+        return PackedSimulator(self.packed, mem, ist, cfg).run()
 
 
 class PackedSimulator:

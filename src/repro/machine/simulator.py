@@ -57,7 +57,7 @@ class SimResult:
     #: sampling points of the fast and step loops may differ even when
     #: their metrics are identical.
     occupancy: list = field(default_factory=list)
-    #: which scheduler loop ran: "step", "fast", or "packed"
+    #: which scheduler loop ran: "step", "fast", "packed", or "vectorized"
     backend: str = ""
 
 
@@ -400,7 +400,7 @@ class Simulator:
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> SimResult:
-        if self.config.backend() == "packed":
+        if self.config.backend() in ("packed", "vectorized"):
             return self._run_packed()
         t0 = time.perf_counter()
         start = self.graph.node(self.graph.start)
@@ -444,14 +444,21 @@ class Simulator:
         )
 
     def _run_packed(self) -> SimResult:
-        """Delegate to the flat-array interpreter, then adopt its
-        bookkeeping so this Simulator reads as if it ran the loop itself
-        (callers inspect ``.metrics``/``.clashes``/``.trace`` post-run)."""
+        """Delegate to the flat-array (or vectorized) interpreter, then
+        adopt its bookkeeping so this Simulator reads as if it ran the
+        loop itself (callers inspect ``.metrics``/``.clashes``/``.trace``
+        post-run)."""
         from .packed import PackedSimulator, pack_graph  # circular-safe
 
         if self._packed is None:
             self._packed = pack_graph(self.graph)
-        ps = PackedSimulator(
+        if self.config.backend() == "vectorized":
+            from .vectorized import VectorizedSimulator
+
+            sim_cls = VectorizedSimulator
+        else:
+            sim_cls = PackedSimulator
+        ps = sim_cls(
             self._packed, self.memory, self.istructs, self.config
         )
         ps.profile_hook = self.profile_hook

@@ -1,0 +1,1100 @@
+"""Vectorized graph-as-matrices execution backend.
+
+Bukatin & Matthews (*Dataflow Graphs as Matrices*) observe that a
+dataflow graph *is* a sparse matrix: firing a node multiplies its output
+value into the adjacency rows of its output ports.  The packed backend
+(PR 4) already stores exactly that matrix — the CSR fan-out tables of
+:class:`~repro.machine.packed.PackedGraph` — but still interprets it
+token-by-token through a global event heap: every arc of every fired
+port becomes its own 6-tuple, heappushed and heappopped individually.
+
+This module keeps the packed lowering and replaces the *token transport*
+with sparse matrix-row operations over the whole ready front:
+
+* **Bucket queues instead of a heap.**  Latencies are >= 1 (enforced by
+  :class:`~repro.machine.config.MachineConfig`), so every token emitted
+  during cycle *c* is delivered strictly after *c*.  Pending deliveries
+  live in per-cycle buckets (``dict[time, list]``); the scheduler drains
+  exactly the due buckets each iteration and the O(log n) per-token
+  heap discipline disappears.  Within a bucket, append order equals the
+  heap's ``(at, seq)`` pop order, so delivery order is bit-identical.
+* **Deferred fan-out expansion.**  Firing a port appends one *emission
+  record* ``(plan, value, ctx)`` — the sparse adjacency row times the
+  scalar value — instead of one heap entry per arc.  A fan-out of k
+  costs one append; the row is walked only at delivery time.
+* **Precompiled delivery plans.**  Each CSR port slot is classified
+  once: an all-single-consumer row extends the enabled front with one
+  C-level list comprehension; a row with a wide all-strict prefix into
+  root-context frames (the trailing arcs, typically one END arc, are
+  walked in order) takes a bulk arrival path; anything else walks a
+  precomputed
+  ``(dst, port, class, arity, slot)`` tuple with zero per-token array
+  indexing.
+* **Flat root-context frame store.**  Root-context waiting-matching
+  frames (the overwhelming majority outside loops) live in flat
+  parallel arrays — arrival counts, fill flags, and a CSR-offset value
+  store — i.e. the dense matrix form of the ETS frame memory.  Loop
+  contexts keep the packed dict representation.  A single insertion-
+  ordered dict tracks *which* frames are open so occupancy sampling and
+  deadlock reports match the reference byte for byte.
+* **Optional numpy fast path** (feature-probed, never required): when
+  numpy is importable, wide strict rows deliver via fancy-indexed bulk
+  arrival counting — the literal matrix-column update.  Values stay
+  Python ints end to end (arbitrary precision is part of the
+  semantics); numpy only moves the bookkeeping.  Set ``REPRO_NO_NUMPY``
+  to force the pure-python path.
+
+The loop mirrors :class:`~repro.machine.packed.PackedSimulator`
+checkpoint for checkpoint — same delivery order, same firing order,
+same occupancy sample points — so ``memory``, ``end_values``, every
+:class:`~repro.machine.metrics.Metrics` field, clash list contents and
+order, traces, and error strings are bit-identical.  The differential
+suite and the N-way oracle (``repro.validate``) hold it to that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from collections import deque
+
+from .config import MachineConfig
+from .context import ACCESS
+from .errors import MachineError, SimulationLimitError, TokenClashError
+from .istructure import IStructureMemory
+from .memory import DataMemory
+from .packed import (
+    _EMPTY,
+    OPCODE_KIND_VALUE,
+    PackedGraph,
+    PackedSimulator,
+)
+from .simulator import SimResult
+
+#: a bulk (numpy) strict-row delivery only pays off past this fan-out;
+#: narrower rows take the scalar plan walk
+_NP_BULK_MIN = 16
+
+# plan modes (element 0 of every plan tuple; element 1 is the arc count)
+_P_SINGLE = 0  #: every arc feeds port 0 of a single-input node
+_P_BULK = 1  #: wide all-strict prefix, distinct dsts — numpy bulk eligible
+_P_WALK = 2  #: anything else: walk the per-arc tuple
+_P_BATCH = 3  #: fused fan-in record: one batch of single-strict-arc fires
+
+#: fire-key bit marking a node whose whole output row is one strict arc
+#: into a root frame — a homogeneous front of such nodes collapses to a
+#: single _P_BATCH record (the matrix-column scatter)
+_FK_BATCH = 1 << 50
+_FK_LAT_MASK = (1 << 40) - 1
+
+
+def _probe_numpy():
+    """Feature probe: numpy is optional and never a dependency."""
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - depends on environment
+        return None
+    return numpy
+
+
+class VectorizedSimulator(PackedSimulator):
+    """The graph-as-matrices interpreter over one :class:`PackedGraph`.
+
+    Exact observable twin of :class:`PackedSimulator` (and therefore of
+    the reference loops); requires the same preconditions (``num_pes``
+    unset, ``loop_bound`` unset).
+    """
+
+    def __init__(
+        self,
+        packed: PackedGraph,
+        memory: DataMemory | None = None,
+        istructs: IStructureMemory | None = None,
+        config: MachineConfig | None = None,
+    ):
+        super().__init__(packed, memory, istructs, config)
+        pg = packed
+        n = pg.n
+        nin = pg.nin
+        dcls = pg.dcls
+
+        # CSR offsets into the flat root-context frame value store: node
+        # i's input port p lives at slot fbase[i] + p
+        fbase = [0] * n
+        total = 0
+        for i in range(n):
+            fbase[i] = total
+            total += nin[i]
+        self._fbase = fbase
+
+        np_mod = _probe_numpy()
+
+        # compile one delivery plan per CSR (node, port) slot
+        plans = []
+        any_bulk = False
+        for i in range(n):
+            per_port = []
+            for p in range(pg.nout[i]):
+                arcs = pg.out_arcs(i, p)
+                if not arcs:
+                    per_port.append(None)
+                    continue
+                walk = tuple(
+                    (
+                        d,
+                        dp,
+                        dcls[d],
+                        nin[d],
+                        fbase[d] + dp
+                        if (dcls[d] == 3 and dp < nin[d])
+                        else -1,
+                    )
+                    for d, dp in arcs
+                )
+                if all(c == 2 and dp == 0 for _, dp, c, _, _ in walk):
+                    per_port.append(
+                        (_P_SINGLE, len(arcs), tuple(d for d, _ in arcs))
+                    )
+                    continue
+                # longest all-strict valid-port prefix: bulk-eligible
+                # iff it is wide, hits distinct frames, and no strict
+                # arc hides in the suffix (prefix-then-suffix delivery
+                # is then exactly row order — see _loop)
+                k = 0
+                for _, dp2, c2, ni2, _ in walk:
+                    if c2 == 3 and dp2 < ni2:
+                        k += 1
+                    else:
+                        break
+                if (
+                    np_mod is not None
+                    and k >= _NP_BULK_MIN
+                    and all(c2 != 3 for _, _, c2, _, _ in walk[k:])
+                    and len({d for d, *_ in walk[:k]}) == k
+                ):
+                    any_bulk = True
+                    prefix = walk[:k]
+                    per_port.append(
+                        (
+                            _P_BULK,
+                            len(arcs),
+                            walk,
+                            np_mod.array(
+                                [d for d, *_ in prefix], dtype=np_mod.intp
+                            ),
+                            np_mod.array(
+                                [s for *_, s in prefix], dtype=np_mod.intp
+                            ),
+                            np_mod.array(
+                                [ni for _, _, _, ni, _ in prefix],
+                                dtype=np_mod.int64,
+                            ),
+                            walk[k:],
+                        )
+                    )
+                else:
+                    per_port.append((_P_WALK, len(arcs), walk))
+            plans.append(tuple(per_port))
+        self._plans = tuple(plans)
+
+        # fan-in fusion: a node whose entire port-0 row is ONE strict
+        # arc into a root frame can fire as part of a fused batch — the
+        # batch then scatters into the flat frame store as one numpy
+        # column update.  Precompute the (slot, dst) column per node.
+        n_batch = 0
+        sslot = [-1] * n
+        sdst = [0] * n
+        for i in range(n):
+            pp = plans[i]
+            p0 = pp[0] if pp else None
+            if p0 is not None and p0[0] == _P_WALK and p0[1] == 1:
+                d, dp, cls_, nin_d, slot = p0[2][0]
+                if cls_ == 3 and slot != -1:
+                    sslot[i] = slot
+                    sdst[i] = d
+                    n_batch += 1
+        self._np = np_mod if (any_bulk or n_batch >= 32) else None
+        if self._np is not None:
+            self._sslot = np_mod.array(sslot, dtype=np_mod.intp)
+            self._sdst = np_mod.array(sdst, dtype=np_mod.intp)
+            self._nin_np = np_mod.array(list(nin), dtype=np_mod.int64)
+        else:
+            self._sslot = self._sdst = self._nin_np = None
+
+        # bulk-fire support: fuse opcode and latency into one int per
+        # node so the homogeneous-front test is a single equality pass
+        # (-1 marks operators that must take the scalar fire path), and
+        # flatten the port-0 plan / operator-fn lookups the record
+        # comprehensions index on every fired act
+        rt = self._rt
+        use_np = self._np is not None
+        self._fire_key = [
+            ((op << 40) | lat)
+            | (_FK_BATCH if use_np and sslot[i] != -1 else 0)
+            if op in (3, 4, 2, 12, 13) and 0 <= lat < (1 << 40)
+            else -1
+            for i, (op, lat, _, _) in enumerate(rt)
+        ]
+        self._plan0 = [pp[0] if pp else None for pp in self._plans]
+        self._fn0 = [r[3] for r in rt]
+
+        # root-context frame store: numpy-backed only when a bulk plan
+        # can actually use it (scalar indexing of plain lists is faster)
+        if self._np is not None:
+            self._fvals = np_mod.empty(total, dtype=object)
+            self._fvals[:] = _EMPTY
+            self._filled = np_mod.zeros(total, dtype=bool)
+            self._fcount = np_mod.zeros(n, dtype=np_mod.int64)
+        else:
+            self._fvals = [_EMPTY] * total
+            self._filled = bytearray(total)
+            self._fcount = [0] * n
+
+        # per-cycle delivery buckets + a tiny heap of scheduled times
+        # (one entry per *distinct* future cycle, not per token)
+        self._buckets: dict[int, list] = {}
+        self._times: list[int] = []
+        self._n_inflight = 0
+        # open waiting-matching frames in creation order: root-context
+        # keys (< n) map to None (data is in the flat store), loop
+        # contexts map to packed-style [count, v0, v1, ...] lists
+        self._frames = {}
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> SimResult:
+        t0 = time.perf_counter()
+        pg = self.pg
+        buckets = self._buckets
+        start_plans = self._plans[pg.start]
+        n_inflight = 0
+        b0 = None
+        for port, (skind, slabel) in enumerate(pg.seeds):
+            value = ACCESS if skind == "access" else self.memory.read(slabel)
+            if port < len(start_plans):
+                plan = start_plans[port]
+                if plan is not None:
+                    if b0 is None:
+                        b0 = buckets[0] = []
+                        heapq.heappush(self._times, 0)
+                    b0.append((plan, value, 0))
+                    n_inflight += plan[1]
+        self._n_inflight = n_inflight
+
+        try:
+            self._loop()
+        finally:
+            self._fold_metrics()
+
+        self.metrics.cycles = self._cycle
+        self._check_completion()
+
+        end_values: dict[str, int] = {}
+        for port, var in enumerate(pg.returns):
+            if var is not None:
+                end_values[var] = self._end_arrivals[port]  # type: ignore[assignment]
+
+        snapshot = self.memory.snapshot()
+        snapshot.update(self.istructs.snapshot())
+        snapshot.update(end_values)
+        return SimResult(
+            memory=snapshot,
+            metrics=self.metrics,
+            end_values=end_values,
+            clashes=self.clashes,
+            trace=self.trace,
+            wall_time=time.perf_counter() - t0,
+            fast_path=True,
+            occupancy=self._occupancy,
+            backend="vectorized",
+        )
+
+    def _loop(self) -> None:
+        """Bucket-drained deliver/match/fire loop.  Control flow mirrors
+        :meth:`PackedSimulator._loop` checkpoint for checkpoint; only
+        the token transport and the frame store differ."""
+        cfg = self.config
+        pg = self.pg
+        N = pg.n
+        nin_a = pg.nin
+        node_ids = pg.node_ids
+        describe = pg.describe
+        rt = self._rt
+        plans_all = self._plans
+        fkey = self._fire_key
+        plan0 = self._plan0
+        fn0 = self._fn0
+        sslot = self._sslot
+        sdst = self._sdst
+        nin_np = self._nin_np
+        buckets = self._buckets
+        times = self._times
+        tpush = heapq.heappush
+        tpop = heapq.heappop
+        frames = self._frames
+        fbase = self._fbase
+        fvals = self._fvals
+        filled = self._filled
+        fcount = self._fcount
+        extras = self._extras
+        enabled = self._enabled
+        cpar = self._ctx_parent
+        cact = self._ctx_act
+        cit = self._ctx_iter
+        cintern = self._ctx_intern
+        activations = self._activations
+        end_arrivals = self._end_arrivals
+        n_returns = len(pg.returns)
+        memory = self.memory
+        istructs = self.istructs
+        clashes_list = self.clashes
+        trace_list = self.trace
+        occ = self._occupancy
+        kc = self._kind_counts
+        profile = self._profile
+        record_clash = cfg.on_clash == "record"
+        trace_on = cfg.trace
+        max_cycles = cfg.max_cycles
+        max_ops = cfg.max_ops
+        mem_lat = cfg.memory_latency
+        hook = self.profile_hook
+        isinst = isinstance
+        np_mod = self._np
+
+        cyc = self._cycle
+        m_ops = self._m_ops
+        n_inflight = self._n_inflight
+        peak_tok = self._peak_tokens
+        peak_frames = self._peak_frames
+        peak_en = self._peak_enabled
+        EMPTY = _EMPTY
+
+        try:
+            while True:
+                if not times:
+                    # quiescent: deferred I-structure reads of elements no
+                    # write can ever fill now read the default (0)
+                    released = istructs.release_pending_with_default()
+                    if not released:
+                        break
+                    at = cyc + mem_lat
+                    for (widx, wctx), value in released:
+                        plan = plans_all[widx][0]
+                        if plan is not None:
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, value, wctx))
+                            n_inflight += plan[1]
+                    continue
+                t = times[0]
+                if t > cyc:
+                    cyc = t
+                if n_inflight > peak_tok:
+                    peak_tok = n_inflight
+                    occ.append([cyc, n_inflight, len(frames), len(enabled)])
+                    if hook is not None:
+                        hook(cyc, n_inflight, len(frames), len(enabled))
+                while times and times[0] <= cyc:
+                    lst = buckets.pop(tpop(times))
+                    j = 0
+                    nrec = len(lst)
+                    while j < nrec:
+                        rec = lst[j]
+                        j += 1
+                        plan = rec[0]
+                        value = rec[1]
+                        ctx = rec[2]
+                        mode = plan[0]
+                        n_inflight -= plan[1]
+                        if mode == 0:
+                            # whole row feeds single-input consumers:
+                            # extend the enabled front in one shot
+                            vt = (value,)
+                            enabled.extend(
+                                [(d, ctx, vt) for d in plan[2]]
+                            )
+                            continue
+                        if mode == 3:
+                            # fused fan-in batch: rec[1] is the value
+                            # list, rec[2] the numpy node-index vector;
+                            # scatter the whole column into the flat
+                            # frame store in a handful of array ops
+                            idxs = ctx
+                            slots = sslot[idxs]
+                            ok = not extras and not filled[slots].any()
+                            if ok:
+                                dsts = sdst[idxs]
+                                u, first = np_mod.unique(
+                                    dsts, return_index=True
+                                )
+                                old = fcount[u]
+                                new = old + np_mod.bincount(dsts)[u]
+                                nin_u = nin_np[u]
+                                ss = np_mod.sort(slots)
+                                if (new > nin_u).any() or bool(
+                                    (ss[1:] == ss[:-1]).any()
+                                ):
+                                    ok = False
+                            if not ok:
+                                # anything unusual (pending extras, a
+                                # clash, a refilling or double-firing
+                                # frame): expand in place into plain
+                                # per-member records — the generic walk
+                                # below then replays the exact scalar
+                                # clash/extras semantics in order
+                                n_inflight += plan[1]
+                                lst[j:j] = [
+                                    (plan0[i], v, 0)
+                                    for i, v in zip(
+                                        idxs.tolist(), value
+                                    )
+                                ]
+                                nrec = len(lst)
+                                continue
+                            filled[slots] = True
+                            fvals[slots] = value
+                            fcount[u] = new
+                            comp = new == nin_u
+                            reg = (old == 0) & ~comp
+                            if reg.any():
+                                ru = u[reg]
+                                for pos in np_mod.argsort(
+                                    first[reg], kind="stable"
+                                ):
+                                    frames[int(ru[pos])] = None
+                            if comp.any():
+                                cu = u[comp]
+                                cold = old[comp]
+                                if cu.size > 1:
+                                    # completion order = order of each
+                                    # frame's last (filling) arrival
+                                    _, rfirst = np_mod.unique(
+                                        dsts[::-1], return_index=True
+                                    )
+                                    lastpos = plan[1] - 1 - rfirst
+                                    o_ = np_mod.argsort(
+                                        lastpos[comp], kind="stable"
+                                    )
+                                    cu = cu[o_]
+                                    cold = cold[o_]
+                                for d, o in zip(
+                                    cu.tolist(), cold.tolist()
+                                ):
+                                    base = fbase[d]
+                                    hi = base + nin_a[d]
+                                    inputs = tuple(fvals[base:hi])
+                                    filled[base:hi] = False
+                                    fcount[d] = 0
+                                    if o:
+                                        del frames[d]
+                                    enabled.append((d, 0, inputs))
+                            continue
+                        walk = plan[2]
+                        if mode == 1 and ctx == 0 and not extras:
+                            # wide strict prefix into root frames: bulk
+                            # arrival counting (the matrix-column
+                            # update), then walk the non-strict suffix
+                            # — together exactly row-order delivery
+                            slots = plan[4]
+                            if not filled[slots].any():
+                                dsts = plan[3]
+                                filled[slots] = True
+                                fvals[slots] = value
+                                cnt = fcount[dsts] + 1
+                                fcount[dsts] = cnt
+                                for pos in np_mod.nonzero(cnt == 1)[0]:
+                                    frames[int(dsts[pos])] = None
+                                for pos in np_mod.nonzero(
+                                    cnt == plan[5]
+                                )[0]:
+                                    d = int(dsts[pos])
+                                    base = fbase[d]
+                                    hi = base + nin_a[d]
+                                    inputs = tuple(fvals[base:hi])
+                                    filled[base:hi] = False
+                                    fcount[d] = 0
+                                    del frames[d]
+                                    enabled.append((d, 0, inputs))
+                                walk = plan[6]
+                                if not walk:
+                                    continue
+                            # else a pre-filled slot means a clash:
+                            # replay the whole row through the exact
+                            # scalar path
+                        for d, dp, cls, nin, slot in walk:
+                            if cls == 3:  # strict: match at the frame
+                                if dp >= nin:
+                                    self._bad_port(d, dp)
+                                if ctx == 0:
+                                    if not filled[slot]:
+                                        fvals[slot] = value
+                                        filled[slot] = 1
+                                        c = fcount[d] + 1
+                                        fcount[d] = c
+                                        if c == 1:
+                                            frames[d] = None
+                                    else:
+                                        self._m_clashes += 1
+                                        if not record_clash:
+                                            raise TokenClashError(
+                                                node_ids[d], dp,
+                                                self._ctx_obj(0),
+                                                describe[d],
+                                            )
+                                        clashes_list.append(
+                                            (node_ids[d], dp,
+                                             self._ctx_repr(0))
+                                        )
+                                        q = extras.get((d, dp))
+                                        if q is None:
+                                            q = extras[(d, dp)] = deque()
+                                        q.append(value)
+                                    if fcount[d] == nin:
+                                        base = fbase[d]
+                                        hi = base + nin
+                                        inputs = tuple(fvals[base:hi])
+                                        if extras:
+                                            cnt = 0
+                                            for p in range(nin):
+                                                q = extras.get((d, p))
+                                                if q:
+                                                    fvals[base + p] = (
+                                                        q.popleft()
+                                                    )
+                                                    if not q:
+                                                        del extras[(d, p)]
+                                                    filled[base + p] = 1
+                                                    cnt += 1
+                                                else:
+                                                    filled[base + p] = 0
+                                            fcount[d] = cnt
+                                            if cnt == 0:
+                                                del frames[d]
+                                        else:
+                                            for s in range(base, hi):
+                                                filled[s] = 0
+                                            fcount[d] = 0
+                                            del frames[d]
+                                        enabled.append((d, 0, inputs))
+                                else:
+                                    fk = ctx * N + d
+                                    frame = frames.get(fk)
+                                    if frame is None:
+                                        frame = frames[fk] = (
+                                            [0] + [EMPTY] * nin
+                                        )
+                                    if frame[dp + 1] is EMPTY:
+                                        frame[dp + 1] = value
+                                        frame[0] += 1
+                                    else:
+                                        self._m_clashes += 1
+                                        if not record_clash:
+                                            raise TokenClashError(
+                                                node_ids[d], dp,
+                                                self._ctx_obj(ctx),
+                                                describe[d],
+                                            )
+                                        clashes_list.append(
+                                            (node_ids[d], dp,
+                                             self._ctx_repr(ctx))
+                                        )
+                                        q = extras.get((fk, dp))
+                                        if q is None:
+                                            q = extras[(fk, dp)] = deque()
+                                        q.append(value)
+                                    if frame[0] == nin:
+                                        inputs = frame[1:]
+                                        if extras:
+                                            cnt = 0
+                                            for p in range(nin):
+                                                q = extras.get((fk, p))
+                                                if q:
+                                                    frame[p + 1] = (
+                                                        q.popleft()
+                                                    )
+                                                    if not q:
+                                                        del extras[(fk, p)]
+                                                    cnt += 1
+                                                else:
+                                                    frame[p + 1] = EMPTY
+                                            frame[0] = cnt
+                                            if cnt == 0:
+                                                del frames[fk]
+                                        else:
+                                            del frames[fk]
+                                        enabled.append((d, ctx, inputs))
+                            elif cls == 2:  # single input
+                                if dp:
+                                    self._bad_port(d, dp)
+                                enabled.append((d, ctx, (value,)))
+                            elif cls == 1:  # nonstrict
+                                if dp >= nin:
+                                    self._bad_port(d, dp)
+                                enabled.append((d, ctx, dp, value))
+                            else:  # END
+                                if dp >= n_returns:
+                                    self._bad_port(d, dp)
+                                if ctx != 0:
+                                    raise MachineError(
+                                        "token reached END in non-root "
+                                        f"context {self._ctx_repr(ctx)}"
+                                    )
+                                if dp in end_arrivals:
+                                    raise TokenClashError(
+                                        node_ids[d], dp,
+                                        self._ctx_obj(ctx), "end",
+                                    )
+                                end_arrivals[dp] = value
+                nf = len(frames)
+                if nf > peak_frames:
+                    peak_frames = nf
+                ne = len(enabled)
+                if ne > peak_en:
+                    peak_en = ne
+                if not enabled:
+                    continue
+                # -- bulk fire: a homogeneous wide front (one opcode,
+                # one latency) collapses to a single C-level record
+                # comprehension into one bucket.  Only pure operators
+                # qualify (no memory side effects, no context forks);
+                # the comprehension evaluates in enabled order, so the
+                # bucket receives records in exactly the order the
+                # scalar loop (and the packed heap) would produce.
+                if ne >= 32 and not trace_on:
+                    k0 = fkey[enabled[0][0]]
+                    recs = None
+                    if k0 >= _FK_BATCH:
+                        # every member has one strict root-frame arc:
+                        # emit ONE fused record for the whole front
+                        # (root contexts only — the flat store is the
+                        # batch target)
+                        op0 = (k0 >> 40) & 0x3FF
+                        vals = None
+                        if op0 == 3:  # BINOP
+                            if all(
+                                fkey[a[0]] == k0
+                                and not a[1]
+                                and isinst(a[2][0], int)
+                                and isinst(a[2][1], int)
+                                for a in enabled
+                            ):
+                                vals = [
+                                    fn0[a[0]](a[2][0], a[2][1])
+                                    for a in enabled
+                                ]
+                        elif op0 == 4:  # UNOP
+                            if all(
+                                fkey[a[0]] == k0
+                                and not a[1]
+                                and isinst(a[2][0], int)
+                                for a in enabled
+                            ):
+                                vals = [fn0[a[0]](a[2][0]) for a in enabled]
+                        elif all(
+                            fkey[a[0]] == k0 and not a[1] for a in enabled
+                        ):
+                            if op0 == 2:  # CONST: aux is the value
+                                vals = [fn0[a[0]] for a in enabled]
+                            elif op0 == 12:  # MERGE forwards its token
+                                vals = [a[3] for a in enabled]
+                            else:  # SYNCH emits one access token
+                                vals = [ACCESS] * ne
+                        if vals is not None:
+                            recs = [
+                                (
+                                    (3, ne),
+                                    vals,
+                                    np_mod.fromiter(
+                                        (a[0] for a in enabled),
+                                        np_mod.intp,
+                                        ne,
+                                    ),
+                                )
+                            ]
+                    elif k0 >= 0:
+                        op0 = k0 >> 40
+                        if op0 == 3:  # BINOP
+                            if all(
+                                fkey[a[0]] == k0
+                                and isinst(a[2][0], int)
+                                and isinst(a[2][1], int)
+                                for a in enabled
+                            ):
+                                recs = [
+                                    (
+                                        plan0[a[0]],
+                                        fn0[a[0]](a[2][0], a[2][1]),
+                                        a[1],
+                                    )
+                                    for a in enabled
+                                ]
+                        elif op0 == 4:  # UNOP
+                            if all(
+                                fkey[a[0]] == k0 and isinst(a[2][0], int)
+                                for a in enabled
+                            ):
+                                recs = [
+                                    (plan0[a[0]], fn0[a[0]](a[2][0]), a[1])
+                                    for a in enabled
+                                ]
+                        elif all(fkey[a[0]] == k0 for a in enabled):
+                            if op0 == 2:  # CONST: aux is the value
+                                recs = [
+                                    (plan0[a[0]], fn0[a[0]], a[1])
+                                    for a in enabled
+                                ]
+                            elif op0 == 12:  # MERGE forwards its token
+                                recs = [
+                                    (plan0[a[0]], a[3], a[1])
+                                    for a in enabled
+                                ]
+                            else:  # SYNCH emits one access token
+                                recs = [
+                                    (plan0[a[0]], ACCESS, a[1])
+                                    for a in enabled
+                                ]
+                    if recs is not None:
+                        lat0 = k0 & _FK_LAT_MASK
+                        kc[op0] += ne
+                        live = [r for r in recs if r[0] is not None]
+                        if live:
+                            at = cyc + lat0
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.extend(live)
+                            n_inflight += sum(r[0][1] for r in live)
+                        m_ops += ne
+                        profile[cyc] = profile.get(cyc, 0) + ne
+                        del enabled[:]
+                        cyc += 1
+                        if cyc > max_cycles:
+                            raise SimulationLimitError(
+                                f"exceeded {max_cycles} cycles"
+                            )
+                        if m_ops > max_ops:
+                            raise SimulationLimitError(
+                                f"exceeded {max_ops} operations"
+                            )
+                        continue
+                for act in enabled:
+                    idx = act[0]
+                    ctx = act[1]
+                    op, lat, _, aux = rt[idx]
+                    plans = plans_all[idx]
+                    kc[op] += 1
+                    if trace_on:
+                        trace_list.append(
+                            (cyc, node_ids[idx], describe[idx],
+                             self._ctx_repr(ctx))
+                        )
+                    if op == 11:  # SWITCH
+                        ins = act[2]
+                        c = ins[1]
+                        if c is ACCESS or not isinst(c, int):
+                            self._bad_value(idx, c)
+                        plan = plans[0 if c != 0 else 1]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, ins[0], ctx))
+                            n_inflight += plan[1]
+                    elif op == 12:  # MERGE
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, act[3], ctx))
+                            n_inflight += plan[1]
+                    elif op == 3:  # BINOP
+                        ins = act[2]
+                        a = ins[0]
+                        b_ = ins[1]
+                        if a is ACCESS or not isinst(a, int):
+                            self._bad_value(idx, a)
+                        if b_ is ACCESS or not isinst(b_, int):
+                            self._bad_value(idx, b_)
+                        v = aux(a, b_)
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, v, ctx))
+                            n_inflight += plan[1]
+                    elif op == 13:  # SYNCH
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, ACCESS, ctx))
+                            n_inflight += plan[1]
+                    elif op == 2:  # CONST
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, aux, ctx))
+                            n_inflight += plan[1]
+                    elif op == 14:  # LOOP_ENTRY
+                        port = act[2]
+                        value = act[3]
+                        if port < aux:  # external entry: join activation
+                            akey = ctx * N + idx
+                            base = activations.get(akey)
+                            if base is None:
+                                na = self._next_activation
+                                self._next_activation = na + 1
+                                base = len(cpar)
+                                cintern[(ctx, na, 0)] = base
+                                cpar.append(ctx)
+                                cact.append(na)
+                                cit.append(0)
+                                activations[akey] = base
+                            plan = plans[port]
+                            if plan is not None:
+                                at = cyc + lat
+                                b = buckets.get(at)
+                                if b is None:
+                                    b = buckets[at] = []
+                                    tpush(times, at)
+                                b.append((plan, value, base))
+                                n_inflight += plan[1]
+                        else:  # backedge: advance the iteration tag
+                            key = (cpar[ctx], cact[ctx], cit[ctx] + 1)
+                            nc = cintern.get(key)
+                            if nc is None:
+                                nc = len(cpar)
+                                cintern[key] = nc
+                                cpar.append(key[0])
+                                cact.append(key[1])
+                                cit.append(key[2])
+                            plan = plans[port - aux]
+                            if plan is not None:
+                                at = cyc + lat
+                                b = buckets.get(at)
+                                if b is None:
+                                    b = buckets[at] = []
+                                    tpush(times, at)
+                                b.append((plan, value, nc))
+                                n_inflight += plan[1]
+                    elif op == 15:  # LOOP_EXIT
+                        port = act[2]
+                        value = act[3]
+                        parent = cpar[ctx]
+                        if parent < 0:
+                            raise MachineError(
+                                f"LOOP_EXIT {node_ids[idx]} fired in root "
+                                "context"
+                            )
+                        plan = plans[port]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, value, parent))
+                            n_inflight += plan[1]
+                    elif op == 5:  # LOAD
+                        v = memory.read(aux)
+                        at = cyc + lat
+                        b = buckets.get(at)
+                        if b is None:
+                            b = buckets[at] = []
+                            tpush(times, at)
+                        plan = plans[0]
+                        if plan is not None:
+                            b.append((plan, v, ctx))
+                            n_inflight += plan[1]
+                        plan = plans[1]
+                        if plan is not None:
+                            b.append((plan, ACCESS, ctx))
+                            n_inflight += plan[1]
+                    elif op == 6:  # STORE
+                        v = act[2][0]
+                        if v is ACCESS or not isinst(v, int):
+                            self._bad_value(idx, v)
+                        memory.write(aux, v)
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, ACCESS, ctx))
+                            n_inflight += plan[1]
+                    elif op == 7:  # ALOAD
+                        i0 = act[2][0]
+                        if i0 is ACCESS or not isinst(i0, int):
+                            self._bad_value(idx, i0)
+                        v = memory.aread(aux, i0)
+                        at = cyc + lat
+                        b = buckets.get(at)
+                        if b is None:
+                            b = buckets[at] = []
+                            tpush(times, at)
+                        plan = plans[0]
+                        if plan is not None:
+                            b.append((plan, v, ctx))
+                            n_inflight += plan[1]
+                        plan = plans[1]
+                        if plan is not None:
+                            b.append((plan, ACCESS, ctx))
+                            n_inflight += plan[1]
+                    elif op == 8:  # ASTORE
+                        ins = act[2]
+                        i0 = ins[0]
+                        v = ins[1]
+                        if i0 is ACCESS or not isinst(i0, int):
+                            self._bad_value(idx, i0)
+                        if v is ACCESS or not isinst(v, int):
+                            self._bad_value(idx, v)
+                        memory.awrite(aux, i0, v)
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, ACCESS, ctx))
+                            n_inflight += plan[1]
+                    elif op == 9:  # ILOAD
+                        i0 = act[2][0]
+                        if i0 is ACCESS or not isinst(i0, int):
+                            self._bad_value(idx, i0)
+                        ok, v = istructs.read(aux, i0, (idx, ctx))
+                        if ok:
+                            plan = plans[0]
+                            if plan is not None:
+                                at = cyc + lat
+                                b = buckets.get(at)
+                                if b is None:
+                                    b = buckets[at] = []
+                                    tpush(times, at)
+                                b.append((plan, v, ctx))
+                                n_inflight += plan[1]
+                        # else deferred: the matching ISTORE emits for us
+                    elif op == 10:  # ISTORE
+                        ins = act[2]
+                        i0 = ins[0]
+                        v = ins[1]
+                        if i0 is ACCESS or not isinst(i0, int):
+                            self._bad_value(idx, i0)
+                        if v is ACCESS or not isinst(v, int):
+                            self._bad_value(idx, v)
+                        waiters = istructs.write(aux, i0, v)
+                        at = cyc + lat
+                        b = buckets.get(at)
+                        if b is None:
+                            b = buckets[at] = []
+                            tpush(times, at)
+                        plan = plans[0]
+                        if plan is not None:
+                            b.append((plan, ACCESS, ctx))
+                            n_inflight += plan[1]
+                        for widx, wctx in waiters:
+                            plan = plans_all[widx][0]
+                            if plan is not None:
+                                b.append((plan, v, wctx))
+                                n_inflight += plan[1]
+                    elif op == 4:  # UNOP
+                        a = act[2][0]
+                        if a is ACCESS or not isinst(a, int):
+                            self._bad_value(idx, a)
+                        v = aux(a)
+                        plan = plans[0]
+                        if plan is not None:
+                            at = cyc + lat
+                            b = buckets.get(at)
+                            if b is None:
+                                b = buckets[at] = []
+                                tpush(times, at)
+                            b.append((plan, v, ctx))
+                            n_inflight += plan[1]
+                    else:
+                        raise MachineError(
+                            f"cannot execute kind {OPCODE_KIND_VALUE[op]}"
+                        )
+                n_fired = len(enabled)
+                m_ops += n_fired
+                profile[cyc] = profile.get(cyc, 0) + n_fired
+                del enabled[:]
+                cyc += 1
+                if cyc > max_cycles:
+                    raise SimulationLimitError(f"exceeded {max_cycles} cycles")
+                if m_ops > max_ops:
+                    raise SimulationLimitError(
+                        f"exceeded {max_ops} operations"
+                    )
+        finally:
+            self._cycle = cyc
+            self._m_ops = m_ops
+            self._n_inflight = n_inflight
+            self._peak_tokens = peak_tok
+            self._peak_frames = peak_frames
+            self._peak_enabled = peak_en
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _check_completion(self) -> None:
+        pg = self.pg
+        missing = [
+            p for p in range(len(pg.returns)) if p not in self._end_arrivals
+        ]
+        pending_is = self.istructs.pending_reads()
+        if not missing and not pending_is:
+            return
+        waiting = []
+        N = pg.n
+        fbase = self._fbase
+        filled = self._filled
+        for fk, frame in self._frames.items():
+            idx = fk % N
+            if frame is None:  # root-context frame in the flat store
+                base = fbase[idx]
+                ports = sorted(
+                    p for p in range(pg.nin[idx]) if filled[base + p]
+                )
+            else:
+                ports = sorted(
+                    p
+                    for p in range(pg.nin[idx])
+                    if frame[p + 1] is not _EMPTY
+                )
+            if ports:
+                waiting.append(
+                    f"node {pg.node_ids[idx]} ({pg.describe[idx]}) ctx "
+                    f"{self._ctx_repr(fk // N)} has ports {ports} filled"
+                )
+        for arr, idx in pending_is:
+            waiting.append(f"I-structure read of never-written {arr}[{idx}]")
+        from .errors import DeadlockError
+
+        raise DeadlockError(
+            f"machine quiesced with END ports {missing} missing "
+            f"({len(waiting)} stuck frames)",
+            waiting,
+        )

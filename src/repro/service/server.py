@@ -411,8 +411,13 @@ class ServiceServer:
         elif op == "cancel":
             await self._op_cancel(conn, msg)
         elif op == "stats":
-            await conn.send({"ok": True, "op": "stats",
-                             "stats": self.stats_snapshot()})
+            await conn.send({
+                "ok": True,
+                "op": "stats",
+                "stats": self.stats_snapshot(
+                    samples=bool(msg.get("samples"))
+                ),
+            })
         elif op == "metrics":
             await conn.send({"ok": True, "op": "metrics",
                              "metrics": self.metrics_snapshot()})
@@ -525,7 +530,12 @@ class ServiceServer:
 
     # -- stats / metrics ---------------------------------------------------
 
-    def stats_snapshot(self) -> dict:
+    def stats_snapshot(self, samples: bool = False) -> dict:
+        """Service stats.  With ``samples=True`` each ``latency_ms``
+        stage additionally carries its raw sample ring (the metrics
+        registry's bounded window) so an aggregator — the fleet router —
+        can compute *exact* percentiles over pooled samples instead of
+        averaging per-shard percentiles."""
         uptime = time.monotonic() - self._t0
         done = self.completed + self.failed
         cache: dict = {
@@ -560,10 +570,18 @@ class ServiceServer:
             "jobs_per_s": done / uptime if uptime > 0 else 0.0,
             "cache": cache,
             "latency_ms": {
-                stage: LatencySummary.from_samples(h.samples()).to_json()
+                stage: self._stage_summary(h, samples)
                 for stage, h in self._h.items()
             },
         }
+
+    @staticmethod
+    def _stage_summary(h, with_samples: bool) -> dict:
+        ring = h.samples()
+        out = LatencySummary.from_samples(ring).to_json()
+        if with_samples:
+            out["samples"] = [float(x) for x in ring]
+        return out
 
     def metrics_snapshot(self) -> dict:
         """Full registry dump for the ``metrics`` op.  Point-in-time

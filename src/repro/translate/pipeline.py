@@ -319,7 +319,11 @@ def simulate(
     """Run a compiled program on the ETS machine."""
     mem, ist = cp.memories(inputs)
     cfg = config or MachineConfig()
-    packed = cp.ensure_packed() if cfg.backend() == "packed" else None
+    packed = (
+        cp.ensure_packed()
+        if cfg.backend() in ("packed", "vectorized")
+        else None
+    )
     return Simulator(cp.graph, mem, ist, config, packed=packed).run()
 
 

@@ -60,6 +60,11 @@ class GenKnobs:
     max_loop_iters: int = 4
     #: input vectors generated per program
     n_inputs: int = 2
+    #: when nonzero, append a wide-fan-out gadget: one scalar consumed
+    #: by this many strict two-input consumers in a single fan-out row
+    #: (exercises the vectorized backend's bulk delivery plans; 0 keeps
+    #: the generated stream byte-identical to earlier releases)
+    fanout_width: int = 0
 
     def __post_init__(self) -> None:
         if self.n_vars < 1:
@@ -272,6 +277,13 @@ def generate(seed: int, knobs: GenKnobs | None = None) -> GeneratedProgram:
         lines.append(f"irrB: {g} := {g} + 1;")
         lines.append(f"if {g} < {rng.randint(2, k.max_loop_iters)} "
                      f"then goto irrA;")
+
+    if k.fanout_width:
+        # no rng draws unless enabled: default knobs must reproduce the
+        # exact historical program stream for regression replay
+        v = rng.choice(scalars)
+        for i in range(k.fanout_width):
+            lines.append(f"fan{i} := {v} + {i};")
 
     inputs = tuple(
         {v: rng.randint(k.int_min, k.int_max) for v in scalars}

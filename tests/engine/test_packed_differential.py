@@ -1,13 +1,15 @@
-"""Differential suite for the packed backend — the tentpole's acceptance
-harness.
+"""Differential suite for the flat backends (packed and vectorized).
 
 The flat-array interpreter (:class:`~repro.machine.packed.PackedSimulator`)
-claims *bit-identical observables* with the reference simulator: final
-memory, ``end_values``, every :class:`~repro.machine.metrics.Metrics`
-field including the parallelism profile and sampled resource peaks, and
-the recorded clash list (contents *and* order).  This suite holds it to
+and the bulk-firing vectorized interpreter
+(:class:`~repro.machine.vectorized.VectorizedSimulator`) claim
+*bit-identical observables* with the reference simulator: final memory,
+``end_values``, every :class:`~repro.machine.metrics.Metrics` field
+including the parallelism profile and sampled resource peaks, and the
+recorded clash list (contents *and* order).  This suite holds both to
 that across the full corpus × every legal schema × every input set, in
-clash-record mode, on the raise path, and through the pooled engine.
+clash-record mode, on the raise path, with and without numpy, and
+through the pooled engine.
 """
 
 import pytest
@@ -76,6 +78,47 @@ def test_packed_equals_fast_including_peaks(wl):
 
 
 @pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
+def test_vectorized_equals_step_full_corpus(wl):
+    for schema in schemas_for(wl):
+        cp = _CACHE.get_or_compile(wl.source, schema=schema)
+        for inputs in wl.inputs:
+            vec = simulate(cp, inputs, MachineConfig(sim_mode="vectorized"))
+            assert vec.backend == "vectorized" and vec.fast_path
+            step = simulate(cp, inputs, MachineConfig(sim_mode="step"))
+            _assert_identical(vec, step, (wl.name, schema))
+
+
+@pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
+def test_vectorized_equals_packed_including_peaks(wl):
+    """The vectorized loop drains its cycle buckets at the same
+    checkpoints the packed loop drains its heap, so the sampled
+    occupancy timeline and the waiting-frame peak must also agree."""
+    for schema in schemas_for(wl):
+        cp = _CACHE.get_or_compile(wl.source, schema=schema)
+        inputs = wl.inputs[0]
+        vec = simulate(cp, inputs, MachineConfig(sim_mode="vectorized"))
+        packed = simulate(cp, inputs, MachineConfig(sim_mode="packed"))
+        _assert_identical(vec, packed, (wl.name, schema),
+                          peaks_vs_fast=True)
+        assert [tuple(s) for s in vec.occupancy] == [
+            tuple(s) for s in packed.occupancy
+        ], (wl.name, schema)
+
+
+@pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
+def test_vectorized_no_numpy_equals_step(wl, monkeypatch):
+    """The pure-python bulk path (REPRO_NO_NUMPY=1) is held to the same
+    bit-identity bar as the numpy fast path."""
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    for schema in schemas_for(wl):
+        cp = _CACHE.get_or_compile(wl.source, schema=schema)
+        inputs = wl.inputs[0]
+        vec = simulate(cp, inputs, MachineConfig(sim_mode="vectorized"))
+        step = simulate(cp, inputs, MachineConfig(sim_mode="step"))
+        _assert_identical(vec, step, (wl.name, schema, "no-numpy"))
+
+
+@pytest.mark.parametrize("wl", CORPUS, ids=[w.name for w in CORPUS])
 def test_packed_clash_record_mode_full_corpus(wl):
     """on_clash="record" is exact on the packed backend too (valid graphs
     record zero clashes, but the mode must not perturb anything)."""
@@ -104,47 +147,50 @@ def _fig08_clashing_program():
     return cp
 
 
-def test_clash_record_ordering_matches_step():
-    """Real clashes: the packed backend's overflow deques must replay the
+@pytest.mark.parametrize("mode", ["packed", "vectorized"])
+def test_clash_record_ordering_matches_step(mode):
+    """Real clashes: the flat backends' overflow deques must replay the
     reference per-port deques exactly — same clash count, same (node,
     port, context) reports, same order, same final state."""
     cp = _fig08_clashing_program()
-    packed = simulate(
+    flat = simulate(
         cp,
         None,
-        MachineConfig(sim_mode="packed", on_clash="record", memory_latency=8),
+        MachineConfig(sim_mode=mode, on_clash="record", memory_latency=8),
     )
     step = simulate(
         cp,
         None,
         MachineConfig(sim_mode="step", on_clash="record", memory_latency=8),
     )
-    assert packed.metrics.clashes >= 2  # deques hold more than one extra
-    _assert_identical(packed, step, "fig08-record")
+    assert flat.metrics.clashes >= 2  # deques hold more than one extra
+    _assert_identical(flat, step, f"fig08-record-{mode}")
 
 
-def test_clash_raise_matches_step():
+@pytest.mark.parametrize("mode", ["packed", "vectorized"])
+def test_clash_raise_matches_step(mode):
     cp = _fig08_clashing_program()
-    with pytest.raises(TokenClashError) as packed_err:
-        simulate(
-            cp, None, MachineConfig(sim_mode="packed", memory_latency=8)
-        )
+    with pytest.raises(TokenClashError) as flat_err:
+        simulate(cp, None, MachineConfig(sim_mode=mode, memory_latency=8))
     with pytest.raises(TokenClashError) as step_err:
         simulate(cp, None, MachineConfig(sim_mode="step", memory_latency=8))
-    assert str(packed_err.value) == str(step_err.value)
+    assert str(flat_err.value) == str(step_err.value)
 
 
-def test_auto_prefers_packed_only_when_exact():
+def test_auto_prefers_flat_only_when_exact():
     cp = _CACHE.get_or_compile(RUNNING_EXAMPLE.source, schema="schema2_opt")
     auto = simulate(cp, None)
-    assert auto.backend == "packed" and auto.fast_path
+    assert auto.backend == "vectorized" and auto.fast_path
     finite = simulate(cp, None, MachineConfig(num_pes=2))
     assert finite.backend == "step"
     bounded = simulate(cp, None, MachineConfig(loop_bound=1))
     assert bounded.backend == "step"
     forced = simulate(cp, None, MachineConfig(sim_mode="fast"))
     assert forced.backend == "fast"
-    assert auto.memory == finite.memory == bounded.memory == forced.memory
+    forced_packed = simulate(cp, None, MachineConfig(sim_mode="packed"))
+    assert forced_packed.backend == "packed"
+    assert (auto.memory == finite.memory == bounded.memory
+            == forced.memory == forced_packed.memory)
 
 
 def test_pooled_packed_equals_serial(tmp_path):
@@ -160,5 +206,5 @@ def test_pooled_packed_equals_serial(tmp_path):
     for i, (s, p) in enumerate(zip(serial, pooled)):
         assert s.ok and p.ok, (s.error, p.error)
         assert s.index == p.index == i
-        assert p.result.backend == "packed"
+        assert p.result.backend == "vectorized"  # auto on idealized config
         _assert_identical(p.result, s.result, jobs[i].name)

@@ -195,3 +195,63 @@ def test_duplicate_and_malformed_requests():
                 client.result("bad")
             assert exc.value.code == "bad_request"
             assert client.submit(BatchJob(SRC, name="after")).ok
+
+
+def test_merge_latency_pools_shard_samples():
+    """Regression: the fleet stats merge used a count-weighted average
+    of per-shard p50/p95/p99, which under-reports tail latency whenever
+    one shard is slower than the rest — the slow shard's p99 gets
+    diluted by the fast shards' counts.  The merge must compute
+    percentiles over the pooled sample rings instead."""
+    from repro.engine.latency import LatencySummary, percentile
+    from repro.fleet.router import _merge_latency
+
+    def summary(samples, ship_samples=True):
+        d = LatencySummary.from_samples(samples).to_json()
+        if ship_samples:
+            d["samples"] = list(samples)
+        return d
+
+    fast = [1.0] * 900    # healthy shard
+    slow = [100.0] * 100  # shard stuck behind a slow disk
+
+    merged = _merge_latency([summary(fast), summary(slow)])
+    pooled = sorted(fast + slow)
+    assert merged["count"] == 1000
+    assert merged["p99"] == percentile(pooled, 99) == 100.0
+    assert merged["p95"] == percentile(pooled, 95) == 100.0
+    assert merged["p50"] == percentile(pooled, 50) == 1.0
+    assert merged["max"] == 100.0
+    assert merged["mean"] == pytest.approx(10.9)
+
+    # the old weighted average (kept only as the fallback for shards
+    # that predate the `samples` stats flag) visibly under-reports:
+    # (900 * 1.0 + 100 * 100.0) / 1000 = 10.9ms claimed p99 vs 100ms real
+    legacy = _merge_latency([summary(fast, ship_samples=False),
+                             summary(slow)])
+    assert legacy["p99"] == pytest.approx(10.9)
+    assert legacy["p99"] < merged["p99"] / 5
+    # count/mean/max compose exactly under either merge
+    assert legacy["count"] == merged["count"]
+    assert legacy["mean"] == merged["mean"]
+    assert legacy["max"] == merged["max"]
+
+
+def test_fleet_stats_latency_merge_is_sample_based():
+    """The router asks shards for raw rings (stats op, samples=True),
+    merges percentiles over the pooled samples, and strips the rings
+    from the client-facing reply."""
+    with running_fleet(shards=2, max_wait_ms=1.0) as (ep, _router):
+        with ServiceClient(**ep, timeout=60.0, retries=20) as client:
+            for i in range(4):
+                assert client.submit(BatchJob(SRC, name=f"j{i}")).ok
+            st = client.stats()
+            for stage in ("compile", "sim"):
+                merged = st["latency_ms"][stage]
+                assert merged["count"] >= 1
+                assert merged["p99"] <= merged["max"]
+                assert "samples" not in merged
+            # rings never leak into the per-shard breakdown
+            for sh in st["shards"].values():
+                for stage_summary in sh["latency_ms"].values():
+                    assert "samples" not in stage_summary

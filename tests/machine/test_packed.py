@@ -142,9 +142,14 @@ def test_packed_simulator_rejects_stateful_configs():
 
 
 def test_backend_resolution():
-    assert MachineConfig().backend() == "packed"
+    assert MachineConfig().backend() == "vectorized"
     assert MachineConfig(num_pes=2).backend() == "step"
     assert MachineConfig(loop_bound=1).backend() == "step"
     assert MachineConfig(sim_mode="step").backend() == "step"
     assert MachineConfig(sim_mode="fast").backend() == "fast"
     assert MachineConfig(sim_mode="packed").backend() == "packed"
+    assert MachineConfig(sim_mode="vectorized").backend() == "vectorized"
+    with pytest.raises(ValueError):
+        MachineConfig(sim_mode="vectorized", num_pes=2)
+    with pytest.raises(ValueError):
+        MachineConfig(sim_mode="vectorized", loop_bound=1)

@@ -228,8 +228,27 @@ def test_bench_sim_mode_selects_backend(capsys, tmp_path):
         == 0
     )
     err = capsys.readouterr().err
-    # auto resolves to the packed interpreter on the idealized machine
-    assert "sim backends — packed: 1 jobs" in err
+    # auto resolves to the vectorized interpreter on the idealized machine
+    assert "sim backends — vectorized: 1 jobs" in err
+
+    assert (
+        main(
+            [
+                "bench",
+                "--programs",
+                "gcd",
+                "--schemas",
+                "schema1",
+                "--sim-mode",
+                "vectorized",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "sim backends — vectorized: 1 jobs" in err
 
 
 def test_bench_rejects_bad_sim_mode():

@@ -59,13 +59,19 @@ def test_ref_crash_classification():
 
 
 def test_mutation_is_caught_classified_and_localized(monkeypatch):
-    """Break `*` for the packed backend only (it binds BINOP_FUNCS at
-    init; the step/fast loops call apply_binop directly).  The oracle
-    must flag exactly the packed routes."""
+    """Break `*` for the flat-array family only (packed binds
+    BINOP_FUNCS at init and vectorized shares its runtime table; the
+    step/fast loops call apply_binop directly).  The oracle must flag
+    exactly the packed and vectorized routes."""
     monkeypatch.setitem(semantics.BINOP_FUNCS, "*", lambda a, b: a * b + 1)
     report = check_program("x := 3;\ny := x * 5;\n")
     assert not report.ok
-    assert all("/packed" in d.route for d in report.divergences)
+    assert all(
+        "/packed" in d.route or "/vectorized" in d.route
+        for d in report.divergences
+    )
+    assert any("/packed" in d.route for d in report.divergences)
+    assert any("/vectorized" in d.route for d in report.divergences)
     kinds = {d.kind for d in report.divergences}
     assert "sim_divergence" in kinds
 
@@ -83,7 +89,10 @@ def test_mutation_fuzz_end_to_end_minimizes_small(monkeypatch, tmp_path):
     assert not report.ok, "mutation escaped the fuzzer"
     finding = report.findings[0]
     assert finding.divergence.kind == "sim_divergence"
-    assert "/packed" in finding.divergence.route
+    assert (
+        "/packed" in finding.divergence.route
+        or "/vectorized" in finding.divergence.route
+    )
     assert 0 < finding.minimized_lines <= 10
     assert finding.regression_path is not None
     assert finding.regression_path.exists()
