@@ -79,6 +79,17 @@ def _add_compile_args(
         choices=("off", "cheap", "full"),
         help="check each pass's certificate as it runs",
     )
+    p.add_argument(
+        "--region-compile", default="off",
+        choices=("off", "auto", "on"),
+        help="multiresolution region compilation: partition at legal "
+             "cuts, compile regions independently, stitch (auto = only "
+             "for large programs)",
+    )
+    p.add_argument(
+        "--region-target", type=int, default=64, metavar="N",
+        help="statements per region before the next legal cut closes it",
+    )
 
 
 def _add_run_args(p: argparse.ArgumentParser) -> None:
@@ -123,6 +134,8 @@ def _options(args):
         use_istructures=args.istructures,
         redundant_elim=args.redundant_elim,
         verify_passes=args.verify_passes,
+        region_compile=args.region_compile,
+        region_target_stmts=args.region_target,
     )
 
 
@@ -270,13 +283,33 @@ def _compile_cmd(args) -> int:
     certificate log (timings, verification level, metrics)."""
     from .translate.verify import CertificateError
 
+    source = _read_source(args.file)
+    options = _options(args)
+    pool = None
     try:
-        cp = compile_program(_read_source(args.file), options=_options(args))
+        if options.region_compile != "off" and (
+            args.jobs > 1 or args.cache_dir
+        ):
+            from .engine.batch import make_pool
+            from .engine.cache import GraphCache
+
+            cache = GraphCache(cache_dir=args.cache_dir)
+            if args.jobs > 1:
+                pool = make_pool(args.jobs, cache_dir=args.cache_dir)
+                cache.region_pool = pool
+            cp, _ = cache.lookup(source, options)
+        else:
+            cp = compile_program(source, options=options)
     except CertificateError as exc:
-        print(f"# certificate rejected — guilty pass: {exc.pass_name}",
-              file=sys.stderr)
+        where = f" [{exc.region}]" if exc.region else ""
+        print(f"# certificate rejected — guilty pass: "
+              f"{exc.pass_name}{where}", file=sys.stderr)
         print(f"# {exc.diff}", file=sys.stderr)
         return 1
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
     if args.json:
         import json
         from dataclasses import asdict
@@ -664,6 +697,15 @@ def main(argv: list[str] | None = None) -> int:
     _add_compile_args(p_compile)
     p_compile.add_argument("--json", action="store_true",
                            help="certificate log as raw JSON")
+    p_compile.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for region-compile fan-out "
+             "(with --region-compile auto|on)",
+    )
+    p_compile.add_argument(
+        "--cache-dir", default=None,
+        help="disk tier for memoized region/whole-program graphs",
+    )
 
     p_stats = subs.add_parser(
         "stats",
@@ -847,7 +889,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_fleet.add_argument(
         "--cache-dir", default=None,
-        help="disk cache root; each shard uses cache-dir/shard-<i>",
+        help="disk cache shared by all shards (atomic content-addressed "
+             "writes); respawned shards come back warm",
     )
 
     p_submit = subs.add_parser(

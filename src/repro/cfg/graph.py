@@ -59,6 +59,11 @@ class CFGNode:
     # (set by the optimized construction's carried-set closure); when None,
     # stream membership falls back to carried_refs.
     carried_streams: frozenset[str] | None = None
+    # memoized refs(); anything that mutates target/expr/pred must call
+    # invalidate_refs() (see cfg/optimize.py)
+    _refs_cache: frozenset[str] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- variable reference sets -------------------------------------------
 
@@ -91,7 +96,15 @@ class CFGNode:
         """
         if self.kind in (NodeKind.LOOP_ENTRY, NodeKind.LOOP_EXIT):
             return self.carried_refs
-        return self.loads() | self.stores()
+        cached = self._refs_cache
+        if cached is None:
+            cached = self._refs_cache = self.loads() | self.stores()
+        return cached
+
+    def invalidate_refs(self) -> None:
+        """Drop the memoized :meth:`refs` set after mutating this node's
+        ``target``/``expr``/``pred`` in place."""
+        self._refs_cache = None
 
     def describe(self) -> str:
         from ..lang.pretty import pretty_expr

@@ -143,12 +143,14 @@ def propagate_constants(cfg: CFG, report: OptReport) -> bool:
             if n1:
                 node.expr = fold_expr(new_expr, report)
             if n1 or n2:
+                node.invalidate_refs()
                 report.propagated += n1 + n2
                 changed = True
         elif node.kind is NodeKind.FORK:
             new_pred, n = _subst(node.pred, env)
             if n:
                 node.pred = fold_expr(new_pred, report)
+                node.invalidate_refs()
                 report.propagated += n
                 changed = True
     return changed
@@ -161,16 +163,19 @@ def fold_all(cfg: CFG, report: OptReport) -> bool:
             new = fold_expr(node.expr, report)
             if new is not node.expr:
                 node.expr = new
+                node.invalidate_refs()
                 changed = True
             if isinstance(node.target, ArrayRef):
                 ni = fold_expr(node.target.index, report)
                 if ni is not node.target.index:
                     node.target = ArrayRef(node.target.name, ni)
+                    node.invalidate_refs()
                     changed = True
         elif node.kind is NodeKind.FORK:
             new = fold_expr(node.pred, report)
             if new is not node.pred:
                 node.pred = new
+                node.invalidate_refs()
                 changed = True
     return changed
 

@@ -94,6 +94,102 @@ class DFGraph:
         self._in[dst][dst_port] = arc
         return arc
 
+    def adopt(self, node: DFNode) -> DFNode:
+        """Copy ``node`` (payload shared — payload fields are immutable)
+        from another graph under a fresh id here.  The bulk path the
+        region stitcher uses to splice thousands of already-validated
+        nodes without re-running per-field construction; START/END must
+        go through :meth:`add` so their uniqueness stays enforced."""
+        if node.kind in (OpKind.START, OpKind.END):
+            raise DFGError("adopt() cannot take START/END nodes")
+        # field-by-field construction: copy.copy on a slots dataclass goes
+        # through __reduce_ex__ and is ~4x slower on this bulk path
+        n2 = DFNode(
+            self._next_id,
+            node.kind,
+            op=node.op,
+            value=node.value,
+            var=node.var,
+            nports=node.nports,
+            loop_id=node.loop_id,
+            nchannels=node.nchannels,
+            channel_labels=node.channel_labels,
+            seeds=node.seeds,
+            returns=node.returns,
+            latency=node.latency,
+            tag=node.tag,
+        )
+        self.nodes[n2.id] = n2
+        self._out[n2.id] = {}
+        self._in[n2.id] = {}
+        self._next_id += 1
+        return n2
+
+    def splice_from(
+        self, other: "DFGraph", skip_a: int, skip_b: int
+    ) -> dict[int, int]:
+        """Bulk-adopt every node of ``other`` except ``skip_a``/``skip_b``
+        (its START/END), plus every arc whose two endpoints were adopted,
+        renumbered into this graph.  Returns the old->new id map; arcs
+        touching the skipped nodes are left for the caller to rewire.
+        One tight loop instead of per-node :meth:`adopt` + per-arc
+        :meth:`connect_unchecked` calls — the region stitcher splices
+        hundreds of thousands of already-validated nodes this way."""
+        idmap: dict[int, int] = {}
+        nodes = self.nodes
+        _out = self._out
+        _in = self._in
+        nid = self._next_id
+        for onid in sorted(other.nodes):
+            if onid == skip_a or onid == skip_b:
+                continue
+            n = other.nodes[onid]
+            nodes[nid] = DFNode(
+                nid, n.kind, n.op, n.value, n.var, n.nports, n.loop_id,
+                n.nchannels, n.channel_labels, n.seeds, n.returns,
+                n.latency, n.tag,
+            )
+            _out[nid] = {}
+            _in[nid] = {}
+            idmap[onid] = nid
+            nid += 1
+        self._next_id = nid
+        get = idmap.get
+        for src, ports in other._out.items():
+            ns = get(src)
+            if ns is None:
+                continue
+            o = _out[ns]
+            for arcs in ports.values():
+                for a in arcs:
+                    nd = get(a.dst)
+                    if nd is None:
+                        continue
+                    arc = Arc(ns, a.src_port, nd, a.dst_port, a.is_access)
+                    lst = o.get(a.src_port)
+                    if lst is None:
+                        o[a.src_port] = [arc]
+                    else:
+                        lst.append(arc)
+                    _in[nd][a.dst_port] = arc
+        return idmap
+
+    def connect_unchecked(
+        self, s: int, sp: int, dst: int, dst_port: int, is_access: bool
+    ) -> Arc:
+        """:meth:`connect` minus the port checks — for splicing arcs
+        between nodes copied from graphs that already validated them.
+        The final :meth:`validate` still covers the stitched result."""
+        arc = Arc(s, sp, dst, dst_port, is_access)
+        out = self._out[s]
+        lst = out.get(sp)
+        if lst is None:
+            out[sp] = [arc]
+        else:
+            lst.append(arc)
+        self._in[dst][dst_port] = arc
+        return arc
+
     def disconnect(self, arc: Arc) -> None:
         self._out[arc.src][arc.src_port].remove(arc)
         del self._in[arc.dst][arc.dst_port]
@@ -133,6 +229,9 @@ class DFGraph:
 
     def in_arcs(self, nid: int) -> list[Arc]:
         return list(self._in[nid].values())
+
+    def out_arcs(self, nid: int) -> list[Arc]:
+        return [a for arcs in self._out[nid].values() for a in arcs]
 
     def count(self, kind: OpKind) -> int:
         return sum(1 for n in self.nodes.values() if n.kind is kind)

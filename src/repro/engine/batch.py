@@ -99,6 +99,51 @@ def _worker_init(cache_dir, capacity: int) -> None:
     _WORKER_CACHE = GraphCache(capacity=capacity, cache_dir=cache_dir)
 
 
+def _worker_compile(item: tuple):
+    """Pool entry point for the region compiler's cold-region fan-out:
+    ``(source, options)`` or ``(source, options, program_ast)`` in, a
+    packed :class:`CompiledProgram` out.  When the planner ships the
+    already-parsed sub-program AST the worker compiles straight from it
+    (no re-parse), checking/filling the worker cache under the source
+    key.  Compiles through the worker's cache when the pool was built by
+    :func:`make_pool` (sharing the disk tier), bare otherwise."""
+    from ..translate.pipeline import compile_program
+    from ..translate.regions import slim_region_cp
+
+    source, options = item[0], item[1]
+    prog = item[2] if len(item) > 2 else None
+    if _WORKER_CACHE is not None:
+        if prog is None:
+            cp, _ = _WORKER_CACHE.lookup(source, options)
+            return cp
+        cp = _WORKER_CACHE.peek(source, options)
+        if cp is None:
+            # slim before caching/shipping: the parent only stitches the
+            # subgraph, and the full compile context would dominate the
+            # return pickle
+            cp = slim_region_cp(compile_program(prog, options=options))
+            _WORKER_CACHE.insert(source, options, cp)
+        return cp
+    if prog is not None:
+        return slim_region_cp(compile_program(prog, options=options))
+    cp = compile_program(source, options=options)
+    cp.ensure_packed()
+    return cp
+
+
+def compile_sources_pooled(
+    pool: multiprocessing.pool.Pool, items: list[tuple]
+) -> list:
+    """Map ``(source, options[, program_ast])`` tuples over ``pool``,
+    preserving order.  Used by :mod:`repro.translate.regions` to compile
+    cold regions in parallel; compile errors (including
+    ``CertificateError``) propagate to the caller."""
+    workers = getattr(pool, "_processes", None) or 1
+    return pool.map(
+        _worker_compile, items, chunksize=max(1, len(items) // (workers * 2))
+    )
+
+
 def _run_one(cache: GraphCache, index: int, job: BatchJob) -> BatchResult:
     # a traced job activates its id so every span below lands in its
     # trace, even with the global tracer switch off
@@ -320,10 +365,41 @@ def run_batch(
     if pool is None and (pool_size is None or pool_size <= 1):
         return [_run_one(cache, i, job) for i, job in enumerate(jobs)]
 
-    # pooled: compile flat-backend (packed/vectorized) jobs in the
-    # parent (one warm cache serves the whole batch) and ship only the
-    # flat payload; stepper jobs go whole, compiling against the
-    # worker's own cache
+    # pooled: the pool is created (or borrowed) up front so parent-side
+    # compiles can fan region subcompiles out on it, then compile
+    # flat-backend (packed/vectorized) jobs in the parent (one warm
+    # cache serves the whole batch) and ship only the flat payload;
+    # stepper jobs go whole, compiling against the worker's own cache
+    owned: multiprocessing.pool.Pool | None = None
+    if pool is None:
+        owned = multiprocessing.Pool(
+            processes=pool_size,
+            initializer=_worker_init,
+            initargs=(cache_dir, capacity),
+        )
+    pool_obj = pool if pool is not None else owned
+    workers = (
+        pool_size
+        if owned is not None
+        else (getattr(pool, "_processes", None) or 1)
+    )
+    prev_region_pool = getattr(cache, "region_pool", None)
+    cache.region_pool = pool_obj
+    try:
+        return _run_pooled(jobs, cache, pool_obj, workers)
+    finally:
+        cache.region_pool = prev_region_pool
+        if owned is not None:
+            owned.terminate()
+            owned.join()
+
+
+def _run_pooled(
+    jobs: list[BatchJob],
+    cache: GraphCache,
+    pool: multiprocessing.pool.Pool,
+    workers: int,
+) -> list[BatchResult]:
     items: list[tuple] = []
     premade: dict[int, BatchResult] = {}
     meta: dict[int, tuple] = {}
@@ -377,22 +453,9 @@ def run_batch(
 
     raw: list = []
     if items:
-        if pool is not None:
-            workers = getattr(pool, "_processes", None) or 1
-            raw = pool.map(
-                _worker_run, items, chunksize=_chunksize(len(items), workers)
-            )
-        else:
-            with multiprocessing.Pool(
-                processes=pool_size,
-                initializer=_worker_init,
-                initargs=(cache_dir, capacity),
-            ) as owned:
-                raw = owned.map(
-                    _worker_run,
-                    items,
-                    chunksize=_chunksize(len(items), pool_size),
-                )
+        raw = pool.map(
+            _worker_run, items, chunksize=_chunksize(len(items), workers)
+        )
 
     results: list[BatchResult | None] = [None] * len(jobs)
     for i, br in premade.items():

@@ -41,8 +41,10 @@ from ..translate.pipeline import CompiledProgram, CompileOptions, compile_progra
 
 #: bump when CompiledProgram's pickled layout changes incompatibly
 #: (v2: CompiledProgram carries the lowered PackedGraph alongside the
-#: source graph, so cached entries are run-ready without re-lowering)
-CACHE_FORMAT = "repro-graph-cache-v2"
+#: source graph, so cached entries are run-ready without re-lowering;
+#: v3: region-compiled entries — cfg=None, pass_log led by the
+#: region_stitch certificate — share the store with monolithic ones)
+CACHE_FORMAT = "repro-graph-cache-v3"
 
 
 def graph_key(source: str, options: CompileOptions) -> str:
@@ -93,13 +95,26 @@ class GraphCache:
         self,
         capacity: int = 256,
         cache_dir: str | os.PathLike | None = None,
+        capacity_bytes: int | None = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
         self.capacity = capacity
+        #: approximate in-memory budget (sum of entry blob sizes); the
+        #: count capacity still applies on top.  Sizing by bytes keeps
+        #: thousands of small region subgraphs from evicting a few giant
+        #: whole-program entries (and vice versa).
+        self.capacity_bytes = capacity_bytes
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.stats = CacheStats()
+        #: worker pool the region compiler fans cold region compiles out
+        #: on; set by whoever owns a pool (run_batch, benches, the CLI)
+        self.region_pool = None
         self._mem: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self._total_bytes = 0
         self._lock = threading.Lock()
         # single-flight: key -> event set when the leading lookup settles
         self._inflight: dict[str, threading.Event] = {}
@@ -140,12 +155,15 @@ class GraphCache:
                     self._remember(key, cp)
                 return cp, True
             with tracer.span("cache.compile", schema=options.schema):
-                cp = compile_program(source, options=options)
-            # lower to the packed form before the entry is shared: every
-            # consumer (this process, disk readers, pool workers) then
-            # reuses one lowering instead of re-packing per run
-            with tracer.span("cache.pack"):
-                cp.ensure_packed()
+                cp = self._compile(source, options)
+            # lower to the packed form before the entry is shared when a
+            # tier needs the blob (disk pickles it, byte-LRU sizes by it);
+            # a count-only memory cache defers lowering to first use —
+            # packing a giant stitched graph costs seconds the warm
+            # incremental path shouldn't pay
+            if self._needs_packed():
+                with tracer.span("cache.pack"):
+                    cp.ensure_packed()
             with self._lock:
                 self.stats.misses += 1
                 self._remember(key, cp)
@@ -162,15 +180,98 @@ class GraphCache:
         """:meth:`lookup` without the hit flag."""
         return self.lookup(source, options, **kwargs)[0]
 
+    def peek(
+        self, source: str, options: CompileOptions
+    ) -> CompiledProgram | None:
+        """Cache-only probe: memory tier, then disk — never compiles.
+        Hits count in :attr:`stats`; a miss counts nothing (the caller
+        decides how to resolve it)."""
+        key = graph_key(source, options)
+        with self._lock:
+            cp = self._mem.get(key)
+            if cp is not None:
+                self._mem.move_to_end(key)
+                self.stats.hits += 1
+                return cp
+        cp = self._disk_read(key)
+        if cp is not None:
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._remember(key, cp)
+        return cp
+
+    def insert(
+        self, source: str, options: CompileOptions, cp: CompiledProgram
+    ) -> None:
+        """Store an externally compiled program under its content
+        address (both tiers).  Used by the region compiler to bank
+        subgraphs that worker processes compiled."""
+        if self._needs_packed():
+            cp.ensure_packed()
+        key = graph_key(source, options)
+        with self._lock:
+            self._remember(key, cp)
+        self._disk_write(key, cp)
+
+    def _compile(self, source: str, options: CompileOptions):
+        """Miss-path compile: region-partitioned (memoizing regions back
+        into this cache, fanning out on :attr:`region_pool`) when the
+        options ask for it, monolithic otherwise."""
+        if options.region_compile != "off":
+            from ..translate.regions import compile_with_regions
+
+            return compile_with_regions(
+                source, options, cache=self, pool=self.region_pool
+            )
+        return compile_program(source, options=options)
+
     # -- bookkeeping -----------------------------------------------------
+
+    def _needs_packed(self) -> bool:
+        """Whether a tier consumes the packed blob at insert time."""
+        return self.cache_dir is not None or self.capacity_bytes is not None
+
+    @staticmethod
+    def _entry_size(cp: CompiledProgram) -> int:
+        """Approximate in-memory weight: the pickled shipping payload
+        (packed graph + memory spec), memoized on the entry itself."""
+        try:
+            return len(cp.packed_blob())
+        except Exception:
+            try:
+                return len(pickle.dumps(cp, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                return 1
 
     def _remember(self, key: str, cp: CompiledProgram) -> None:
         # caller holds the lock
+        if key in self._mem:
+            self._total_bytes -= self._sizes.get(key, 0)
         self._mem[key] = cp
         self._mem.move_to_end(key)
-        while len(self._mem) > self.capacity:
-            self._mem.popitem(last=False)
+        # size entries only under a byte budget: measuring means packing
+        # + pickling, which count-only caches shouldn't pay for
+        size = (
+            self._entry_size(cp) if self.capacity_bytes is not None else 0
+        )
+        self._sizes[key] = size
+        self._total_bytes += size
+        while len(self._mem) > 1 and (
+            len(self._mem) > self.capacity
+            or (
+                self.capacity_bytes is not None
+                and self._total_bytes > self.capacity_bytes
+            )
+        ):
+            old, _ = self._mem.popitem(last=False)
+            self._total_bytes -= self._sizes.pop(old, 0)
             self.stats.evictions += 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes held by the in-memory tier (tracked only
+        when a ``capacity_bytes`` budget is set)."""
+        return self._total_bytes
 
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None
@@ -234,6 +335,8 @@ class GraphCache:
         plus any ``*.tmp`` orphans an interrupted atomic write left)."""
         with self._lock:
             self._mem.clear()
+            self._sizes.clear()
+            self._total_bytes = 0
         if disk and self.cache_dir is not None and self.cache_dir.exists():
             for sub in self.cache_dir.iterdir():
                 if sub.is_dir() and len(sub.name) == 2:

@@ -91,7 +91,10 @@ class FleetConfig:
     max_batch: int = 8
     max_wait_ms: float = 5.0
     pool_size: int = 1
-    cache_dir: str | None = None  # each shard uses cache_dir/shard-<i>
+    # one disk cache shared by every shard: graph pickles are written
+    # atomically and content-addressed, so concurrent shards are safe,
+    # and a respawned shard comes back up with a warm disk tier
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -437,10 +440,7 @@ class FleetRouter:
                 max_batch=config.max_batch,
                 max_wait_ms=config.max_wait_ms,
                 pool_size=config.pool_size,
-                cache_dir=(
-                    os.path.join(config.cache_dir, f"shard-{i}")
-                    if config.cache_dir is not None else None
-                ),
+                cache_dir=config.cache_dir,
                 log_path=os.path.join(config.socket_dir, f"shard-{i}.log"),
             )
             for i in range(config.shards)

@@ -8,7 +8,7 @@ the CFG builder lowers into the fork/join form of Section 2.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .errors import SourceLocation
 
@@ -262,3 +262,12 @@ class Program:
             for name in group:
                 seen.setdefault(name, None)
         return list(seen)
+
+    def with_declared_variables(self) -> "Program":
+        """A copy whose ``scalars`` explicitly declares every variable,
+        pinning :meth:`variables` to the current order.  ``variables()``
+        seeds declared names before walking the body, so once a program
+        is rendered with this explicit ``var`` line its variable order —
+        and everything keyed on it, notably region interface headers —
+        survives edits that move a variable's first reference."""
+        return replace(self, scalars=self.variables())

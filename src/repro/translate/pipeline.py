@@ -71,6 +71,18 @@ class CompileOptions:
     #: ``full`` adds independent-algorithm oracles (brute-force between
     #: sets, recursive SCC recomputation, per-array gate recomputation).
     verify_passes: str = "off"  # off | cheap | full
+    #: multiresolution region compilation (see repro.translate.regions):
+    #: ``on`` partitions whenever a legal multi-region cut exists,
+    #: ``auto`` engages only for programs of at least
+    #: ``region_min_stmts`` statements, ``off`` keeps the monolithic
+    #: pipeline.  Option sets that enable whole-graph post passes fall
+    #: back to monolithic regardless.
+    region_compile: str = "off"  # off | auto | on
+    #: ``auto`` engagement threshold (total statements incl. nesting)
+    region_min_stmts: int = 256
+    #: greedy partition budget: statements per region before the next
+    #: legal cut closes the region
+    region_target_stmts: int = 64
 
     def __post_init__(self) -> None:
         if self.schema not in SCHEMAS:
@@ -82,6 +94,15 @@ class CompileOptions:
                 f"unknown verify_passes {self.verify_passes!r}; "
                 "pick off, cheap, or full"
             )
+        if self.region_compile not in ("off", "auto", "on"):
+            raise ValueError(
+                f"unknown region_compile {self.region_compile!r}; "
+                "pick off, auto, or on"
+            )
+        if self.region_min_stmts < 0:
+            raise ValueError("region_min_stmts must be >= 0")
+        if self.region_target_stmts < 1:
+            raise ValueError("region_target_stmts must be >= 1")
 
     def fingerprint(self) -> str:
         """Stable text rendering of every option, in declaration order.
@@ -247,6 +268,12 @@ def compile_program(
     else:
         opts = CompileOptions(schema=schema, **kwargs)
     schema = opts.schema
+    if opts.region_compile != "off":
+        # multiresolution path; falls back to this function (with
+        # region_compile forced off) when no multi-region plan exists
+        from .regions import compile_with_regions
+
+        return compile_with_regions(source, opts)
     if isinstance(source, Program):
         prog, text = source, ""
     else:

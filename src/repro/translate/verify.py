@@ -59,10 +59,22 @@ class CertificateError(Exception):
     guilty one (verification runs immediately after each pass, so blame
     cannot leak downstream)."""
 
-    def __init__(self, pass_name: str, diff: str):
+    def __init__(self, pass_name: str, diff: str, region: str = ""):
         self.pass_name = pass_name
         self.diff = diff
-        super().__init__(f"pass {pass_name!r}: {diff}")
+        #: set by the region compiler when the failing pass ran inside a
+        #: region compile: names the guilty region alongside the pass
+        self.region = region
+        msg = f"pass {pass_name!r}: {diff}"
+        if region:
+            msg = f"{region}: {msg}"
+        super().__init__(msg)
+
+    def __reduce__(self):
+        # default Exception pickling would replay __init__ with the
+        # formatted message only; region compiles cross process-pool
+        # boundaries, so reconstruct from the real fields
+        return (CertificateError, (self.pass_name, self.diff, self.region))
 
 
 def _fail(pass_name: str, diff: str) -> None:
@@ -887,8 +899,77 @@ def verify_parallel_reads(ctx, witness, level: str) -> None:
         _fail(name, f"graph invalid after rewrite: {exc}")
 
 
+# -- region stitch ----------------------------------------------------------
+
+
+def verify_region_stitch(ctx, witness, level: str) -> None:
+    """Check the region compiler's stitch certificate.
+
+    Cheap: the partition is a contiguous cover of the top-level body
+    with >= 2 regions, the stream interface matches the context, the
+    recorded node/arc totals match the stitched graph, and the graph
+    validates.  Full additionally recompiles the program monolithically
+    and demands identical structural statistics — an independent
+    end-to-end check that region composition lost nothing (the N-way
+    oracle covers behavior)."""
+    name = "region_stitch"
+    g = ctx.translation.graph
+    spans = witness.get("spans") or []
+    if len(spans) < 2:
+        _fail(name, f"partition has {len(spans)} regions (need >= 2)")
+    if witness.get("n_regions") != len(spans):
+        _fail(name, "n_regions disagrees with spans")
+    n_body = len(ctx.prog.body)
+    pos = 0
+    for lo, hi in spans:
+        if lo != pos or hi <= lo:
+            _fail(name, f"spans not a contiguous cover at [{lo},{hi})")
+        pos = hi
+    if pos != n_body:
+        _fail(name, f"spans cover [0,{pos}) but body has {n_body} statements")
+    keys = witness.get("region_keys") or []
+    if len(keys) != len(spans):
+        _fail(name, "one region key required per region")
+    names = [s.name for s in ctx.streams]
+    if witness.get("streams") != names:
+        _fail(name, f"stream interface {witness.get('streams')} != {names}")
+    if witness.get("nodes") != len(g.nodes):
+        _fail(name, f"witness records {witness.get('nodes')} nodes, "
+                    f"graph has {len(g.nodes)}")
+    if witness.get("arcs") != g.num_arcs():
+        _fail(name, f"witness records {witness.get('arcs')} arcs, "
+                    f"graph has {g.num_arcs()}")
+    try:
+        g.validate(allow_dangling_outputs=True)
+    except Exception as exc:
+        _fail(name, f"stitched graph invalid: {exc}")
+    if level != "full":
+        return
+
+    from ..dfg.stats import graph_stats
+    from .pipeline import compile_program
+
+    mono = compile_program(
+        ctx.prog, options=_replace_options(ctx.options, region_compile="off")
+    )
+    got, want = graph_stats(g), graph_stats(mono.graph)
+    if got != want:
+        _fail(
+            name,
+            f"stitched graph differs from monolithic: "
+            f"stitched [{got.summary()}] vs monolithic [{want.summary()}]",
+        )
+
+
+def _replace_options(options, **kw):
+    from dataclasses import replace
+
+    return replace(options, **kw)
+
+
 #: pass name -> verifier(ctx, witness, level)
 VERIFIERS = {
+    "region_stitch": verify_region_stitch,
     "intervals": verify_intervals,
     "switch_placement": verify_switch_placement,
     "source_vectors": verify_source_vectors,

@@ -11,6 +11,9 @@ and one input vector it executes:
 * every **legal translation schema** × the **step/fast/packed/
   vectorized** simulator loops, plus a finite-PE stepped run
   (memory-only check);
+* the **region-compiled** route (``region_compile=on`` with a small
+  region budget) against the monolithic graph of the same schema —
+  structural statistics plus a stepped run;
 * the **cached** compile path (memory tier, and the disk tier when a
   ``cache_dir`` is given) against the fresh compile.
 
@@ -27,6 +30,10 @@ kind                  meaning
                       (includes a simulator crash on one route)
 ``metrics_drift``     deterministic Metrics fields differ between two loops
                       that simulated the *same* graph
+``region_mismatch``   the multiresolution region compiler
+                      (``region_compile=on``) produced a graph whose
+                      structure or behavior differs from the monolithic
+                      compile of the same schema
 ``ref_crash``         the reference interpreter itself failed — a generator
                       bug, not a compiler bug (should never happen)
 ====================  ======================================================
@@ -365,6 +372,71 @@ def _check_schema(
                 if res.memory != ref:
                     div(Divergence("sim_divergence", route, "ast",
                                    _diff_memory(res.memory, ref)))
+
+    # region-compiled route: the multiresolution compiler (forced on,
+    # with a small region budget so even short programs partition) must
+    # produce a graph with identical structural statistics that
+    # simulates to the same memory, end values, and deterministic
+    # metrics as the monolithic compile of the same schema
+    region_opts = dataclasses.replace(
+        options, region_compile="on", region_target_stmts=4
+    )
+    route = f"{schema}/region"
+    rcp = None
+    try:
+        with tracer.span("validate.region", schema=schema):
+            rcp = compile_program(source, options=region_opts)
+    except CertificateError as exc:
+        div(Divergence(
+            "pass_certificate", route, "ast", str(exc),
+            guilty_pass=exc.pass_name,
+            certificate=_truncate(exc.diff, 300),
+        ))
+    except Exception as exc:
+        div(Divergence("compile_crash", route, schema,
+                       f"{type(exc).__name__}: {exc}"))
+    if rcp is not None:
+        report.routes_run += 1
+        from ..dfg.stats import graph_stats
+
+        got_stats, want_stats = graph_stats(rcp.graph), graph_stats(cp.graph)
+        if got_stats != want_stats:
+            div(Divergence(
+                "region_mismatch", route, schema,
+                f"stitched graph stats differ: [{got_stats.summary()}] "
+                f"vs [{want_stats.summary()}]",
+            ))
+        for ins, ref in zip(input_vectors, references):
+            try:
+                res = simulate(rcp, ins, MachineConfig(sim_mode="step"))
+                base = simulate(cp, ins, MachineConfig(sim_mode="step"))
+            except Exception as exc:
+                div(Divergence("sim_divergence", route, schema,
+                               f"crash {type(exc).__name__}: {exc}"))
+                continue
+            report.routes_run += 1
+            if res.memory != ref:
+                div(Divergence("sim_divergence", route, "ast",
+                               _diff_memory(res.memory, ref)))
+            if res.end_values != base.end_values:
+                div(Divergence(
+                    "region_mismatch", route, f"{schema}/step",
+                    f"end_values {_truncate(res.end_values)} != "
+                    f"{_truncate(base.end_values)}",
+                ))
+            got_m = _metric_values(res.metrics)
+            base_m = _metric_values(base.metrics)
+            if got_m != base_m:
+                bad = [f for f in DETERMINISTIC_METRIC_FIELDS
+                       if got_m[f] != base_m[f]]
+                div(Divergence(
+                    "region_mismatch", route, f"{schema}/step",
+                    "; ".join(
+                        f"{f}: {_truncate(got_m[f], 60)} != "
+                        f"{_truncate(base_m[f], 60)}"
+                        for f in bad[:3]
+                    ),
+                ))
 
     # cached-vs-fresh: a graph served from the cache (memory or disk
     # tier) must simulate identically to the fresh compile

@@ -21,12 +21,15 @@ by deleting line subsets and re-parsing.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, fields, replace
 
 #: hard floor/ceiling applied to knob values parsed from the CLI so a typo
-#: cannot ask for a gigabyte of source text
-_MAX_STMTS = 2000
+#: cannot ask for a gigabyte of source text (raised from 2000 for the
+#: region compiler's giant-program legs: 100k statements is ~3 MB of
+#: source, still harmless)
+_MAX_STMTS = 100_000
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,12 @@ class GenKnobs:
     #: (exercises the vectorized backend's bulk delivery plans; 0 keeps
     #: the generated stream byte-identical to earlier releases)
     fanout_width: int = 0
+    #: when nonzero, bound every goto's reach (backedge regions and
+    #: forward jumps) to this many blocks, keeping goto structure local —
+    #: what giant generated programs need for the region compiler to
+    #: find legal cuts.  0 (the default) leaves spans unbounded and the
+    #: generated stream byte-identical to earlier releases.
+    max_region_span: int = 0
 
     def __post_init__(self) -> None:
         if self.n_vars < 1:
@@ -84,6 +93,24 @@ class GenKnobs:
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {v}")
+        if self.max_region_span < 0:
+            raise ValueError("max_region_span must be >= 0")
+
+    @classmethod
+    def giant(cls, n_stmts: int = 10_000) -> "GenKnobs":
+        """Scaled preset for compile-throughput work: depth and variable
+        pool grown with the statement budget, goto reach bounded by
+        ``max_region_span`` so the multiresolution region compiler finds
+        legal cuts in programs this size (unbounded spans would let one
+        goto pin half the program into a single region)."""
+        return replace(
+            cls(),
+            n_vars=8,
+            n_stmts=n_stmts,
+            max_depth=3,
+            goto_density=0.2,
+            max_region_span=6,
+        )
 
     @classmethod
     def from_items(cls, items: list[str]) -> GenKnobs:
@@ -153,7 +180,7 @@ def generate(seed: int, knobs: GenKnobs | None = None) -> GeneratedProgram:
         group = rng.sample(scalars, rng.randint(2, min(3, len(scalars))))
         lines.append(f"alias ({', '.join(group)});")
 
-    fresh = iter(range(10_000))  # loop counters / backedge guards
+    fresh = itertools.count()  # loop counters / backedge guards
 
     def literal() -> str:
         v = rng.randint(k.int_min, k.int_max)
@@ -217,7 +244,10 @@ def generate(seed: int, knobs: GenKnobs | None = None) -> GeneratedProgram:
     regions: list[tuple[int, int]] = []
     for _ in range(rng.randint(0, max(1, int(n_blocks * k.goto_density)))):
         s = rng.randint(0, n_blocks - 2)
-        e = rng.randint(s + 1, n_blocks - 1)
+        if k.max_region_span:
+            e = rng.randint(s + 1, min(s + k.max_region_span, n_blocks - 1))
+        else:
+            e = rng.randint(s + 1, n_blocks - 1)
         ok = True
         for rs, re_ in regions:
             disjoint = e < rs or re_ < s
@@ -233,7 +263,10 @@ def generate(seed: int, knobs: GenKnobs | None = None) -> GeneratedProgram:
         # (that would add a second entry; irreducibility is injected only
         # by the dedicated gadget below)
         out = []
-        for t in range(b + 1, n_blocks):
+        hi = n_blocks
+        if k.max_region_span:
+            hi = min(hi, b + 1 + k.max_region_span)
+        for t in range(b + 1, hi):
             if all(
                 t == rs or not (rs < t <= re_) or (rs <= b <= re_)
                 for rs, re_ in regions

@@ -1,0 +1,305 @@
+"""Tests for the multiresolution region compiler
+(:mod:`repro.translate.regions`).
+
+Covers the partition legality rules, the stitched-vs-monolithic
+differential (structure AND behaviour, every legal schema), the
+fully-goto degenerate fallback, the region-annotated certificate
+errors, and the ``region_stitch`` verifier's accept/reject behaviour.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.dfg.stats import graph_stats
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.translate import CompileOptions, compile_program, simulate
+from repro.translate.regions import (
+    INCOMPATIBLE_KNOBS,
+    compile_with_regions,
+    legal_cuts,
+    partition_spans,
+    plan_regions,
+    region_eligible,
+    region_header,
+    region_sources,
+    stitch,
+)
+from repro.translate.verify import VERIFIERS, CertificateError
+from repro.validate.oracle import legal_schemas
+from repro.validate.progen import GenKnobs, generate
+
+# a handwritten program with clean phase structure: every goto/label
+# pair stays local, so cuts exist between the phases
+PHASED = """
+x := 0; y := 0; z := 1;
+l1: y := y + x;
+    x := x + 1;
+    if x < 4 then goto l1;
+z := y * 2;
+w := z + y;
+l2: w := w - 1;
+    if w > 0 then goto l2;
+x := z + 1;
+"""
+
+# a backedge spanning the whole body: no legal cut anywhere
+FLAT_GOTO = """
+top: x := x + 1;
+     y := x * 2;
+     z := y - x;
+     w := z + 1;
+     if x < 5 then goto top;
+"""
+
+
+def _region_options(**kw):
+    kw.setdefault("schema", "schema2_opt")
+    kw.setdefault("region_compile", "on")
+    kw.setdefault("region_target_stmts", 2)
+    return CompileOptions(**kw)
+
+
+# --------------------------------------------------------------------------
+# partitioning
+
+
+def test_legal_cuts_straightline():
+    body = parse("x := 1; y := 2; z := 3;").body
+    assert legal_cuts(body) == [1, 2]
+
+
+def test_legal_cuts_blocked_by_goto_span():
+    body = parse(PHASED).body
+    cuts = legal_cuts(body)
+    # indices: 0..2 assigns, 3..5 the l1 loop, 6 z:=, 7 w:=,
+    # 8..9 the l2 loop, 10 x:=
+    assert cuts
+    for c in cuts:
+        # no cut may fall strictly inside either goto/label span
+        assert not (3 < c <= 5)
+        assert not (8 < c <= 9)
+    # cuts at the phase boundaries must survive
+    assert 3 in cuts and 6 in cuts and 10 in cuts
+
+
+def test_legal_cuts_whole_body_goto_blocks_everything():
+    body = parse(FLAT_GOTO).body
+    assert legal_cuts(body) == []
+
+
+def test_legal_cuts_unknown_target_blocks_everything():
+    # slice off the labelled tail so the goto's target goes undefined
+    body = parse("x := 1; goto fin; y := 2; fin: z := 3;").body[:2]
+    assert legal_cuts(body) == []
+
+
+def test_legal_cuts_sees_nested_labels_and_targets():
+    src = """
+x := 0;
+if x < 1 then { goto fin; }
+y := 1;
+fin: z := 2;
+w := 3;
+"""
+    body = parse(src).body
+    cuts = legal_cuts(body)
+    # the goto nested in the if (index 1) targets fin (index 3):
+    # cuts 2 and 3 are blocked, 1 and 4 are legal
+    assert 2 not in cuts and 3 not in cuts
+    assert 1 in cuts and 4 in cuts
+
+
+def test_partition_spans_cover_and_order():
+    body = parse(PHASED).body
+    spans = partition_spans(body, target_stmts=3)
+    assert spans[0][0] == 0 and spans[-1][1] == len(body)
+    for (a, b), (c, d) in zip(spans, spans[1:]):
+        assert b == c and a < b
+    assert len(spans) >= 2
+
+
+def test_partition_spans_single_span_when_no_cut():
+    body = parse(FLAT_GOTO).body
+    assert partition_spans(body, target_stmts=1) == [(0, len(body))]
+
+
+def test_region_header_full_interface():
+    prog = parse(PHASED)
+    hdr = region_header(prog)
+    assert hdr.startswith("var ")
+    for name in prog.variables():
+        assert name in hdr
+    # without options, every region source opens with the identical
+    # full-interface header
+    srcs = region_sources(prog, partition_spans(prog.body, 3))
+    assert len({s.split(";")[0] for s in srcs}) == 1
+    for s in srcs:
+        parse(s)  # each region source must be a valid program
+
+
+def test_region_sources_reduced_headers():
+    """Under a demand-driven schema each region declares only its own
+    working set — per-region compile cost must not scale with the whole
+    program's variable count."""
+    prog = parse(PHASED)
+    spans = partition_spans(prog.body, 3)
+    srcs = region_sources(prog, spans, _region_options())
+    for s in srcs:
+        parse(s)
+    assert any(
+        set(parse(s).variables()) < set(prog.variables()) for s in srcs
+    )
+    # every name a region's statements reference is declared in it
+    for (lo, hi), s in zip(spans, srcs):
+        sub = parse(s)
+        assert sub.body is not None
+
+
+# --------------------------------------------------------------------------
+# eligibility / fallback
+
+
+def test_incompatible_knobs_force_monolithic():
+    for knob in INCOMPATIBLE_KNOBS:
+        opts = _region_options(**{knob: True})
+        assert not region_eligible(opts)
+        assert plan_regions(parse(PHASED), opts) is None
+
+
+def test_auto_threshold():
+    prog = parse(PHASED)
+    auto = _region_options(region_compile="auto")  # default min 256 stmts
+    assert plan_regions(prog, auto) is None
+    low = _region_options(region_compile="auto", region_min_stmts=1)
+    assert plan_regions(prog, low) is not None
+
+
+def test_flat_goto_falls_back_to_monolithic():
+    opts = _region_options()
+    cp = compile_with_regions(FLAT_GOTO, opts)
+    names = [c.pass_name for c in cp.pass_log]
+    assert "region_stitch" not in names
+    assert names  # the ordinary pipeline's pass log, not an empty one
+    # the requested options are reflected verbatim on the fallback
+    assert cp.options.region_compile == "on"
+    ref = run_ast(parse(FLAT_GOTO), {})
+    assert simulate(cp).memory == ref
+
+
+def test_compile_program_dispatches_to_regions():
+    cp = compile_program(PHASED, options=_region_options())
+    assert [c.pass_name for c in cp.pass_log] == ["region_stitch"]
+    assert cp.pass_log[0].metrics["regions"] >= 2
+
+
+# --------------------------------------------------------------------------
+# stitched-vs-monolithic differential
+
+
+@pytest.mark.parametrize("schema", legal_schemas(PHASED))
+def test_stitched_matches_monolithic_handwritten(schema):
+    mono = compile_program(PHASED, options=CompileOptions(schema=schema))
+    reg = compile_program(
+        PHASED, options=_region_options(schema=schema)
+    )
+    assert reg.pass_log[0].pass_name == "region_stitch"
+    assert graph_stats(reg.graph) == graph_stats(mono.graph)
+    ref = run_ast(parse(PHASED), {})
+    assert simulate(reg).memory == ref
+    assert simulate(mono).memory == ref
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_stitched_matches_monolithic_progen(seed):
+    """Random programs, every legal schema: the stitched graph must be
+    node-for-node the monolithic one and behave identically."""
+    gp = generate(seed, GenKnobs(n_stmts=18, array_ops=0.3))
+    for schema in legal_schemas(gp.source):
+        mono = compile_program(
+            gp.source, options=CompileOptions(schema=schema)
+        )
+        reg = compile_program(
+            gp.source, options=_region_options(schema=schema)
+        )
+        if reg.pass_log[0].pass_name != "region_stitch":
+            continue  # no legal cut for this seed: fallback already tested
+        assert graph_stats(reg.graph) == graph_stats(mono.graph), schema
+        for inputs in gp.inputs[:2]:
+            a = simulate(reg, inputs)
+            b = simulate(mono, inputs)
+            assert a.memory == b.memory, schema
+            assert a.end_values == b.end_values, schema
+
+
+def test_region_compile_with_verify_full():
+    """verify_passes=full recompiles monolithically inside the verifier
+    and compares graph structure — the strongest per-compile check."""
+    cp = compile_program(
+        PHASED, options=_region_options(verify_passes="full")
+    )
+    cert = cp.pass_log[0]
+    assert cert.pass_name == "region_stitch"
+    assert cert.verified == "full"
+
+
+# --------------------------------------------------------------------------
+# certificates and errors
+
+
+def test_stitch_rejects_interface_mismatch():
+    opts = _region_options()
+    prog = parse(PHASED)
+    plan = plan_regions(prog, opts)
+    cps = [
+        compile_program(src, options=CompileOptions(schema="schema2_opt"))
+        for src in plan.sources
+    ]
+    with pytest.raises(CertificateError) as ei:
+        stitch(cps, cps[0].streams[:-1])
+    assert "interface" in str(ei.value)
+
+
+def test_certificate_error_names_region():
+    err = CertificateError("switch_placement", "bad", region="region 2 [stmts 4:8)")
+    assert err.region == "region 2 [stmts 4:8)"
+    assert str(err).startswith("region 2 [stmts 4:8): ")
+    # pool workers ship these across pickle; attributes must survive
+    import pickle
+
+    back = pickle.loads(pickle.dumps(err))
+    assert back.pass_name == "switch_placement"
+    assert back.region == err.region
+
+
+def test_region_stitch_verifier_accepts_and_rejects():
+    cp = compile_program(PHASED, options=_region_options())
+    ctx = cp.pass_ctx
+    witness = cp.pass_log[0].witness
+    VERIFIERS["region_stitch"](ctx, witness, "cheap")
+    VERIFIERS["region_stitch"](ctx, witness, "full")
+
+    bad = copy.deepcopy(witness)
+    bad["nodes"] += 1
+    with pytest.raises(CertificateError):
+        VERIFIERS["region_stitch"](ctx, bad, "cheap")
+
+    gap = copy.deepcopy(witness)
+    gap["spans"][0][1] -= 1  # spans no longer cover the body contiguously
+    with pytest.raises(CertificateError):
+        VERIFIERS["region_stitch"](ctx, gap, "cheap")
+
+
+def test_region_options_key_fields_validated():
+    with pytest.raises(ValueError):
+        CompileOptions(region_compile="sometimes")
+    with pytest.raises(ValueError):
+        CompileOptions(region_target_stmts=0)
+    with pytest.raises(ValueError):
+        CompileOptions(region_min_stmts=-1)
+    # the region knobs participate in the cache fingerprint
+    fp = CompileOptions().fingerprint()
+    for f in ("region_compile", "region_min_stmts", "region_target_stmts"):
+        assert f in fp
