@@ -74,9 +74,15 @@ def test_fleet_vs_single_saturation(save_result):
         },
     }
     RESULTS.mkdir(exist_ok=True)
-    (RESULTS / "BENCH_service.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    # read-modify-write: other service benches (the tiering JIT one)
+    # keep their own top-level keys in the same file
+    path = RESULTS / "BENCH_service.json"
+    try:
+        merged = json.loads(path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(record)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
 
     # both configurations actually served the campaign
     assert s_sat["throughput"] > 0

@@ -1,0 +1,189 @@
+"""Adaptive tiering under a Zipf workload — the evidence for the
+service-as-JIT: the same seeded open-loop campaign (200 distinct graphs,
+Zipf s=1.1 popularity — the Labyrinth shape: a hot head of resubmitted
+graphs over a long cold tail) against two identically provisioned
+servers that differ only in policy:
+
+* **tiering off**: every job pinned to the ``step`` reference loop
+  (``tier_entry == tier_max == "step"`` — the no-JIT baseline);
+* **tiering on**: entry at ``step``, hotness-driven promotion up the
+  full ladder to ``vectorized``.
+
+Each server first serves a seeded warmup campaign (a JIT benchmark
+measures steady state, not the cold ramp — the warmup also fills both
+graph caches identically), then the rate sweep.  The acceptance
+comparison is matched-load: p50 at the *pinned server's saturation
+rate*, where the tiered server must be >= 1.5x faster — the hot head
+runs vectorized at interpreter-free speed while the baseline pays the
+reference loop for every job.
+
+A second phase drains the tiered server (writing its snapshot),
+restarts it over the same snapshot directory, and requires >= 90 of the
+first 100 resubmissions to be cache hits — the warm restart the
+snapshot subsystem exists for.  Both results land in
+``BENCH_service.json`` under the ``"tiering"`` key (read-modify-write:
+the fleet bench owns the other keys).
+"""
+
+import itertools
+import json
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.bench.loadgen import (
+    _default_jobs,
+    run_open_loop,
+    saturation_sweep,
+    zipf_weights,
+)
+from repro.service import ServiceClient, running_server
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+N_PROGRAMS = 200
+ZIPF_S = 1.1
+RATES = [25.0, 50.0, 100.0, 200.0]
+DURATION_S = 3.0
+WARMUP_RATE = 50.0
+WARMUP_S = 6.0
+CONNECTIONS = 4
+SEED = 13
+
+_SERVER_KW = dict(
+    max_queue=256, max_batch=8, max_wait_ms=2.0, capacity=512,
+    tiering=True, tier_entry="step", tier_decay_s=0.0,
+)
+
+
+def _campaign(ep, jobs, weights):
+    """Warmup to steady state, then the rate sweep."""
+    run_open_loop(
+        ep, jobs, WARMUP_RATE, WARMUP_S,
+        connections=CONNECTIONS, seed=SEED - 1, weights=weights,
+    )
+    return saturation_sweep(
+        ep, jobs, RATES, duration_s=DURATION_S,
+        connections=CONNECTIONS, seed=SEED, weights=weights,
+    )
+
+
+def _point_at(sweep: dict, rate: float) -> dict:
+    return next(p for p in sweep["points"] if p["offered_rate"] == rate)
+
+
+@pytest.mark.benchmark(group="service")
+def test_tiering_vs_pinned_zipf_saturation(save_result, tmp_path):
+    jobs = _default_jobs(n_programs=N_PROGRAMS, iters=300)
+    weights = zipf_weights(len(jobs), ZIPF_S)
+    snap_dir = str(tmp_path / "snap")
+
+    with running_server(
+        **_SERVER_KW, tier_max="step", tier_thresholds=(),
+    ) as (ep, _server):
+        pinned = _campaign(ep, jobs, weights)
+
+    with running_server(
+        **_SERVER_KW, tier_max="vectorized", tier_thresholds=(2, 3, 4),
+        snapshot_dir=snap_dir,
+    ) as (ep, server):
+        tiered = _campaign(ep, jobs, weights)
+        server.tiering.join_prewarms(timeout=60)
+        tiers = server.tiers_snapshot()
+    # the hot head really climbed the ladder
+    assert tiers["promotions"] >= 1, tiers
+    assert tiers["by_tier"].get("vectorized", 0) >= 1, tiers
+
+    # matched-load comparison: p50 at the pinned server's saturation
+    # rate — the heaviest load the no-JIT baseline handles best
+    p_sat, t_sat = pinned["saturation"], tiered["saturation"]
+    base_rate = p_sat["offered_rate"]
+    pinned_p50 = _point_at(pinned, base_rate)["latency_ms"]["p50"]
+    tiered_p50 = _point_at(tiered, base_rate)["latency_ms"]["p50"]
+    p50_ratio = pinned_p50 / tiered_p50 if tiered_p50 > 0 else 0.0
+
+    # -- phase 2: warm restart over the drained server's snapshot ------
+    rng = random.Random(SEED + 1)
+    cum = list(itertools.accumulate(weights))
+    warm_hits = 0
+    with running_server(
+        **_SERVER_KW, tier_max="vectorized", tier_thresholds=(2, 3, 4),
+        snapshot_dir=snap_dir,
+    ) as (ep, server):
+        restored = server.tiers_snapshot()["snapshot"]["restored"]
+        with ServiceClient(**ep, timeout=120.0, retries=20) as client:
+            for _ in range(100):
+                idx = rng.choices(range(len(jobs)), cum_weights=cum,
+                                  k=1)[0]
+                br = client.submit(jobs[idx])
+                assert br.ok, br.error
+                warm_hits += bool(br.cache_hit)
+
+    record = {
+        "campaign": {
+            "programs": N_PROGRAMS,
+            "zipf_s": ZIPF_S,
+            "rates": RATES,
+            "duration_s": DURATION_S,
+            "warmup": {"rate": WARMUP_RATE, "duration_s": WARMUP_S},
+            "connections": CONNECTIONS,
+            "seed": SEED,
+        },
+        "cpu_count": os.cpu_count(),
+        "pinned_step": pinned,
+        "tiered": tiered,
+        "tiers": {k: tiers[k] for k in
+                  ("graphs", "by_tier", "promotions", "prewarms")},
+        "comparison": {
+            "rate": base_rate,
+            "p50_ratio_at_pinned_saturation": p50_ratio,
+            "pinned_p50_ms": pinned_p50,
+            "tiered_p50_ms": tiered_p50,
+            "pinned_saturation_throughput": p_sat["throughput"],
+            "tiered_saturation_throughput": t_sat["throughput"],
+        },
+        "warm_restart": {
+            "restored_entries": restored,
+            "first_100_cache_hits": warm_hits,
+        },
+    }
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / "BENCH_service.json"
+    try:
+        merged = json.loads(path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged["tiering"] = record
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+
+    lines = [
+        f"Zipf(s={ZIPF_S}) over {N_PROGRAMS} graphs, warmup "
+        f"{WARMUP_RATE:.0f}/s x {WARMUP_S:.0f}s, rates {RATES} jobs/s, "
+        f"{DURATION_S:.0f}s x {CONNECTIONS} connections, seed {SEED}",
+        f"runner: {os.cpu_count()} CPU(s)",
+        "",
+        f"pinned-to-step saturation: {p_sat['throughput']:.1f} jobs/s "
+        f"at {base_rate:.0f}/s offered",
+        f"tiered (step->vectorized) saturation: "
+        f"{t_sat['throughput']:.1f} jobs/s",
+        f"matched-load p50 at {base_rate:.0f}/s offered: pinned "
+        f"{pinned_p50:.1f}ms vs tiered {tiered_p50:.1f}ms = "
+        f"{p50_ratio:.2f}x",
+        f"tier census: {tiers['by_tier']} "
+        f"({tiers['promotions']} promotions, {tiers['prewarms']} "
+        f"pre-warms)",
+        "",
+        f"warm restart: {restored} entries restored, "
+        f"{warm_hits}/100 first resubmissions were cache hits",
+        "",
+        "full per-rate points recorded in BENCH_service.json (tiering)",
+    ]
+    save_result("tiering_service", "\n".join(lines))
+
+    assert p_sat["throughput"] > 0 and t_sat["throughput"] > 0
+    # acceptance: the JIT wins the hot-head workload on latency...
+    assert p50_ratio >= 1.5, record["comparison"]
+    # ...and the restarted server comes up warm
+    assert warm_hits >= 90, record["warm_restart"]

@@ -20,7 +20,8 @@ open-loop arrival schedule) is drawn from ``random.Random(seed)``, so
 two runs of one campaign offer a byte-identical workload.
 
 Runnable directly: ``python -m repro.bench.loadgen --socket PATH
---rate 200 --duration 5 --seed 7 [--sweep 50,100,200,400] [--json]``.
+--rate 200 --duration 5 --seed 7 [--zipf 1.1] [--sweep 50,100,200,400]
+[--json]``.
 """
 
 from __future__ import annotations
@@ -188,28 +189,58 @@ def run_load(
 # -- open-loop campaigns ----------------------------------------------------
 
 
+def zipf_weights(n: int, s: float = 1.1) -> list[float]:
+    """Zipf popularity over ``n`` items: weight of rank ``i`` (0-based)
+    is ``(i + 1) ** -s``, normalized to sum to 1.
+
+    The skewed-traffic shape the Labyrinth workload motivates: a few
+    graphs dominate resubmissions while a long tail stays cold — the
+    distribution adaptive tiering (and the fleet's hot replication) is
+    designed for.
+    """
+    if n < 1:
+        raise ValueError("need at least one item")
+    if s < 0:
+        raise ValueError("skew must be >= 0")
+    raw = [(i + 1) ** -s for i in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
 def plan_campaign(
     jobs: list[BatchJob],
     rate: float,
     duration_s: float,
     seed: int = 0,
     connections: int = 4,
+    weights: list[float] | None = None,
 ) -> list[list[tuple[float, int]]]:
     """A deterministic open-loop schedule: per connection, a list of
     ``(arrival_offset_s, job_index)`` pairs.
 
     Inter-arrival gaps are exponential (Poisson arrivals) at the target
     aggregate ``rate``, split evenly across ``connections``; job indices
-    are uniform draws.  Everything comes from ``random.Random(seed)``,
-    so the same (jobs, rate, duration, seed, connections) tuple yields
-    a byte-identical campaign — the reproducibility contract the bench
-    results depend on.
+    are uniform draws, or weighted draws when ``weights`` gives one
+    weight per job (e.g. :func:`zipf_weights` for skewed graph
+    popularity).  Everything comes from ``random.Random(seed)``,
+    so the same (jobs, rate, duration, seed, connections, weights)
+    tuple yields a byte-identical campaign — the reproducibility
+    contract the bench results depend on.
     """
     if rate <= 0 or duration_s <= 0 or connections < 1:
         raise ValueError("rate, duration_s, and connections must be positive")
     if not jobs:
         raise ValueError("need at least one job to schedule")
+    if weights is not None and len(weights) != len(jobs):
+        raise ValueError("weights must give one weight per job")
     rng = random.Random(seed)
+    cum: list[float] | None = None
+    if weights is not None:
+        cum = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cum.append(acc)
     per_conn_rate = rate / connections
     schedules: list[list[tuple[float, int]]] = []
     for _ in range(connections):
@@ -219,7 +250,11 @@ def plan_campaign(
             t += rng.expovariate(per_conn_rate)
             if t >= duration_s:
                 break
-            sched.append((t, rng.randrange(len(jobs))))
+            if cum is None:
+                idx = rng.randrange(len(jobs))
+            else:
+                idx = rng.choices(range(len(jobs)), cum_weights=cum, k=1)[0]
+            sched.append((t, idx))
         schedules.append(sched)
     return schedules
 
@@ -234,6 +269,7 @@ def run_open_loop(
     deadline_ms: float | None = None,
     drain_timeout_s: float = 60.0,
     fetch_metrics: bool = False,
+    weights: list[float] | None = None,
 ) -> LoadReport:
     """Offer ``rate`` jobs/s for ``duration_s`` regardless of how fast
     results come back, then collect everything in flight.
@@ -247,7 +283,9 @@ def run_open_loop(
     """
     import asyncio
 
-    schedules = plan_campaign(jobs, rate, duration_s, seed, connections)
+    schedules = plan_campaign(
+        jobs, rate, duration_s, seed, connections, weights=weights
+    )
 
     async def drive_conn(sched: list[tuple[float, int]], acc: dict) -> None:
         client = AsyncServiceClient(**endpoint, retries=20, backoff_s=0.05)
@@ -326,6 +364,7 @@ def saturation_sweep(
     connections: int = 4,
     seed: int = 0,
     deadline_ms: float | None = None,
+    weights: list[float] | None = None,
 ) -> dict:
     """Step the offered rate over ``rates`` and find saturation: the
     highest *achieved* throughput across the grid, with its p99.
@@ -338,6 +377,7 @@ def saturation_sweep(
         run_open_loop(
             endpoint, jobs, rate, duration_s,
             connections=connections, seed=seed, deadline_ms=deadline_ms,
+            weights=weights,
         )
         for rate in sorted(rates)
     ]
@@ -347,6 +387,7 @@ def saturation_sweep(
         "saturation": {
             "offered_rate": best.offered_rate,
             "throughput": best.throughput,
+            "p50_ms": best.latency_ms.p50,
             "p99_ms": best.latency_ms.p99,
         },
     }
@@ -404,6 +445,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="distinct programs in the workload mix")
     ap.add_argument("--iters", type=int, default=400,
                     help="loop iterations per program (job weight)")
+    ap.add_argument("--zipf", type=float, default=None, metavar="S",
+                    help="skew job popularity by a Zipf(S) distribution "
+                    "(e.g. 1.1) instead of uniform draws")
     ap.add_argument("--sweep", default=None,
                     help="comma-separated rates; run a saturation sweep")
     ap.add_argument("--json", action="store_true", dest="as_json",
@@ -417,12 +461,15 @@ def main(argv: list[str] | None = None) -> int:
         else {"host": args.host, "port": args.port}
     )
     jobs = _default_jobs(args.programs, args.iters)
+    weights = (
+        zipf_weights(len(jobs), args.zipf) if args.zipf is not None else None
+    )
     if args.sweep:
         rates = [float(r) for r in args.sweep.split(",") if r.strip()]
         out = saturation_sweep(
             endpoint, jobs, rates, args.duration,
             connections=args.connections, seed=args.seed,
-            deadline_ms=args.deadline_ms,
+            deadline_ms=args.deadline_ms, weights=weights,
         )
         if args.as_json:
             print(_json.dumps(out, indent=2))
@@ -444,7 +491,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_open_loop(
             endpoint, jobs, args.rate, args.duration,
             connections=args.connections, seed=args.seed,
-            deadline_ms=args.deadline_ms,
+            deadline_ms=args.deadline_ms, weights=weights,
         )
         if args.as_json:
             print(_json.dumps(report.to_json(), indent=2))

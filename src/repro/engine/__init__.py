@@ -16,6 +16,7 @@ from ..translate.pipeline import CompiledProgram, CompileOptions
 from .batch import BatchJob, BatchResult, make_pool, run_batch, shared_cache
 from .cache import CacheStats, GraphCache, graph_key
 from .latency import LatencySummary, percentile
+from .tiering import TIERS, TierController, TieringConfig
 
 #: process-wide cache used by default for serial engine compiles
 default_cache = GraphCache()
@@ -34,6 +35,9 @@ __all__ = [
     "CacheStats",
     "GraphCache",
     "LatencySummary",
+    "TIERS",
+    "TierController",
+    "TieringConfig",
     "compile_cached",
     "default_cache",
     "graph_key",

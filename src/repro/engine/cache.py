@@ -28,6 +28,7 @@ a cache can therefore always be deleted safely.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -45,6 +46,10 @@ from ..translate.pipeline import CompiledProgram, CompileOptions, compile_progra
 #: v3: region-compiled entries — cfg=None, pass_log led by the
 #: region_stitch certificate — share the store with monolithic ones)
 CACHE_FORMAT = "repro-graph-cache-v3"
+
+#: commit-point file of a cache snapshot directory (written atomically
+#: *after* every entry, so a snapshot is either complete or invisible)
+SNAPSHOT_MANIFEST = "manifest.json"
 
 
 def graph_key(source: str, options: CompileOptions) -> str:
@@ -280,7 +285,13 @@ class GraphCache:
     def _disk_read(self, key: str) -> CompiledProgram | None:
         if self.cache_dir is None:
             return None
-        path = self._disk_path(key)
+        return self._read_entry(self._disk_path(key))
+
+    @classmethod
+    def _read_entry(cls, path: Path) -> CompiledProgram | None:
+        """Load one pickled entry.  Truncated, corrupt, or stale-format
+        files are a miss, never an error: unlink them so a fresh write
+        replaces them even if that write later fails."""
         try:
             with open(path, "rb") as f:
                 cp = pickle.load(f)
@@ -288,13 +299,10 @@ class GraphCache:
             return None
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
-            # Truncated, corrupt, or stale-format entry: a miss, never an
-            # error.  Unlink it so the recompile's fresh write replaces it
-            # even if that write later fails (read-only dirs aside).
-            self._discard_corrupt(path)
+            cls._discard_corrupt(path)
             return None
         if not isinstance(cp, CompiledProgram):
-            self._discard_corrupt(path)
+            cls._discard_corrupt(path)
             return None
         return cp
 
@@ -305,10 +313,11 @@ class GraphCache:
         except OSError:
             pass
 
-    def _disk_write(self, key: str, cp: CompiledProgram) -> None:
-        if self.cache_dir is None:
-            return
-        path = self._disk_path(key)
+    @staticmethod
+    def _write_entry(path: Path, cp: CompiledProgram) -> bool:
+        """Atomic pickle write (temp file + rename); concurrent readers
+        never see a partial file.  ``False`` on OSError — a read-only or
+        full directory degrades, never raises."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -317,16 +326,121 @@ class GraphCache:
             try:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(cp, f, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)  # atomic: concurrent readers are safe
+                os.replace(tmp, path)
             except BaseException:
                 try:
                     os.unlink(tmp)
                 finally:
                     raise
         except OSError:
-            return  # a read-only or full cache dir degrades to memory-only
+            return False
+        return True
+
+    def _disk_write(self, key: str, cp: CompiledProgram) -> None:
+        if self.cache_dir is None:
+            return
+        if not self._write_entry(self._disk_path(key), cp):
+            return
         with self._lock:  # all CacheStats mutations are lock-protected
             self.stats.disk_writes += 1
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot(
+        self, snapshot_dir: str | os.PathLike, state: dict | None = None
+    ) -> int:
+        """Persist the in-memory tier to ``snapshot_dir`` so a restarted
+        process can come up warm.
+
+        Entries are written in the v3 on-disk layout
+        (``<dir>/<key[:2]>/<key>.pkl``, atomic temp+rename, packed blob
+        ensured first so restored entries are run-ready); the manifest
+        is written atomically **last** and is the commit point.  Old
+        entry files are never deleted, so a crash — even ``kill -9`` —
+        mid-snapshot leaves the previous manifest valid and pointing at
+        complete files.  ``state`` is an opaque JSON-able dict stored in
+        the manifest (the server keeps tier-controller state there).
+
+        Returns the number of entries the committed manifest lists, or
+        0 when the manifest could not be written (snapshot unchanged).
+        """
+        root = Path(snapshot_dir)
+        with self._lock:
+            entries = list(self._mem.items())
+        keys = []
+        with tracer.span("cache.snapshot", entries=len(entries)):
+            for key, cp in entries:
+                try:
+                    cp.ensure_packed()
+                except Exception:
+                    pass  # still restorable; first packed run re-lowers
+                path = root / key[:2] / f"{key}.pkl"
+                # entries are content-addressed and immutable: an
+                # existing file is a complete previous write — skip it
+                if path.exists() or self._write_entry(path, cp):
+                    keys.append(key)
+            manifest = {
+                "format": CACHE_FORMAT,
+                "keys": keys,
+                "state": state or {},
+            }
+            try:
+                root.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=root, prefix=SNAPSHOT_MANIFEST, suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as f:
+                        json.dump(manifest, f)
+                    os.replace(tmp, root / SNAPSHOT_MANIFEST)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    finally:
+                        raise
+            except OSError:
+                return 0
+        return len(keys)
+
+    def restore(
+        self, snapshot_dir: str | os.PathLike
+    ) -> tuple[int, dict]:
+        """Load a :meth:`snapshot` into the in-memory tier.
+
+        Returns ``(entries_loaded, state)``.  A missing, corrupt, or
+        wrong-format manifest — or any unreadable entry — degrades to a
+        cold start (``(0, {})`` / skipped entry), never an error.
+        """
+        root = Path(snapshot_dir)
+        try:
+            manifest = json.loads(
+                (root / SNAPSHOT_MANIFEST).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return 0, {}
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != CACHE_FORMAT
+        ):
+            return 0, {}
+        keys = manifest.get("keys")
+        state = manifest.get("state")
+        if not isinstance(keys, list):
+            keys = []
+        if not isinstance(state, dict):
+            state = {}
+        loaded = 0
+        with tracer.span("cache.restore", keys=len(keys)):
+            for key in keys:
+                if not isinstance(key, str) or not key:
+                    continue
+                cp = self._read_entry(root / key[:2] / f"{key}.pkl")
+                if cp is None:
+                    continue
+                with self._lock:
+                    self._remember(key, cp)
+                loaded += 1
+        return loaded, state
 
     # -- management ------------------------------------------------------
 

@@ -1,0 +1,482 @@
+"""Adaptive tiering: per-graph-key promotion between execution tiers.
+
+The service has four bit-identical execution tiers — ``step`` (the
+reference per-cycle loop), ``fast`` (event-driven over the object
+graph), ``packed`` (flat-array SoA interpreter) and ``vectorized``
+(bucket-queue bulk-front) — and the oracle (``repro.validate``) proves
+they agree, so swapping a cached graph's tier between submissions is
+free to trust.  What was missing is a *policy*: today every job picks
+its tier statically, so a service whose traffic is dominated by a few
+hot graphs (the Labyrinth workload: long-running dataflow jobs
+resubmitted with varying inputs) keeps paying interpreter prices for
+graphs it has already seen hundreds of times.
+
+:class:`TierController` is that policy — a tiny JIT tiering state
+machine keyed on the content-addressed graph key:
+
+* every hit on a key adds 1 to its *hotness*; when hotness crosses
+  ``thresholds[i]`` the key climbs exactly **one** rung of the ladder
+  (never skips a tier, no matter how hot it got while waiting);
+* :meth:`TierController.decay` (called periodically by the server)
+  halves every key's hotness and demotes a key one rung only when its
+  hotness has fallen **below** ``thresholds[i-1] * demote_ratio`` —
+  the gap between the promote bound and the much lower demote bound is
+  the hysteresis band that prevents flapping;
+* promotion into a tier that needs the packed blob (``packed`` /
+  ``vectorized``) is gated on a **background pre-warm**: when a key is
+  trending hot (hotness ≥ ``prewarm_fraction`` of the next threshold) a
+  worker thread calls ``ensure_packed()`` on the cached program, and
+  only once that completes does the promotion land — so a promotion
+  never stalls the request that triggered it.  Pre-warm is idempotent:
+  the schedule flag flips once under the controller lock, and
+  ``ensure_packed`` itself is memoized on the compiled program.
+
+The controller only ever *rewrites the tier of jobs that left the
+choice open*: a job with an explicit ``sim_mode`` or a finite-machine
+config (``num_pes`` / ``loop_bound``) is passed through untouched, so
+tiering can be enabled fleet-wide without changing the meaning of any
+explicitly-pinned submission.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..machine.config import MachineConfig
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import tracer
+from .batch import BatchJob
+from .cache import GraphCache, graph_key
+
+__all__ = [
+    "TIERS",
+    "TieringConfig",
+    "TierController",
+]
+
+#: The full promotion ladder, slowest to fastest.  A controller's
+#: actual ladder is the contiguous segment ``entry_tier .. max_tier``.
+TIERS = ("step", "fast", "packed", "vectorized")
+
+#: Tiers whose simulator needs the lowered PackedGraph blob.
+_BLOB_TIERS = frozenset({"packed", "vectorized"})
+
+
+@dataclass(frozen=True)
+class TieringConfig:
+    """Knobs for the tier controller state machine.
+
+    ``thresholds[i]`` is the hotness a key must reach to climb from
+    rung ``i`` to rung ``i+1`` of the ladder; there must be at least
+    one threshold per rung boundary.  Setting ``entry_tier ==
+    max_tier`` pins every auto job to that tier (the "tiering off"
+    baseline in benchmarks).
+    """
+
+    #: tier assigned to a key on first sight
+    entry_tier: str = "fast"
+    #: highest tier a key may be promoted to
+    max_tier: str = "vectorized"
+    #: hotness required to leave rung i (strictly increasing)
+    thresholds: tuple[int, ...] = (8, 64)
+    #: demote from rung i+1 only when hotness < thresholds[i] * ratio
+    demote_ratio: float = 0.25
+    #: multiplier applied to every key's hotness per decay() tick
+    decay_factor: float = 0.5
+    #: schedule the background pre-warm when hotness reaches this
+    #: fraction of the next promotion threshold
+    prewarm_fraction: float = 0.5
+    #: disable the background worker (promotion then packs in-request)
+    prewarm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.entry_tier not in TIERS:
+            raise ValueError(f"unknown entry_tier: {self.entry_tier!r}")
+        if self.max_tier not in TIERS:
+            raise ValueError(f"unknown max_tier: {self.max_tier!r}")
+        lo = TIERS.index(self.entry_tier)
+        hi = TIERS.index(self.max_tier)
+        if lo > hi:
+            raise ValueError(
+                f"entry_tier {self.entry_tier!r} above max_tier "
+                f"{self.max_tier!r}"
+            )
+        rungs = hi - lo + 1
+        if len(self.thresholds) < rungs - 1:
+            raise ValueError(
+                f"need >= {rungs - 1} thresholds for ladder "
+                f"{self.ladder}, got {len(self.thresholds)}"
+            )
+        prev = 0
+        for t in self.thresholds:
+            if t <= prev:
+                raise ValueError(
+                    "thresholds must be positive and strictly "
+                    f"increasing, got {self.thresholds}"
+                )
+            prev = t
+        if not 0.0 < self.demote_ratio <= 1.0:
+            raise ValueError("demote_ratio must be in (0, 1]")
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError("decay_factor must be in (0, 1)")
+        if not 0.0 < self.prewarm_fraction <= 1.0:
+            raise ValueError("prewarm_fraction must be in (0, 1]")
+
+    @property
+    def ladder(self) -> tuple[str, ...]:
+        """The contiguous tier segment this controller moves within."""
+        lo = TIERS.index(self.entry_tier)
+        hi = TIERS.index(self.max_tier)
+        return TIERS[lo : hi + 1]
+
+
+class _GraphState:
+    """Per-graph-key tiering state (guarded by the controller lock)."""
+
+    __slots__ = (
+        "tier_idx",
+        "hits",
+        "hotness",
+        "prewarm_scheduled",
+        "prewarm_done",
+        "promotions",
+        "demotions",
+    )
+
+    def __init__(self, tier_idx: int = 0) -> None:
+        self.tier_idx = tier_idx
+        self.hits = 0
+        self.hotness = 0.0
+        self.prewarm_scheduled = False
+        self.prewarm_done = False
+        self.promotions = 0
+        self.demotions = 0
+
+
+class TierController:
+    """Thread-safe hotness-driven tier assignment for cached graphs.
+
+    One instance per server process; the batch executor calls
+    :meth:`assign` per job, an asyncio housekeeping task calls
+    :meth:`decay` periodically, and the ``tiers`` RPC reads
+    :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        config: TieringConfig | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        cache: GraphCache | None = None,
+    ) -> None:
+        self.config = config or TieringConfig()
+        self.cache = cache
+        self._ladder = self.config.ladder
+        self._lock = threading.Lock()
+        self._states: dict[str, _GraphState] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._prewarms: list[Future] = []
+        self._closed = False
+        reg = registry or MetricsRegistry()
+        self.registry = reg
+        self._c_hits = reg.counter("tiering.hits")
+        self._c_promotions = reg.counter("tiering.promotions")
+        self._c_demotions = reg.counter("tiering.demotions")
+        self._c_prewarms = reg.counter("tiering.prewarms")
+        self._c_prewarm_errors = reg.counter("tiering.prewarm_errors")
+        self._g_graphs = reg.gauge("tiering.graphs")
+
+    # ------------------------------------------------------------------
+    # job-facing API
+
+    @staticmethod
+    def eligible(config: MachineConfig | None) -> bool:
+        """True when the job left the tier choice to the service: no
+        explicit sim_mode and an idealized (infinite) machine."""
+        if config is None:
+            return True
+        return (
+            config.sim_mode == "auto"
+            and config.num_pes is None
+            and config.loop_bound is None
+        )
+
+    def assign(self, job: BatchJob) -> BatchJob:
+        """Record a hit for the job's graph key and, when eligible,
+        return a copy of the job pinned to the key's current tier."""
+        if not self.eligible(job.config):
+            return job
+        key = graph_key(job.source, job.options)
+        tier = self.record(key, job=job)
+        base = job.config or MachineConfig()
+        return dataclasses.replace(
+            job, config=dataclasses.replace(base, sim_mode=tier)
+        )
+
+    def record(self, key: str, *, job: BatchJob | None = None) -> str:
+        """One hit on ``key``: bump hotness, promote at most one rung,
+        maybe schedule a pre-warm.  Returns the tier to run at."""
+        prewarm = False
+        with self._lock:
+            st = self._states.get(key)
+            if st is None:
+                st = self._states[key] = _GraphState()
+                if self._ladder[0] in _BLOB_TIERS:
+                    # the entry tier itself packs on first run; there
+                    # is nothing left for the pre-warm gate to protect
+                    st.prewarm_done = True
+                self._g_graphs.set(len(self._states))
+            st.hits += 1
+            st.hotness += 1.0
+            promoted = False
+            if (
+                st.tier_idx < len(self._ladder) - 1
+                and st.hotness >= self._threshold(st.tier_idx)
+            ):
+                nxt = self._ladder[st.tier_idx + 1]
+                if (
+                    nxt in _BLOB_TIERS
+                    and self.config.prewarm
+                    and self.cache is not None
+                    and not st.prewarm_done
+                ):
+                    # hot enough but the blob is not warm yet: kick
+                    # the pre-warm (if not already running) and stay
+                    # on this rung so no request pays the packing cost
+                    if not st.prewarm_scheduled:
+                        st.prewarm_scheduled = True
+                        prewarm = True
+                else:
+                    st.tier_idx += 1
+                    st.promotions += 1
+                    promoted = True
+            if not promoted and not prewarm and self._should_prewarm(st):
+                st.prewarm_scheduled = True
+                prewarm = True
+            tier = self._ladder[st.tier_idx]
+        self._c_hits.inc()
+        if promoted:
+            self._c_promotions.inc()
+        if prewarm:
+            self._spawn_prewarm(key, job)
+        return tier
+
+    def tier_for(self, key: str) -> str:
+        """The key's current tier (entry tier for unseen keys)."""
+        with self._lock:
+            st = self._states.get(key)
+            return self._ladder[st.tier_idx if st else 0]
+
+    def decay(self) -> None:
+        """Halve every key's hotness; demote keys whose hotness fell
+        below the hysteresis band; prune keys back at cold entry."""
+        demoted = 0
+        with self._lock:
+            cfg = self.config
+            dead = []
+            for key, st in self._states.items():
+                st.hotness *= cfg.decay_factor
+                if st.tier_idx > 0:
+                    bound = (
+                        self._threshold(st.tier_idx - 1)
+                        * cfg.demote_ratio
+                    )
+                    if st.hotness < bound:
+                        st.tier_idx -= 1
+                        st.demotions += 1
+                        demoted += 1
+                if st.tier_idx == 0 and st.hotness < 0.25:
+                    dead.append(key)
+            for key in dead:
+                del self._states[key]
+            self._g_graphs.set(len(self._states))
+        if demoted:
+            self._c_demotions.inc(demoted)
+
+    # ------------------------------------------------------------------
+    # state machine internals (lock held)
+
+    def _threshold(self, rung: int) -> int:
+        return self.config.thresholds[rung]
+
+    def _should_prewarm(self, st: _GraphState) -> bool:
+        if not self.config.prewarm or self.cache is None:
+            return False
+        if st.prewarm_scheduled or st.prewarm_done:
+            return False
+        if st.tier_idx >= len(self._ladder) - 1:
+            return False
+        if not any(
+            t in _BLOB_TIERS
+            for t in self._ladder[st.tier_idx + 1 :]
+        ):
+            return False
+        bound = self.config.prewarm_fraction * self._threshold(st.tier_idx)
+        return st.hotness >= bound
+
+    # ------------------------------------------------------------------
+    # background pre-warm
+
+    def _spawn_prewarm(self, key: str, job: BatchJob | None) -> None:
+        if self.cache is None or job is None:
+            # no way to locate the program; mark done so promotion is
+            # not gated forever (the tier's first run packs instead)
+            with self._lock:
+                st = self._states.get(key)
+                if st is not None:
+                    st.prewarm_done = True
+            return
+        with self._lock:
+            if self._closed:
+                return
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-prewarm"
+                )
+            fut = self._pool.submit(
+                self._prewarm, key, job.source, job.options
+            )
+            self._prewarms.append(fut)
+            if len(self._prewarms) > 64:
+                self._prewarms = [
+                    f for f in self._prewarms if not f.done()
+                ]
+
+    def _prewarm(self, key: str, source: str, options) -> None:
+        try:
+            with tracer.span("tiering.prewarm", key=key[:16]):
+                cp = None
+                if self.cache is not None:
+                    cp = self.cache.peek(source, options)
+                    if cp is None:
+                        cp, _ = self.cache.lookup(source, options)
+                cp.ensure_packed()
+        except Exception:
+            self._c_prewarm_errors.inc()
+            with self._lock:
+                st = self._states.get(key)
+                if st is not None:
+                    # let the next hit retry (or pack in-request)
+                    st.prewarm_scheduled = False
+            return
+        self._c_prewarms.inc()
+        with self._lock:
+            st = self._states.get(key)
+            if st is not None:
+                st.prewarm_done = True
+
+    def join_prewarms(self, timeout: float | None = None) -> None:
+        """Block until every scheduled pre-warm finished (tests)."""
+        with self._lock:
+            futs = list(self._prewarms)
+        for fut in futs:
+            fut.result(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop the pre-warm worker; further hits still retier but no
+        new pre-warms are scheduled."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # introspection / persistence
+
+    def snapshot(self, top: int = 50) -> dict:
+        """JSON-ready view for the ``tiers`` RPC / ``repro tiers``."""
+        cfg = self.config
+        with self._lock:
+            states = [
+                (key, st.tier_idx, st.hits, st.hotness, st.prewarm_done)
+                for key, st in self._states.items()
+            ]
+        by_tier = {t: 0 for t in self._ladder}
+        for _, idx, _, _, _ in states:
+            by_tier[self._ladder[idx]] += 1
+        states.sort(key=lambda s: (-s[3], s[0]))
+        return {
+            "enabled": True,
+            "entry_tier": cfg.entry_tier,
+            "max_tier": cfg.max_tier,
+            "thresholds": list(cfg.thresholds),
+            "demote_ratio": cfg.demote_ratio,
+            "decay_factor": cfg.decay_factor,
+            "graphs": len(states),
+            "by_tier": by_tier,
+            "promotions": int(self._c_promotions.value),
+            "demotions": int(self._c_demotions.value),
+            "prewarms": int(self._c_prewarms.value),
+            "top": [
+                {
+                    "key": key[:16],
+                    "tier": self._ladder[idx],
+                    "hits": hits,
+                    "hotness": round(hot, 3),
+                    "prewarmed": done,
+                }
+                for key, idx, hits, hot, done in states[:top]
+            ],
+        }
+
+    def state_blob(self) -> dict:
+        """Portable tier state for :meth:`GraphCache.snapshot`."""
+        with self._lock:
+            return {
+                "v": 1,
+                "graphs": {
+                    key: {
+                        "tier": self._ladder[st.tier_idx],
+                        "hits": st.hits,
+                        "hotness": st.hotness,
+                    }
+                    for key, st in self._states.items()
+                },
+            }
+
+    def restore_state(self, blob: dict | None) -> int:
+        """Adopt tier state written by :meth:`state_blob`.  Unknown or
+        out-of-ladder tiers clamp into the current ladder; malformed
+        entries are skipped.  Returns the number of keys restored."""
+        if not isinstance(blob, dict):
+            return 0
+        graphs = blob.get("graphs")
+        if not isinstance(graphs, dict):
+            return 0
+        restored = 0
+        with self._lock:
+            for key, rec in graphs.items():
+                if not isinstance(key, str) or not isinstance(rec, dict):
+                    continue
+                tier = rec.get("tier")
+                if tier in self._ladder:
+                    idx = self._ladder.index(tier)
+                elif tier in TIERS:
+                    # pin into the ladder: clamp by global tier order
+                    order = TIERS.index(tier)
+                    idx = max(
+                        0,
+                        min(
+                            len(self._ladder) - 1,
+                            order - TIERS.index(self._ladder[0]),
+                        ),
+                    )
+                else:
+                    continue
+                st = _GraphState(tier_idx=idx)
+                try:
+                    st.hits = int(rec.get("hits", 0))
+                    st.hotness = float(rec.get("hotness", 0.0))
+                except (TypeError, ValueError):
+                    continue
+                # the snapshotted entry carries its packed blob, so a
+                # restored key owes no pre-warm before promotion
+                st.prewarm_done = True
+                self._states[key] = st
+                restored += 1
+            self._g_graphs.set(len(self._states))
+        return restored

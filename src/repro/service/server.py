@@ -31,7 +31,14 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
-from ..engine import GraphCache, LatencySummary, make_pool, run_batch
+from ..engine import (
+    GraphCache,
+    LatencySummary,
+    TierController,
+    TieringConfig,
+    make_pool,
+    run_batch,
+)
 from ..engine.batch import BatchJob
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Span, new_span_id, new_trace_id, tracer
@@ -75,10 +82,25 @@ class ServiceConfig:
     cache_dir: str | None = None
     capacity: int = 256
     max_line: int = MAX_LINE  # per-frame byte ceiling on the wire
+    #: warm-restart directory: restored on start, snapshotted on drain
+    #: (and every ``snapshot_interval_s`` seconds when > 0)
+    snapshot_dir: str | None = None
+    snapshot_interval_s: float = 0.0
+    #: adaptive tiering (the service-as-JIT): auto-promote cached graphs
+    #: through the tier ladder by observed hit count
+    tiering: bool = False
+    tier_entry: str = "fast"
+    tier_max: str = "vectorized"
+    tier_thresholds: tuple[int, ...] = (8, 64)
+    tier_demote_ratio: float = 0.25
+    tier_decay_s: float = 10.0
+    tier_prewarm: bool = True
 
     def __post_init__(self) -> None:
         if self.path is None and self.host is None:
             raise ValueError("need a UNIX socket path or a TCP host")
+        if isinstance(self.tier_thresholds, list):
+            self.tier_thresholds = tuple(self.tier_thresholds)
 
 
 class _Conn:
@@ -152,6 +174,7 @@ class ServiceServer:
         )
         self._server: asyncio.AbstractServer | None = None
         self._batcher_task: asyncio.Task | None = None
+        self._bg_tasks: list[asyncio.Task] = []
         self._conns: set[_Conn] = set()
         self._replies: set[asyncio.Task] = set()
         self._draining = False
@@ -168,6 +191,22 @@ class ServiceServer:
             stage: self.registry.histogram(f"service.latency_ms.{stage}")
             for stage in LATENCY_STAGES
         }
+        # the tiering JIT: hotness-driven per-graph tier promotion.
+        # Shares the server registry so tiering.* counters show up in
+        # the metrics op alongside everything else.
+        self.tiering: TierController | None = None
+        if config.tiering:
+            self.tiering = TierController(
+                TieringConfig(
+                    entry_tier=config.tier_entry,
+                    max_tier=config.tier_max,
+                    thresholds=tuple(config.tier_thresholds),
+                    demote_ratio=config.tier_demote_ratio,
+                    prewarm=config.tier_prewarm,
+                ),
+                registry=self.registry,
+                cache=self.cache,
+            )
 
     # read-only views of the job-outcome counters (handy in tests/tools)
     @property
@@ -202,6 +241,13 @@ class ServiceServer:
 
     async def start(self) -> None:
         cfg = self.config
+        if cfg.snapshot_dir is not None:
+            # come up warm *before* accepting connections: the first
+            # resubmission of any snapshotted graph is a cache hit
+            loaded, state = self.cache.restore(cfg.snapshot_dir)
+            self.registry.gauge("service.snapshot.restored").set(loaded)
+            if self.tiering is not None:
+                self.tiering.restore_state(state.get("tiers"))
         if cfg.pool_size > 1:
             self.pool = make_pool(
                 cfg.pool_size, cache_dir=cfg.cache_dir, capacity=cfg.capacity
@@ -217,6 +263,42 @@ class ServiceServer:
             )
         self._t0 = time.monotonic()
         self._batcher_task = asyncio.create_task(self.batcher.run())
+        if self.tiering is not None and cfg.tier_decay_s > 0:
+            self._bg_tasks.append(
+                asyncio.create_task(self._decay_loop(cfg.tier_decay_s))
+            )
+        if cfg.snapshot_dir is not None and cfg.snapshot_interval_s > 0:
+            self._bg_tasks.append(
+                asyncio.create_task(
+                    self._snapshot_loop(cfg.snapshot_interval_s)
+                )
+            )
+
+    async def _decay_loop(self, interval_s: float) -> None:
+        while True:
+            await asyncio.sleep(interval_s)
+            self.tiering.decay()
+
+    async def _snapshot_loop(self, interval_s: float) -> None:
+        while True:
+            await asyncio.sleep(interval_s)
+            # snapshotting pickles entries — off the event loop
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.write_snapshot
+            )
+
+    def write_snapshot(self) -> int:
+        """Blocking: persist cache entries + tier state to the
+        configured snapshot dir.  Returns entries committed."""
+        if self.config.snapshot_dir is None:
+            return 0
+        state = {}
+        if self.tiering is not None:
+            state["tiers"] = self.tiering.state_blob()
+        n = self.cache.snapshot(self.config.snapshot_dir, state=state)
+        self.registry.counter("service.snapshot.writes").inc()
+        self.registry.gauge("service.snapshot.entries").set(n)
+        return n
 
     @property
     def endpoint(self) -> dict:
@@ -245,9 +327,21 @@ class ServiceServer:
         while self._replies:
             await asyncio.gather(*list(self._replies),
                                  return_exceptions=True)
+        for task in self._bg_tasks:
+            task.cancel()
+        if self._bg_tasks:
+            await asyncio.gather(*self._bg_tasks, return_exceptions=True)
+        if self.config.snapshot_dir is not None:
+            # on-drain snapshot: the restart comes up exactly as warm
+            # as this process was when it stopped accepting work
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.write_snapshot
+            )
         await self._teardown()
 
     async def _teardown(self) -> None:
+        if self.tiering is not None:
+            self.tiering.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -277,6 +371,10 @@ class ServiceServer:
 
     def _run_jobs(self, jobs: list[BatchJob]):
         """Blocking engine call; runs on the executor thread."""
+        if self.tiering is not None:
+            # JIT tier assignment: each job that left its tier to the
+            # service runs at its graph's current rung (one hit each)
+            jobs = [self.tiering.assign(job) for job in jobs]
         if self.pool is not None:
             return run_batch(jobs, pool=self.pool, cache=self.cache)
         return run_batch(jobs, pool_size=1, cache=self.cache)
@@ -421,6 +519,9 @@ class ServiceServer:
         elif op == "metrics":
             await conn.send({"ok": True, "op": "metrics",
                              "metrics": self.metrics_snapshot()})
+        elif op == "tiers":
+            await conn.send({"ok": True, "op": "tiers",
+                             "tiers": self.tiers_snapshot()})
         elif op == "trace":
             tid = msg.get("trace_id")
             if not isinstance(tid, str) or not tid:
@@ -581,6 +682,25 @@ class ServiceServer:
         out = LatencySummary.from_samples(ring).to_json()
         if with_samples:
             out["samples"] = [float(x) for x in ring]
+        return out
+
+    def tiers_snapshot(self) -> dict:
+        """The ``tiers`` op payload: controller state plus the snapshot
+        configuration, or ``{"enabled": False}`` when tiering is off."""
+        if self.tiering is None:
+            out = {"enabled": False}
+        else:
+            out = self.tiering.snapshot()
+        out["snapshot"] = {
+            "dir": self.config.snapshot_dir,
+            "interval_s": self.config.snapshot_interval_s,
+            "writes": int(
+                self.registry.counter("service.snapshot.writes").value
+            ),
+            "restored": int(
+                self.registry.gauge("service.snapshot.restored").value
+            ),
+        }
         return out
 
     def metrics_snapshot(self) -> dict:

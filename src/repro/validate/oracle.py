@@ -15,7 +15,13 @@ and one input vector it executes:
   region budget) against the monolithic graph of the same schema —
   structural statistics plus a stepped run;
 * the **cached** compile path (memory tier, and the disk tier when a
-  ``cache_dir`` is given) against the fresh compile.
+  ``cache_dir`` is given) against the fresh compile;
+* the **tier-promotion** route: a :class:`~repro.engine.tiering.
+  TierController` with tiny thresholds walks the cached graph
+  fast → packed → vectorized across three hits, and every promoted run
+  must match the reference memory and the entry tier's end values and
+  deterministic metrics (the boundary the service's adaptive JIT
+  crosses in production).
 
 and classifies any disagreement as a :class:`Divergence`:
 
@@ -54,7 +60,8 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from ..cfg.builder import build_cfg
-from ..engine.cache import GraphCache
+from ..engine.cache import GraphCache, graph_key
+from ..engine.tiering import TierController, TieringConfig
 from ..interp.ast_interp import run_ast
 from ..interp.cfg_interp import run_cfg
 from ..lang.errors import CompileError
@@ -464,6 +471,65 @@ def _check_schema(
             if res.memory != ref:
                 div(Divergence("sim_divergence", route, "ast",
                                _diff_memory(res.memory, ref)))
+
+    # tier promotion: the adaptive tiering controller walks a hot graph
+    # up the backend ladder mid-stream; the same cached graph, simulated
+    # at each tier the controller picks across the promotion boundaries,
+    # must agree with the reference memory and stay bit-identical in
+    # end values and deterministic metrics from first hit to last
+    if {"fast", "packed", "vectorized"} <= set(sim_modes):
+        key = graph_key(source, options)
+        for ins, ref in zip(input_vectors, references):
+            ctl = TierController(TieringConfig(
+                entry_tier="fast", thresholds=(2, 3), prewarm=False,
+            ))
+            base = None
+            base_metrics: dict | None = None
+            base_tier = ""
+            for _hit in range(3):
+                tier = ctl.record(key)
+                route = f"{schema}/tier_promotion/{tier}"
+                try:
+                    with tracer.span("validate.tier", route=route):
+                        res = simulate(
+                            again, ins, MachineConfig(sim_mode=tier)
+                        )
+                except Exception as exc:
+                    div(Divergence(
+                        "sim_divergence", route,
+                        f"{schema}/tier_promotion",
+                        f"crash {type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                report.routes_run += 1
+                if res.memory != ref:
+                    div(Divergence("sim_divergence", route, "ast",
+                                   _diff_memory(res.memory, ref)))
+                if base is None:
+                    base = res
+                    base_metrics = _metric_values(res.metrics)
+                    base_tier = tier
+                    continue
+                baseline = f"{schema}/tier_promotion/{base_tier}"
+                if res.end_values != base.end_values:
+                    div(Divergence(
+                        "sim_divergence", route, baseline,
+                        f"end_values {_truncate(res.end_values)} != "
+                        f"{_truncate(base.end_values)}",
+                    ))
+                got = _metric_values(res.metrics)
+                if got != base_metrics:
+                    bad = [f for f in DETERMINISTIC_METRIC_FIELDS
+                           if got[f] != base_metrics[f]]
+                    div(Divergence(
+                        "metrics_drift", route, baseline,
+                        "; ".join(
+                            f"{f}: {_truncate(got[f], 60)} != "
+                            f"{_truncate(base_metrics[f], 60)}"
+                            for f in bad[:3]
+                        ),
+                    ))
+            ctl.close()
 
 
 def assign_blame(report: OracleReport) -> OracleReport:

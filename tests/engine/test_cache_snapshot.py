@@ -1,0 +1,165 @@
+"""Snapshot/restore tests for the compiled-graph cache.
+
+The snapshot is what makes a restarted (or ``kill -9``'d) server come up
+warm: entry files in the v3 on-disk layout plus a manifest written
+atomically last as the commit point.  These tests pin the crash
+contract — an interrupted snapshot leaves the previous one loadable, a
+corrupt or truncated snapshot degrades to a cold start, never a crash.
+"""
+
+import json
+import os
+
+from repro.engine import GraphCache
+from repro.engine.cache import SNAPSHOT_MANIFEST, graph_key
+from repro.interp import run_ast
+from repro.lang import parse
+from repro.translate import CompileOptions, simulate
+
+SRC_A = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+SRC_B = "a := 2;\nb := a * 21;\n"
+
+
+def _warm_cache():
+    cache = GraphCache()
+    cache.get_or_compile(SRC_A, schema="schema2_opt")
+    cache.get_or_compile(SRC_B, schema="schema1")
+    return cache
+
+
+def test_snapshot_restore_round_trip(tmp_path):
+    cache = _warm_cache()
+    state = {"tiers": {"v": 1, "graphs": {"k" * 64: {"tier": "packed",
+                                                     "hits": 9,
+                                                     "hotness": 4.5}}}}
+    n = cache.snapshot(tmp_path, state=state)
+    assert n == 2
+    manifest = json.loads((tmp_path / SNAPSHOT_MANIFEST).read_text())
+    assert len(manifest["keys"]) == 2
+
+    fresh = GraphCache()
+    loaded, got_state = fresh.restore(tmp_path)
+    assert loaded == 2
+    assert got_state == state
+    # restored entries are memory hits and run-ready (packed blob baked)
+    cp, hit = fresh.lookup(SRC_A, schema="schema2_opt")
+    assert hit
+    assert cp.packed is not None
+    assert simulate(cp).memory == run_ast(parse(SRC_A))
+
+
+def test_snapshot_without_state_restores_empty_state(tmp_path):
+    cache = _warm_cache()
+    cache.snapshot(tmp_path)
+    _, state = GraphCache().restore(tmp_path)
+    assert state == {}
+
+
+def test_restore_missing_or_corrupt_manifest_is_cold_start(tmp_path):
+    assert GraphCache().restore(tmp_path / "nowhere") == (0, {})
+    (tmp_path / SNAPSHOT_MANIFEST).write_text("{not json")
+    assert GraphCache().restore(tmp_path) == (0, {})
+    (tmp_path / SNAPSHOT_MANIFEST).write_text('["a", "list"]')
+    assert GraphCache().restore(tmp_path) == (0, {})
+
+
+def test_restore_wrong_format_is_cold_start(tmp_path):
+    cache = _warm_cache()
+    cache.snapshot(tmp_path)
+    path = tmp_path / SNAPSHOT_MANIFEST
+    manifest = json.loads(path.read_text())
+    manifest["format"] = "v0-from-the-future"
+    path.write_text(json.dumps(manifest))
+    assert GraphCache().restore(tmp_path) == (0, {})
+
+
+def test_restore_skips_truncated_entry_loads_the_rest(tmp_path):
+    cache = _warm_cache()
+    cache.snapshot(tmp_path)
+    key = graph_key(SRC_A, CompileOptions(schema="schema2_opt"))
+    entry = tmp_path / key[:2] / f"{key}.pkl"
+    entry.write_bytes(entry.read_bytes()[:20])
+
+    fresh = GraphCache()
+    loaded, _ = fresh.restore(tmp_path)
+    assert loaded == 1  # the good entry
+    _, hit = fresh.lookup(SRC_B, schema="schema1")
+    assert hit
+    _, hit = fresh.lookup(SRC_A, schema="schema2_opt")
+    assert not hit  # truncated entry was skipped, not crashed on
+
+
+def test_restore_tolerates_bogus_manifest_keys(tmp_path):
+    cache = _warm_cache()
+    cache.snapshot(tmp_path)
+    path = tmp_path / SNAPSHOT_MANIFEST
+    manifest = json.loads(path.read_text())
+    manifest["keys"] += ["", 42, "f" * 64]  # empty, non-str, missing file
+    path.write_text(json.dumps(manifest))
+    loaded, _ = GraphCache().restore(tmp_path)
+    assert loaded == 2
+
+
+def test_interrupted_snapshot_keeps_previous_manifest(tmp_path, monkeypatch):
+    """A crash mid-snapshot — simulated by the manifest rename failing —
+    must leave the previous snapshot fully loadable: entry files are
+    content-addressed and never deleted, and the manifest is only
+    replaced atomically at the very end."""
+    cache = GraphCache()
+    cache.get_or_compile(SRC_A, schema="schema2_opt")
+    assert cache.snapshot(tmp_path, state={"gen": 1}) == 1
+    before = (tmp_path / SNAPSHOT_MANIFEST).read_bytes()
+
+    cache.get_or_compile(SRC_B, schema="schema1")
+    real_replace = os.replace
+
+    def failing_replace(src, dst, *a, **kw):
+        if os.path.basename(str(dst)) == SNAPSHOT_MANIFEST:
+            raise OSError("disk full at the commit point")
+        return real_replace(src, dst, *a, **kw)
+
+    monkeypatch.setattr(os, "replace", failing_replace)
+    assert cache.snapshot(tmp_path, state={"gen": 2}) == 0
+    monkeypatch.undo()
+
+    # previous manifest untouched, previous snapshot loads
+    assert (tmp_path / SNAPSHOT_MANIFEST).read_bytes() == before
+    loaded, state = GraphCache().restore(tmp_path)
+    assert loaded == 1
+    assert state == {"gen": 1}
+    # no half-written manifest temp files left behind
+    assert not list(tmp_path.glob(f"{SNAPSHOT_MANIFEST}*.tmp"))
+
+    # the next attempt commits generation 2
+    assert cache.snapshot(tmp_path, state={"gen": 2}) == 2
+    loaded, state = GraphCache().restore(tmp_path)
+    assert loaded == 2
+    assert state == {"gen": 2}
+
+
+def test_snapshot_skips_existing_entry_files(tmp_path):
+    """Entries are content-addressed and immutable: a second snapshot
+    re-lists existing files without rewriting them."""
+    cache = _warm_cache()
+    cache.snapshot(tmp_path)
+    key = graph_key(SRC_A, CompileOptions(schema="schema2_opt"))
+    entry = tmp_path / key[:2] / f"{key}.pkl"
+    mtime = entry.stat().st_mtime_ns
+    assert cache.snapshot(tmp_path) == 2
+    assert entry.stat().st_mtime_ns == mtime
+
+
+def test_snapshot_dir_doubles_as_disk_cache_layout(tmp_path):
+    """The snapshot uses the v3 entry layout, so a snapshot directory is
+    a valid ``cache_dir``: disk lookups hit the snapshotted entries."""
+    cache = _warm_cache()
+    cache.snapshot(tmp_path)
+    disk = GraphCache(cache_dir=tmp_path)
+    _, hit = disk.lookup(SRC_A, schema="schema2_opt")
+    assert hit
+    assert disk.stats.disk_hits == 1

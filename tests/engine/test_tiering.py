@@ -1,0 +1,369 @@
+"""Unit and property tests for the adaptive tiering controller.
+
+The controller is a tiny JIT policy state machine; these tests pin its
+contract: one rung per promotion (never skips a tier), promotion only on
+hits at or above the rung's threshold, demotion only on decay below the
+hysteresis band, pre-warm scheduled exactly once per key no matter how
+many threads hammer it, and snapshot/restore round-tripping tier state.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import BatchJob, GraphCache, TierController, TieringConfig
+from repro.engine.cache import graph_key
+from repro.engine.tiering import TIERS
+from repro.machine import MachineConfig
+from repro.translate import CompileOptions
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+KEY = "k" * 64
+
+
+def _ctl(**kw):
+    kw.setdefault("entry_tier", "fast")
+    kw.setdefault("thresholds", (2, 4))
+    kw.setdefault("prewarm", False)
+    return TierController(TieringConfig(**kw))
+
+
+# -- config validation -----------------------------------------------------
+
+
+def test_config_rejects_bad_tiers():
+    with pytest.raises(ValueError):
+        TieringConfig(entry_tier="warp")
+    with pytest.raises(ValueError):
+        TieringConfig(max_tier="warp")
+    with pytest.raises(ValueError):
+        TieringConfig(entry_tier="vectorized", max_tier="fast")
+
+
+def test_config_rejects_bad_thresholds():
+    with pytest.raises(ValueError):
+        TieringConfig(thresholds=())  # fewer than rungs - 1
+    with pytest.raises(ValueError):
+        TieringConfig(thresholds=(8, 8))  # not strictly increasing
+    with pytest.raises(ValueError):
+        TieringConfig(thresholds=(0, 4))  # not positive
+
+
+def test_ladder_is_contiguous_segment():
+    assert TieringConfig().ladder == ("fast", "packed", "vectorized")
+    assert TieringConfig(
+        entry_tier="step", thresholds=(1, 2, 3)
+    ).ladder == TIERS
+    pinned = TieringConfig(
+        entry_tier="step", max_tier="step", thresholds=()
+    )
+    assert pinned.ladder == ("step",)
+
+
+# -- promotion / demotion --------------------------------------------------
+
+
+def test_climbs_one_rung_per_threshold():
+    ctl = _ctl()
+    seen = [ctl.record(KEY) for _ in range(6)]
+    # hotness 1 < 2 -> fast; 2 >= 2 -> packed (the promoting hit itself
+    # runs promoted); 3 < 4 -> packed; 4 >= 4 -> vectorized; then stays
+    assert seen == [
+        "fast", "packed", "packed", "vectorized", "vectorized", "vectorized"
+    ]
+    snap = ctl.snapshot()
+    assert snap["promotions"] == 2
+    assert snap["by_tier"]["vectorized"] == 1
+    assert snap["top"][0]["hits"] == 6
+
+
+def test_never_skips_a_tier():
+    """A key restored far below its hotness still climbs rung by rung:
+    every transition observed through record() is a single step."""
+    ctl = _ctl()
+    ctl.restore_state(
+        {"v": 1, "graphs": {KEY: {"tier": "fast", "hits": 0,
+                                  "hotness": 1000.0}}}
+    )
+    prev = ctl.tier_for(KEY)
+    for _ in range(4):
+        cur = ctl.record(KEY)
+        assert ctl.config.ladder.index(cur) - \
+            ctl.config.ladder.index(prev) <= 1
+        prev = cur
+    assert prev == "vectorized"
+
+
+def test_decay_demotes_below_hysteresis_band_only():
+    ctl = _ctl()
+    for _ in range(4):
+        ctl.record(KEY)
+    assert ctl.tier_for(KEY) == "vectorized"
+    # hotness 4 -> 2: still >= thresholds[1] * 0.25 = 1.0 -> no demotion
+    ctl.decay()
+    assert ctl.tier_for(KEY) == "vectorized"
+    # 2 -> 1: 1.0 is not < 1.0 -> still vectorized (strict bound)
+    ctl.decay()
+    assert ctl.tier_for(KEY) == "vectorized"
+    # 1 -> 0.5 < 1.0 -> one rung down; 0.5 >= thresholds[0]*0.25 keeps
+    # it on packed this tick (one rung per decay, like promotion)
+    ctl.decay()
+    assert ctl.tier_for(KEY) == "packed"
+    ctl.decay()
+    assert ctl.tier_for(KEY) == "fast"
+    snap = ctl.snapshot()
+    assert snap["demotions"] == 2
+
+
+def test_decay_prunes_cold_entry_keys():
+    ctl = _ctl()
+    ctl.record(KEY)
+    for _ in range(4):
+        ctl.decay()
+    assert ctl.snapshot()["graphs"] == 0
+    # unseen keys report the entry tier
+    assert ctl.tier_for(KEY) == "fast"
+
+
+def test_pinned_ladder_is_a_no_op_controller():
+    ctl = TierController(
+        TieringConfig(entry_tier="step", max_tier="step", thresholds=())
+    )
+    assert [ctl.record(KEY) for _ in range(10)] == ["step"] * 10
+    assert ctl.snapshot()["promotions"] == 0
+
+
+# -- job assignment --------------------------------------------------------
+
+
+def test_assign_rewrites_only_eligible_jobs():
+    ctl = _ctl(thresholds=(2, 3))
+    auto = BatchJob(SRC, name="auto")
+    pinned = BatchJob(SRC, config=MachineConfig(sim_mode="step"), name="pin")
+    finite = BatchJob(SRC, config=MachineConfig(num_pes=2), name="finite")
+    bounded = BatchJob(SRC, config=MachineConfig(loop_bound=3), name="bound")
+
+    out = ctl.assign(auto)
+    assert out.config.sim_mode == "fast"  # first hit: entry tier
+    assert auto.config is None  # original untouched
+    assert ctl.assign(auto).config.sim_mode == "packed"
+    assert ctl.assign(auto).config.sim_mode == "vectorized"
+
+    for job in (pinned, finite, bounded):
+        assert ctl.assign(job) is job  # passed through untouched
+
+
+def test_assign_key_is_per_source_and_options():
+    ctl = _ctl(thresholds=(2, 3))
+    a = BatchJob(SRC, name="a")
+    b = BatchJob(SRC, options=CompileOptions(schema="schema1"), name="b")
+    ctl.assign(a)
+    ctl.assign(a)
+    # b shares the source but not the compile options: separate key,
+    # still cold, still on the entry tier
+    assert ctl.assign(b).config.sim_mode == "fast"
+    assert ctl.snapshot()["graphs"] == 2
+
+
+# -- state blob round trip -------------------------------------------------
+
+
+def test_state_blob_round_trips():
+    ctl = _ctl()
+    for _ in range(4):
+        ctl.record(KEY)
+    blob = ctl.state_blob()
+    fresh = _ctl()
+    assert fresh.restore_state(blob) == 1
+    assert fresh.tier_for(KEY) == "vectorized"
+    assert fresh.snapshot()["top"][0]["hits"] == 4
+
+
+def test_restore_state_clamps_out_of_ladder_tiers():
+    ctl = _ctl()  # ladder fast..vectorized
+    assert ctl.restore_state(
+        {"v": 1, "graphs": {KEY: {"tier": "step", "hits": 3,
+                                  "hotness": 1.0}}}
+    ) == 1
+    assert ctl.tier_for(KEY) == "fast"  # clamped up into the ladder
+
+
+def test_restore_state_skips_malformed_entries():
+    ctl = _ctl()
+    blob = {
+        "v": 1,
+        "graphs": {
+            KEY: {"tier": "packed", "hits": 2, "hotness": 2.0},
+            "bad-tier": {"tier": "warp", "hits": 1, "hotness": 1.0},
+            "bad-hits": {"tier": "fast", "hits": "many", "hotness": 1.0},
+            12345: {"tier": "fast", "hits": 1, "hotness": 1.0},
+        },
+    }
+    assert ctl.restore_state(blob) == 1
+    assert ctl.restore_state(None) == 0
+    assert ctl.restore_state({"v": 1}) == 0
+    assert ctl.restore_state({"v": 1, "graphs": "nope"}) == 0
+
+
+# -- pre-warm --------------------------------------------------------------
+
+
+def test_prewarm_scheduled_once_under_concurrent_hits():
+    """8 threads hammering one key past the promotion threshold must
+    schedule exactly one pre-warm, and the key must end up promoted
+    (never wedged behind the gate) once the pre-warm lands."""
+    cache = GraphCache()
+    options = CompileOptions()
+    cp, _ = cache.lookup(SRC, options)
+    ctl = TierController(
+        TieringConfig(entry_tier="fast", thresholds=(4, 8)),
+        cache=cache,
+    )
+    job = BatchJob(SRC, options=options)
+    key = graph_key(SRC, options)
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def work():
+        try:
+            barrier.wait()
+            for _ in range(10):
+                ctl.record(key, job=job)
+        except BaseException as exc:  # pragma: no cover - debug aid
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    ctl.join_prewarms(timeout=30)
+    snap = ctl.snapshot()
+    assert snap["prewarms"] == 1  # idempotent under the race
+    assert snap["top"][0]["prewarmed"]
+    # 80 hits dwarf both thresholds, but promotion is one rung per hit:
+    # at most two more hits land the key on the top tier
+    ctl.record(key, job=job)
+    assert ctl.record(key, job=job) == "vectorized"
+    assert cp.ensure_packed() is not None
+    ctl.close()
+
+
+def test_promotion_not_gated_without_cache():
+    """With no cache attached there is nothing to pre-warm: promotion
+    into the blob tiers is immediate at the threshold."""
+    ctl = TierController(
+        TieringConfig(entry_tier="fast", thresholds=(2, 4))
+    )  # prewarm=True but cache=None
+    seen = [ctl.record(KEY) for _ in range(4)]
+    assert seen == ["fast", "packed", "packed", "vectorized"]
+
+
+def test_prewarm_failure_allows_retry_then_promotion():
+    """A crashing pre-warm must not wedge the key: the schedule flag
+    resets, errors are counted, and promotion still lands in-request."""
+    cache = GraphCache()
+    options = CompileOptions()
+    cache.lookup(SRC, options)
+    ctl = TierController(
+        TieringConfig(entry_tier="fast", thresholds=(2, 4),
+                      prewarm_fraction=1.0),
+        cache=cache,
+    )
+    key = graph_key(SRC, options)
+    # a job whose source is not in the cache and does not compile:
+    # the worker's lookup raises and the error path runs
+    bad = BatchJob("this is not a program", options=options)
+    ctl.record(key, job=bad)
+    tier = ctl.record(key, job=bad)  # schedules the doomed pre-warm
+    assert tier == "fast"
+    ctl.join_prewarms(timeout=30)  # worker swallows the error...
+    assert int(ctl._c_prewarm_errors.value) == 1  # ...and counts it
+    good = BatchJob(SRC, options=options)
+    ctl.record(key, job=good)  # reschedules with a warmable job
+    ctl.join_prewarms(timeout=30)
+    assert ctl.record(key, job=good) == "packed"
+    ctl.close()
+
+
+# -- hypothesis properties -------------------------------------------------
+
+events = st.lists(
+    st.sampled_from(["hit", "decay"]), min_size=1, max_size=200
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events=events)
+def test_transitions_are_single_step_and_direction_locked(events):
+    """Against any hit/decay interleaving: the tier moves at most one
+    rung per event, only up on hits, only down on decays, and promotion
+    fires only when hotness had reached the rung's threshold."""
+    ctl = _ctl(thresholds=(3, 7))
+    ladder = ctl.config.ladder
+    prev_idx = 0
+    hotness = 0.0
+    for ev in events:
+        if ev == "hit":
+            hotness += 1.0
+            idx = ladder.index(ctl.record(KEY))
+            assert idx - prev_idx in (0, 1)
+            if idx > prev_idx:
+                # the hit that promotes had hotness >= the threshold
+                assert hotness >= ctl.config.thresholds[prev_idx]
+        else:
+            ctl.decay()
+            hotness *= ctl.config.decay_factor
+            if ctl.snapshot()["graphs"] == 0:
+                hotness = 0.0  # pruned: model resets with the state
+            idx = ladder.index(ctl.tier_for(KEY))
+            assert prev_idx - idx in (0, 1)
+            if idx < prev_idx:
+                band = (
+                    ctl.config.thresholds[prev_idx - 1]
+                    * ctl.config.demote_ratio
+                )
+                assert hotness < band
+        prev_idx = idx
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events=events)
+def test_hysteresis_no_flapping_within_one_tick(events):
+    """A promotion and a demotion of the same key can never be caused
+    by adjacent events at the same hotness: the promote bound and the
+    demote bound are separated by the hysteresis gap, so alternating
+    hit/decay at the boundary holds the tier steady rather than
+    oscillating every event."""
+    ctl = _ctl(thresholds=(4, 12))
+    ladder = ctl.config.ladder
+    prev_idx = 0
+    flips = 0
+    last_move = 0  # -1 demote, +1 promote
+    for ev in events:
+        if ev == "hit":
+            idx = ladder.index(ctl.record(KEY))
+        else:
+            ctl.decay()
+            idx = ladder.index(ctl.tier_for(KEY))
+        move = idx - prev_idx
+        if move:
+            if last_move and move == -last_move:
+                flips += 1
+            last_move = move
+        prev_idx = idx
+    # a reversal requires hotness to cross the full gap between the
+    # demote band (threshold * 0.25) and the promote threshold — at
+    # +1 hotness per hit and *0.5 per decay that takes multiple events,
+    # so direction reversals are rare even over 200 adversarial events
+    assert flips <= len(events) // 6 + 1

@@ -1,0 +1,97 @@
+"""Tier-transition differential suite.
+
+The adaptive tiering controller swaps a cached graph's execution tier
+*mid-stream* — the same job resubmitted enough times crosses the
+fast → packed and packed → vectorized promotion boundaries.  This suite
+replays identical job streams with tiering on and pinned to every
+static tier over a generated program corpus, and holds the promoted
+stream to bit-identical final memory, ``end_values``, and deterministic
+:class:`~repro.machine.metrics.Metrics` fields across every boundary.
+"""
+
+import pytest
+
+from repro.engine import GraphCache, TierController, TieringConfig
+from repro.engine.cache import graph_key
+from repro.machine import MachineConfig
+from repro.translate import CompileOptions, simulate
+from repro.validate.oracle import DETERMINISTIC_METRIC_FIELDS, legal_schemas
+from repro.validate.progen import generate
+
+SEEDS = range(6)
+
+
+def _assert_same(a, b, tag):
+    assert a.memory == b.memory, tag
+    assert a.end_values == b.end_values, tag
+    for f in DETERMINISTIC_METRIC_FIELDS:
+        assert getattr(a.metrics, f) == getattr(b.metrics, f), (tag, f)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_promoted_stream_matches_every_pinned_tier(seed):
+    gp = generate(seed=seed)
+    schema = legal_schemas(gp.source)[0]
+    options = CompileOptions(schema=schema)
+    cache = GraphCache()
+    cp, _ = cache.lookup(gp.source, options)
+    key = graph_key(gp.source, options)
+
+    for ins in gp.inputs:
+        # pinned baselines: the whole stream at one static tier
+        pinned = {
+            tier: simulate(cp, ins, MachineConfig(sim_mode=tier))
+            for tier in ("step", "fast", "packed", "vectorized")
+        }
+        for tier, res in pinned.items():
+            if tier == "step":
+                continue
+            _assert_same(res, pinned["step"], (seed, tier, "pinned"))
+
+        # tiered stream: 6 hits walk fast -> packed -> vectorized
+        ctl = TierController(TieringConfig(
+            entry_tier="fast", thresholds=(2, 4), prewarm=False,
+        ))
+        tiers_seen = []
+        for hit in range(6):
+            tier = ctl.record(key)
+            tiers_seen.append(tier)
+            res = simulate(cp, ins, MachineConfig(sim_mode=tier))
+            assert res.backend == tier, (seed, hit)
+            _assert_same(res, pinned[tier], (seed, hit, tier))
+            # the promotion boundary itself changes nothing observable
+            _assert_same(res, pinned["step"], (seed, hit, tier))
+
+        assert tiers_seen == [
+            "fast", "packed", "packed",
+            "vectorized", "vectorized", "vectorized",
+        ], seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_full_ladder_from_step_entry(seed):
+    """Entry at the reference tier: the stream crosses *every* boundary
+    (step -> fast is the interpreter-family switch; fast -> packed and
+    packed -> vectorized are the blob switches)."""
+    gp = generate(seed=seed)
+    schema = legal_schemas(gp.source)[0]
+    options = CompileOptions(schema=schema)
+    cache = GraphCache()
+    cp, _ = cache.lookup(gp.source, options)
+    key = graph_key(gp.source, options)
+    ins = gp.inputs[0]
+
+    ctl = TierController(TieringConfig(
+        entry_tier="step", thresholds=(2, 3, 4), prewarm=False,
+    ))
+    baseline = None
+    seen = set()
+    for _ in range(6):
+        tier = ctl.record(key)
+        seen.add(tier)
+        res = simulate(cp, ins, MachineConfig(sim_mode=tier))
+        if baseline is None:
+            baseline = res
+        else:
+            _assert_same(res, baseline, (seed, tier))
+    assert seen == {"step", "fast", "packed", "vectorized"}, seed

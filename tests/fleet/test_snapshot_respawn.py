@@ -1,0 +1,108 @@
+"""Fleet snapshot crash tests: a ``kill -9``'d shard respawns over its
+per-shard snapshot directory and comes up warm — compiled graphs and
+tier state restored from the last committed manifest — with no shared
+disk cache in play."""
+
+import os
+import time
+
+from repro.engine import BatchJob
+from repro.engine.cache import SNAPSHOT_MANIFEST, graph_key
+from repro.fleet import running_fleet
+from repro.service import ServiceClient
+
+SRC = """
+x := 0;
+l: y := x + 1;
+   x := x + 1;
+   if x < 5 then goto l;
+"""
+
+
+def _wait(cond, timeout=30.0, interval=0.01):
+    t0 = time.monotonic()
+    while not cond():
+        if time.monotonic() - t0 > timeout:
+            raise TimeoutError("condition not reached")
+        time.sleep(interval)
+
+
+def _engine_stats(client, shard: int) -> dict:
+    return client.stats()["shards"][str(shard)]["cache"]["engine"]
+
+
+def test_killed_shard_restores_from_its_snapshot(tmp_path):
+    """No shared --cache-dir: the snapshot is the only persistence.
+    After the owner shard is kill -9'd mid-life, the respawn restores
+    the last periodic snapshot and the first resubmission is a memory
+    hit with zero recompiles."""
+    snap_root = str(tmp_path / "snap")
+    with running_fleet(
+        shards=2, max_batch=1, max_wait_ms=0.0,
+        snapshot_dir=snap_root, snapshot_interval_s=0.05,
+    ) as (ep, router):
+        assert all(
+            sh.snapshot_dir == os.path.join(snap_root, f"shard-{sh.index}")
+            for sh in router.shards
+        )
+        with ServiceClient(**ep, timeout=120.0, retries=20) as client:
+            job = BatchJob(SRC, name="seed")
+            key = graph_key(job.source, job.options)
+            owner = router.ring.lookup(key, 1)[0]
+
+            br = client.submit(job)
+            assert br.ok, br.error
+            assert _engine_stats(client, owner)["compiles"] == 1
+
+            # wait for a periodic snapshot that includes the entry
+            manifest = os.path.join(
+                snap_root, f"shard-{owner}", SNAPSHOT_MANIFEST
+            )
+            _wait(lambda: os.path.exists(manifest))
+
+            router.shards[owner].kill()
+            _wait(lambda: router.shards[owner].spawns == 2)
+            _wait(lambda: not router.links[owner].down)
+
+            br2 = client.submit(BatchJob(SRC, name="after-kill"))
+            assert br2.ok, br2.error
+            assert br2.cache_hit  # restored entry, not a recompile
+            eng = _engine_stats(client, owner)
+            assert eng["compiles"] == 0
+            assert eng["memory_hits"] >= 1
+
+
+def test_respawn_with_junk_in_snapshot_dir_is_cold_not_crashed(tmp_path):
+    """Torn snapshot artifacts — orphaned ``*.tmp`` files and a corrupt
+    manifest — must leave the respawned shard serving (cold), never
+    crash-looping."""
+    snap_root = tmp_path / "snap"
+    shard_dir = snap_root / "shard-0"
+    shard_dir.mkdir(parents=True)
+    (shard_dir / SNAPSHOT_MANIFEST).write_text("{torn mid-write")
+    (shard_dir / (SNAPSHOT_MANIFEST + "abc123.tmp")).write_text("{half")
+    with running_fleet(
+        shards=1, max_batch=1, max_wait_ms=0.0,
+        snapshot_dir=str(snap_root), snapshot_interval_s=0.0,
+    ) as (ep, _router):
+        with ServiceClient(**ep, timeout=120.0, retries=20) as client:
+            br = client.submit(BatchJob(SRC, name="cold"))
+            assert br.ok, br.error
+
+
+def test_fleet_tiers_rpc_aggregates_shards(tmp_path):
+    with running_fleet(
+        shards=2, max_batch=1, max_wait_ms=0.0,
+        tiering=True, tier_thresholds=(2, 4), tier_decay_s=0.0,
+    ) as (ep, _router):
+        with ServiceClient(**ep, timeout=120.0, retries=20) as client:
+            for i in range(6):
+                assert client.submit(BatchJob(SRC, name=f"t{i}")).ok
+            tiers = client.tiers()
+            assert tiers["enabled"]
+            assert tiers["graphs"] >= 1
+            assert tiers["promotions"] >= 1
+            assert tiers["top"], "hot graphs pooled across shards"
+            assert "shard" in tiers["top"][0]
+            ups = [s for s in tiers["shards"].values() if s.get("up")]
+            assert len(ups) == 2

@@ -216,3 +216,49 @@ def test_blame_fuzz_end_to_end_minimizes_against_pass(monkeypatch, tmp_path):
     meta = parse_regression(finding.regression_path)
     assert meta["guilty_pass"] == "switch_placement"
     assert meta["seed"] is not None
+
+
+@pytest.mark.tier1
+def test_tier_promotion_route_catches_vectorized_fault(monkeypatch):
+    """Corrupt the vectorized backend's memory: the tier-promotion
+    route — the stream that crosses fast -> packed -> vectorized
+    mid-flight, exactly what the service's adaptive JIT does — must
+    report divergences attributed to the promoted tier."""
+    from repro.machine import vectorized as vec_mod
+
+    real = vec_mod.VectorizedSimulator.run
+
+    def warped(self, *a, **kw):
+        res = real(self, *a, **kw)
+        res.memory["__tier_bug__"] = 1
+        return res
+
+    monkeypatch.setattr(vec_mod.VectorizedSimulator, "run", warped)
+    report = check_program(SRC, finite_pes=False)
+    assert not report.ok
+    tier_divs = [d for d in report.divergences
+                 if "tier_promotion" in d.route]
+    assert tier_divs, report.summary()
+    # only the vectorized rung of the ladder diverged
+    assert all(d.route.endswith("/vectorized") for d in tier_divs)
+
+
+def test_tier_promotion_route_gated_on_full_tier_family(monkeypatch):
+    """Without the full fast/packed/vectorized family in sim_modes the
+    promotion ladder cannot run, so the route must stay out of the
+    sweep (no false attribution to a route that never ran)."""
+    from repro.machine import vectorized as vec_mod
+
+    real = vec_mod.VectorizedSimulator.run
+
+    def warped(self, *a, **kw):
+        res = real(self, *a, **kw)
+        res.memory["__tier_bug__"] = 1
+        return res
+
+    monkeypatch.setattr(vec_mod.VectorizedSimulator, "run", warped)
+    report = check_program(SRC, sim_modes=("step", "fast", "vectorized"),
+                           finite_pes=False)
+    assert not report.ok  # the mode loop still catches the fault
+    assert not [d for d in report.divergences
+                if "tier_promotion" in d.route]
